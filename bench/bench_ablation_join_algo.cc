@@ -1,0 +1,88 @@
+// Ablation A2: the paper's O(n) hash join vs the O(n^2) nested-loop join
+// that the state of the art (Hahn et al.) requires -- on GT digests (the
+// server's SJ.Match input) and on plaintext tables (the substrate
+// executors).
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/scheme.h"
+#include "crypto/rng.h"
+#include "db/plaintext_exec.h"
+#include "tpch/tpch.h"
+
+namespace sjoin {
+namespace {
+
+std::pair<std::vector<Digest32>, std::vector<Digest32>> MakeDigests(size_t n) {
+  Rng rng(555);
+  std::vector<Digest32> da(n), db(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t key_a = rng.NextUint64Below(n / 2 + 1);
+    uint64_t key_b = rng.NextUint64Below(n / 2 + 1);
+    da[i] = Digest32{};
+    db[i] = Digest32{};
+    std::memcpy(da[i].data(), &key_a, sizeof(key_a));
+    std::memcpy(db[i].data(), &key_b, sizeof(key_b));
+  }
+  return {da, db};
+}
+
+void BM_HashJoinDigests(benchmark::State& state) {
+  auto [da, db] = MakeDigests(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashJoinDigests(da, db));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HashJoinDigests)
+    ->Range(1 << 10, 1 << 17)
+    ->Complexity(benchmark::oN);
+
+void BM_NestedLoopJoinDigests(benchmark::State& state) {
+  auto [da, db] = MakeDigests(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NestedLoopJoinDigests(da, db));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NestedLoopJoinDigests)
+    ->Range(1 << 10, 1 << 13)
+    ->Complexity(benchmark::oNSquared);
+
+// Plaintext executors on TPC-H data (ground-truth substrate).
+void BM_PlaintextHashJoinTpch(benchmark::State& state) {
+  Table customers = GenerateCustomers({.scale_factor = 0.002});
+  Table orders = GenerateOrders({.scale_factor = 0.002});
+  JoinQuerySpec q;
+  q.table_a = "Customers";
+  q.table_b = "Orders";
+  q.join_column_a = "custkey";
+  q.join_column_b = "custkey";
+  for (auto _ : state) {
+    auto r = PlaintextHashJoin(customers, orders, q);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PlaintextHashJoinTpch);
+
+void BM_PlaintextNestedLoopJoinTpch(benchmark::State& state) {
+  Table customers = GenerateCustomers({.scale_factor = 0.002});
+  Table orders = GenerateOrders({.scale_factor = 0.002});
+  JoinQuerySpec q;
+  q.table_a = "Customers";
+  q.table_b = "Orders";
+  q.join_column_a = "custkey";
+  q.join_column_b = "custkey";
+  for (auto _ : state) {
+    auto r = PlaintextNestedLoopJoin(customers, orders, q);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PlaintextNestedLoopJoinTpch);
+
+}  // namespace
+}  // namespace sjoin
+
+BENCHMARK_MAIN();

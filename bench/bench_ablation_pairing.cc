@@ -1,0 +1,146 @@
+// Ablation A1 (DESIGN.md): costs of the pairing substrate primitives and
+// multi-pairing vs. naive per-slot pairings. The multi-pairing design is what
+// makes SJ.Dec on a dimension-n vector cost far less than n full pairings.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "ec/fixed_base.h"
+#include "pairing/pairing.h"
+
+namespace sjoin {
+namespace {
+
+Fr RandomFr(std::mt19937_64* gen) {
+  std::array<uint8_t, 64> b;
+  for (auto& x : b) x = static_cast<uint8_t>((*gen)());
+  return Fr::FromUniformBytes(b.data());
+}
+
+void BM_FpMul(benchmark::State& state) {
+  std::mt19937_64 gen(1);
+  std::array<uint8_t, 64> b;
+  for (auto& x : b) x = static_cast<uint8_t>(gen());
+  Fp a = Fp::FromUniformBytes(b.data());
+  for (auto& x : b) x = static_cast<uint8_t>(gen());
+  Fp c = Fp::FromUniformBytes(b.data());
+  for (auto _ : state) {
+    a = a * c;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FpMul);
+
+void BM_Fp12Mul(benchmark::State& state) {
+  std::mt19937_64 gen(2);
+  Fp12 a = FinalExponentiation(
+      MillerLoop(G1Generator().ToAffine(), G2Generator().ToAffine()));
+  Fp12 c = a.Square();
+  for (auto _ : state) {
+    a = a * c;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Fp12Mul);
+
+void BM_G1ScalarMul(benchmark::State& state) {
+  std::mt19937_64 gen(3);
+  Fr k = RandomFr(&gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(G1Generator().ScalarMul(k));
+  }
+}
+BENCHMARK(BM_G1ScalarMul);
+
+void BM_G1FixedBaseMul(benchmark::State& state) {
+  std::mt19937_64 gen(4);
+  G1FixedBase table(G1Generator());
+  Fr k = RandomFr(&gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Mul(k));
+  }
+}
+BENCHMARK(BM_G1FixedBaseMul);
+
+void BM_G2ScalarMul(benchmark::State& state) {
+  std::mt19937_64 gen(5);
+  Fr k = RandomFr(&gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(G2Generator().ScalarMul(k));
+  }
+}
+BENCHMARK(BM_G2ScalarMul);
+
+void BM_G2FixedBaseMul(benchmark::State& state) {
+  std::mt19937_64 gen(6);
+  G2FixedBase table(G2Generator());
+  Fr k = RandomFr(&gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Mul(k));
+  }
+}
+BENCHMARK(BM_G2FixedBaseMul);
+
+void BM_MillerLoop(benchmark::State& state) {
+  G1Affine p = G1Generator().ToAffine();
+  G2Affine q = G2Generator().ToAffine();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MillerLoop(p, q));
+  }
+}
+BENCHMARK(BM_MillerLoop);
+
+void BM_FinalExponentiation(benchmark::State& state) {
+  Fp12 f = MillerLoop(G1Generator().ToAffine(), G2Generator().ToAffine());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FinalExponentiation(f));
+  }
+}
+BENCHMARK(BM_FinalExponentiation);
+
+void BM_SinglePairing(benchmark::State& state) {
+  G1Affine p = G1Generator().ToAffine();
+  G2Affine q = G2Generator().ToAffine();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Pair(p, q));
+  }
+}
+BENCHMARK(BM_SinglePairing);
+
+// Multi-pairing of n slots (one shared squaring chain + one final exp)...
+void BM_MultiPairing(benchmark::State& state) {
+  std::mt19937_64 gen(7);
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::pair<G1Affine, G2Affine>> pairs;
+  for (size_t i = 0; i < n; ++i) {
+    pairs.emplace_back(G1Generator().ScalarMul(RandomFr(&gen)).ToAffine(),
+                       G2Generator().ScalarMul(RandomFr(&gen)).ToAffine());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiPair(pairs));
+  }
+}
+BENCHMARK(BM_MultiPairing)->Arg(1)->Arg(4)->Arg(8)->Arg(19)->Arg(35)->Arg(91);
+
+// ...vs n independent full pairings multiplied together (the naive layout).
+void BM_NaivePairingProduct(benchmark::State& state) {
+  std::mt19937_64 gen(8);
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::pair<G1Affine, G2Affine>> pairs;
+  for (size_t i = 0; i < n; ++i) {
+    pairs.emplace_back(G1Generator().ScalarMul(RandomFr(&gen)).ToAffine(),
+                       G2Generator().ScalarMul(RandomFr(&gen)).ToAffine());
+  }
+  for (auto _ : state) {
+    GT acc = GT::One();
+    for (const auto& [p, q] : pairs) acc *= Pair(p, q);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_NaivePairingProduct)->Arg(1)->Arg(19);
+
+}  // namespace
+}  // namespace sjoin
+
+BENCHMARK_MAIN();

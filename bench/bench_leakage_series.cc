@@ -1,0 +1,158 @@
+// Experiment E1 (Section 2.1, Tables 1-4): leakage of a series of queries.
+//
+// Part 1 replays the paper's Teams/Employees example: the number of row
+// pairs whose equality the server can establish at times t0 (after upload),
+// t1 (after the first query) and t2 (after the second query), per scheme.
+// Part 2 runs a longer randomized query series and prints the cumulative
+// leakage per scheme after every query -- the "no super-additive leakage"
+// property is visible as Secure Join tracking the minimum exactly.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/cryptdb_onion.h"
+#include "baselines/det_join.h"
+#include "baselines/hahn.h"
+#include "baselines/minimal_reference.h"
+#include "baselines/secure_join_adapter.h"
+#include "bench/bench_util.h"
+#include "crypto/rng.h"
+
+namespace sjoin {
+namespace {
+
+Table MakeTeams() {
+  Table t("Teams", Schema({{"key", ValueKind::kInt64},
+                           {"name", ValueKind::kString}}));
+  SJOIN_CHECK(t.AppendRow({int64_t{1}, "Web Application"}).ok());
+  SJOIN_CHECK(t.AppendRow({int64_t{2}, "Database"}).ok());
+  return t;
+}
+
+Table MakeEmployees() {
+  Table t("Employees", Schema({{"record", ValueKind::kInt64},
+                               {"employee", ValueKind::kString},
+                               {"role", ValueKind::kString},
+                               {"team", ValueKind::kInt64}}));
+  SJOIN_CHECK(t.AppendRow({int64_t{1}, "Hans", "Programmer", int64_t{1}}).ok());
+  SJOIN_CHECK(t.AppendRow({int64_t{2}, "Kaily", "Tester", int64_t{1}}).ok());
+  SJOIN_CHECK(t.AppendRow({int64_t{3}, "John", "Programmer", int64_t{2}}).ok());
+  SJOIN_CHECK(t.AppendRow({int64_t{4}, "Sally", "Tester", int64_t{2}}).ok());
+  return t;
+}
+
+std::vector<std::unique_ptr<JoinSchemeBaseline>> AllSchemes(uint64_t seed) {
+  std::vector<std::unique_ptr<JoinSchemeBaseline>> schemes;
+  schemes.push_back(std::make_unique<DetJoinBaseline>(seed));
+  schemes.push_back(std::make_unique<CryptDbOnionBaseline>(seed + 1));
+  schemes.push_back(std::make_unique<HahnBaseline>(seed + 2));
+  schemes.push_back(std::make_unique<SecureJoinAdapter>(ClientOptions{
+      .num_attrs = 3, .max_in_clause = 2, .rng_seed = seed + 3}));
+  schemes.push_back(std::make_unique<MinimalLeakageReference>());
+  return schemes;
+}
+
+void RunExample21() {
+  std::printf("Part 1 -- paper Example 2.1 (Teams JOIN Employees):\n");
+  std::printf("  t1: WHERE name='Web Application' AND role='Tester'\n");
+  std::printf("  t2: WHERE name='Database'        AND role='Programmer'\n\n");
+  std::printf("%-28s  %4s  %4s  %4s\n", "scheme", "t0", "t1", "t2");
+
+  JoinQuerySpec q1;
+  q1.table_a = "Teams";
+  q1.table_b = "Employees";
+  q1.join_column_a = "key";
+  q1.join_column_b = "team";
+  q1.selection_a.predicates = {{"name", {Value("Web Application")}}};
+  q1.selection_b.predicates = {{"role", {Value("Tester")}}};
+  JoinQuerySpec q2 = q1;
+  q2.selection_a.predicates = {{"name", {Value("Database")}}};
+  q2.selection_b.predicates = {{"role", {Value("Programmer")}}};
+
+  for (auto& scheme : AllSchemes(9000)) {
+    SJOIN_CHECK(
+        scheme->Upload(MakeTeams(), "key", MakeEmployees(), "team").ok());
+    size_t t0 = scheme->RevealedPairCount();
+    SJOIN_CHECK(scheme->RunQuery(q1).ok());
+    size_t t1 = scheme->RevealedPairCount();
+    SJOIN_CHECK(scheme->RunQuery(q2).ok());
+    size_t t2 = scheme->RevealedPairCount();
+    std::printf("%-28s  %4zu  %4zu  %4zu\n", scheme->SchemeName().c_str(), t0,
+                t1, t2);
+  }
+  std::printf(
+      "\npaper analysis: DET 6/6/6, CryptDB 0/6/6, Hahn 0/1/6 "
+      "(super-additive),\n                Secure Join 0/1/2 == transitive "
+      "closure of per-query minimum.\n\n");
+}
+
+void RunRandomSeries() {
+  std::printf(
+      "Part 2 -- cumulative leakage over a randomized 6-query series\n"
+      "(L: 24 unique keys, R: 48 rows with random FKs, predicates on random "
+      "groups):\n\n");
+  Rng rng(4242);
+  Table left("L", Schema({{"id", ValueKind::kInt64},
+                          {"grp", ValueKind::kInt64}}));
+  for (int i = 0; i < 24; ++i) {
+    SJOIN_CHECK(left.AppendRow({int64_t{i},
+                                static_cast<int64_t>(rng.NextUint64Below(4))})
+                    .ok());
+  }
+  Table right("R", Schema({{"fk", ValueKind::kInt64},
+                           {"cat", ValueKind::kInt64}}));
+  for (int i = 0; i < 48; ++i) {
+    SJOIN_CHECK(right
+                    .AppendRow({static_cast<int64_t>(rng.NextUint64Below(24)),
+                                static_cast<int64_t>(rng.NextUint64Below(4))})
+                    .ok());
+  }
+
+  auto schemes = AllSchemes(9100);
+  std::printf("%-28s", "scheme \\ after query");
+  for (int step = 1; step <= 6; ++step) std::printf("  %5d", step);
+  std::printf("\n");
+
+  std::vector<std::vector<size_t>> leaks(schemes.size());
+  for (auto& scheme : schemes) {
+    SJOIN_CHECK(scheme->Upload(left, "id", right, "fk").ok());
+  }
+  Rng qrng(4243);
+  for (int step = 0; step < 6; ++step) {
+    JoinQuerySpec q;
+    q.table_a = "L";
+    q.table_b = "R";
+    q.join_column_a = "id";
+    q.join_column_b = "fk";
+    q.selection_a.predicates = {
+        {"grp", {Value(static_cast<int64_t>(qrng.NextUint64Below(4)))}}};
+    q.selection_b.predicates = {
+        {"cat", {Value(static_cast<int64_t>(qrng.NextUint64Below(4)))}}};
+    for (size_t i = 0; i < schemes.size(); ++i) {
+      SJOIN_CHECK(schemes[i]->RunQuery(q).ok());
+      leaks[i].push_back(schemes[i]->RevealedPairCount());
+    }
+  }
+  for (size_t i = 0; i < schemes.size(); ++i) {
+    std::printf("%-28s", schemes[i]->SchemeName().c_str());
+    for (size_t s = 0; s < leaks[i].size(); ++s) {
+      std::printf("  %5zu", leaks[i][s]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected: Secure Join row tracks the minimum row exactly at every "
+      "step;\nHahn et al. grows past it (super-additive); DET/CryptDB sit at "
+      "the full join pattern.\n");
+}
+
+}  // namespace
+}  // namespace sjoin
+
+int main() {
+  sjoin::benchutil::PrintHeader(
+      "Section 2.1 leakage timeline (Tables 1-4 example + randomized series)");
+  sjoin::RunExample21();
+  sjoin::RunRandomSeries();
+  return 0;
+}

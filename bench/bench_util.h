@@ -1,0 +1,84 @@
+// Shared helpers for the figure/table reproduction benchmarks.
+//
+// Modes:
+//   default          -- "quick": real crypto on capped row counts; full-scale
+//                       runtimes derived as measured-per-row cost x the true
+//                       selected-row count (the paper's runtime is exactly
+//                       this product: SJ.Dec dominates end to end).
+//   SJOIN_BENCH_FULL=1 -- measure everything at full scale (minutes/hours).
+//
+// Every harness prints the series the paper plots next to the paper's
+// reported anchor values so shapes can be compared directly.
+#ifndef SJOIN_BENCH_BENCH_UTIL_H_
+#define SJOIN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/stopwatch.h"
+
+namespace sjoin {
+namespace benchutil {
+
+inline bool FullMode() {
+  const char* env = std::getenv("SJOIN_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Times `fn` adaptively: runs at least `min_reps` times and at least
+/// `min_seconds` total, returns seconds per call.
+template <typename Fn>
+double TimePerCall(Fn&& fn, int min_reps = 3, double min_seconds = 0.05) {
+  // One warm-up call (table initialization, cache warming).
+  fn();
+  Stopwatch w;
+  int reps = 0;
+  do {
+    fn();
+    ++reps;
+  } while (reps < min_reps || w.Seconds() < min_seconds);
+  return w.Seconds() / reps;
+}
+
+/// The paper's evaluation used m = 9 filterable attributes (Orders has nine
+/// non-join columns incl. selectivity; Customers is padded to match).
+inline constexpr size_t kPaperNumAttrs = 9;
+
+// Paper-reported anchor values (Section 6 text).
+inline constexpr double kPaperTokenGenMsMax = 2.0;    // "< 2ms for each t"
+inline constexpr double kPaperEncMsT1 = 3.4;
+inline constexpr double kPaperEncMsT10 = 9.6;
+inline constexpr double kPaperDecMsT1 = 21.2;
+inline constexpr double kPaperDecMsT10 = 53.0;
+
+// Figure 3 anchors: seconds for (scale factor, selectivity).
+inline constexpr double kPaperFig3Sf001S100 = 3.52;    // SF 0.01, s=1/100
+inline constexpr double kPaperFig3Sf01S100 = 35.34;    // SF 0.1,  s=1/100
+inline constexpr double kPaperFig3Sf001S125 = 27.88;   // SF 0.01, s=1/12.5
+inline constexpr double kPaperFig3Sf01S125 = 282.49;   // SF 0.1,  s=1/12.5
+
+// Figure 4 anchors: seconds for (t, selectivity) at SF 0.01.
+inline constexpr double kPaperFig4T1S100 = 3.50;
+inline constexpr double kPaperFig4T10S100 = 8.75;
+inline constexpr double kPaperFig4T1S125 = 27.86;
+inline constexpr double kPaperFig4T10S125 = 69.62;
+
+/// Linear interpolation between two anchors (the paper reports linear
+/// scaling in both figures).
+inline double Interp(double x, double x0, double y0, double x1, double y1) {
+  return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("mode: %s\n\n",
+              FullMode() ? "FULL (SJOIN_BENCH_FULL=1)"
+                         : "quick (set SJOIN_BENCH_FULL=1 for full-scale "
+                           "measurement)");
+}
+
+}  // namespace benchutil
+}  // namespace sjoin
+
+#endif  // SJOIN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,128 @@
+// Paper walkthrough: Example 2.1 (Teams/Employees) end to end.
+//
+//   $ ./build/examples/employees_teams
+//
+// Reproduces Tables 1-4 of the paper and the Section 2.1 leakage analysis:
+// the two queries at t1 and t2 are answered correctly while the server
+// learns exactly the two matched pairs -- not the six pairs that
+// deterministic encryption, CryptDB or Hahn et al. reveal.
+#include <cstdio>
+
+#include "baselines/cryptdb_onion.h"
+#include "baselines/det_join.h"
+#include "baselines/hahn.h"
+#include "db/client.h"
+#include "db/server.h"
+
+using namespace sjoin;  // NOLINT: example code
+
+namespace {
+
+Table MakeTeams() {
+  Table t("Teams", Schema({{"key", ValueKind::kInt64},
+                           {"name", ValueKind::kString}}));
+  SJOIN_CHECK(t.AppendRow({int64_t{1}, "Web Application"}).ok());
+  SJOIN_CHECK(t.AppendRow({int64_t{2}, "Database"}).ok());
+  return t;
+}
+
+Table MakeEmployees() {
+  Table t("Employees", Schema({{"record", ValueKind::kInt64},
+                               {"employee", ValueKind::kString},
+                               {"role", ValueKind::kString},
+                               {"team", ValueKind::kInt64}}));
+  SJOIN_CHECK(t.AppendRow({int64_t{1}, "Hans", "Programmer", int64_t{1}}).ok());
+  SJOIN_CHECK(t.AppendRow({int64_t{2}, "Kaily", "Tester", int64_t{1}}).ok());
+  SJOIN_CHECK(t.AppendRow({int64_t{3}, "John", "Programmer", int64_t{2}}).ok());
+  SJOIN_CHECK(t.AppendRow({int64_t{4}, "Sally", "Tester", int64_t{2}}).ok());
+  return t;
+}
+
+void PrintTable(const Table& t) {
+  std::printf("  ");
+  for (const auto& col : t.schema().columns()) {
+    std::printf("%-22s", col.name.c_str());
+  }
+  std::printf("\n");
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    std::printf("  ");
+    for (size_t c = 0; c < t.schema().NumColumns(); ++c) {
+      std::printf("%-22s", t.At(r, c).ToDisplayString().c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+JoinQuerySpec Query(const char* team_name, const char* role) {
+  JoinQuerySpec q;
+  q.table_a = "Teams";
+  q.table_b = "Employees";
+  q.join_column_a = "key";
+  q.join_column_b = "team";
+  q.selection_a.predicates = {{"name", {Value(team_name)}}};
+  q.selection_b.predicates = {{"role", {Value(role)}}};
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Paper Example 2.1: Teams JOIN Employees ==\n\n");
+  Table teams = MakeTeams();
+  Table employees = MakeEmployees();
+  std::printf("Table 1 (Teams):\n");
+  PrintTable(teams);
+  std::printf("Table 2 (Employees):\n");
+  PrintTable(employees);
+
+  EncryptedClient client({.num_attrs = 3, .max_in_clause = 2,
+                          .rng_seed = 2022});
+  EncryptedServer server;
+  auto enc_teams = client.EncryptTable(teams, "key");
+  auto enc_emps = client.EncryptTable(employees, "team");
+  SJOIN_CHECK(enc_teams.ok() && enc_emps.ok());
+  SJOIN_CHECK(server.StoreTable(*enc_teams).ok());
+  SJOIN_CHECK(server.StoreTable(*enc_emps).ok());
+  std::printf("\n[t0] encrypted upload complete; server knows %zu pairs\n",
+              server.leakage().RevealedPairCount());
+
+  auto run = [&](const char* label, const JoinQuerySpec& q) {
+    auto tokens = client.BuildQueryTokens(q, *enc_teams, *enc_emps);
+    SJOIN_CHECK(tokens.ok());
+    auto result = server.ExecuteJoin(*tokens);
+    SJOIN_CHECK(result.ok());
+    auto joined = client.DecryptJoinResult(*result, *enc_teams, *enc_emps);
+    SJOIN_CHECK(joined.ok());
+    std::printf("\n[%s] result (%zu row(s)):\n", label, joined->NumRows());
+    PrintTable(*joined);
+    std::printf("[%s] cumulative pairs revealed to server: %zu\n", label,
+                server.leakage().RevealedPairCount());
+  };
+
+  // t1: SELECT * ... WHERE Name = 'Web Application' AND Role = 'Tester'
+  run("t1", Query("Web Application", "Tester"));
+  // t2: SELECT * ... WHERE Name = 'Database' AND Role = 'Programmer'
+  run("t2", Query("Database", "Programmer"));
+
+  std::printf(
+      "\nSection 2.1 comparison (pairs revealed after t2 on this example):\n");
+  struct Entry {
+    const char* name;
+    size_t pairs;
+  };
+  DetJoinBaseline det(11);
+  CryptDbOnionBaseline onion(12);
+  HahnBaseline hahn(13);
+  for (JoinSchemeBaseline* s :
+       std::initializer_list<JoinSchemeBaseline*>{&det, &onion, &hahn}) {
+    SJOIN_CHECK(s->Upload(MakeTeams(), "key", MakeEmployees(), "team").ok());
+    SJOIN_CHECK(s->RunQuery(Query("Web Application", "Tester")).ok());
+    SJOIN_CHECK(s->RunQuery(Query("Database", "Programmer")).ok());
+    std::printf("  %-28s %zu\n", s->SchemeName().c_str(),
+                s->RevealedPairCount());
+  }
+  std::printf("  %-28s %zu   <= the transitive-closure minimum\n",
+              "Secure Join (this paper)",
+              server.leakage().RevealedPairCount());
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Leakage audit: watch what four join-encryption schemes reveal to the
+// server over a growing series of queries.
+//
+//   $ ./build/examples/leakage_audit [num_queries]   (default 5)
+//
+// Runs the same randomized query workload against deterministic encryption,
+// CryptDB onions, the Hahn et al. analogue and Secure Join, printing the
+// cumulative revealed-pair counts next to the information-theoretic minimum
+// after every query.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "baselines/cryptdb_onion.h"
+#include "baselines/det_join.h"
+#include "baselines/hahn.h"
+#include "baselines/minimal_reference.h"
+#include "baselines/secure_join_adapter.h"
+#include "crypto/rng.h"
+
+using namespace sjoin;  // NOLINT: example code
+
+int main(int argc, char** argv) {
+  int num_queries = argc > 1 ? std::atoi(argv[1]) : 5;
+  std::printf("== leakage audit over %d queries ==\n\n", num_queries);
+
+  // Workload: Departments (unique ids, 4 regions) x Staff (random FKs,
+  // 4 job kinds).
+  Rng rng(31337);
+  Table dept("Departments", Schema({{"dept_id", ValueKind::kInt64},
+                                    {"region", ValueKind::kInt64}}));
+  for (int i = 0; i < 20; ++i) {
+    SJOIN_CHECK(dept.AppendRow({int64_t{i},
+                                static_cast<int64_t>(rng.NextUint64Below(4))})
+                    .ok());
+  }
+  Table staff("Staff", Schema({{"dept_id", ValueKind::kInt64},
+                               {"job", ValueKind::kInt64}}));
+  for (int i = 0; i < 40; ++i) {
+    SJOIN_CHECK(staff
+                    .AppendRow({static_cast<int64_t>(rng.NextUint64Below(20)),
+                                static_cast<int64_t>(rng.NextUint64Below(4))})
+                    .ok());
+  }
+
+  std::vector<std::unique_ptr<JoinSchemeBaseline>> schemes;
+  schemes.push_back(std::make_unique<DetJoinBaseline>(1));
+  schemes.push_back(std::make_unique<CryptDbOnionBaseline>(2));
+  schemes.push_back(std::make_unique<HahnBaseline>(3));
+  schemes.push_back(std::make_unique<SecureJoinAdapter>(
+      ClientOptions{.num_attrs = 1, .max_in_clause = 2, .rng_seed = 4}));
+  schemes.push_back(std::make_unique<MinimalLeakageReference>());
+  for (auto& s : schemes) {
+    SJOIN_CHECK(s->Upload(dept, "dept_id", staff, "dept_id").ok());
+  }
+
+  std::printf("%-28s  upload", "scheme");
+  for (int i = 1; i <= num_queries; ++i) std::printf("  q%-4d", i);
+  std::printf("\n");
+  std::vector<std::vector<size_t>> history(schemes.size());
+  for (size_t i = 0; i < schemes.size(); ++i) {
+    history[i].push_back(schemes[i]->RevealedPairCount());
+  }
+
+  Rng qrng(99);
+  for (int step = 0; step < num_queries; ++step) {
+    JoinQuerySpec q;
+    q.table_a = "Departments";
+    q.table_b = "Staff";
+    q.join_column_a = "dept_id";
+    q.join_column_b = "dept_id";
+    q.selection_a.predicates = {
+        {"region", {Value(static_cast<int64_t>(qrng.NextUint64Below(4)))}}};
+    q.selection_b.predicates = {
+        {"job", {Value(static_cast<int64_t>(qrng.NextUint64Below(4)))}}};
+    for (size_t i = 0; i < schemes.size(); ++i) {
+      auto r = schemes[i]->RunQuery(q);
+      SJOIN_CHECK(r.ok());
+      history[i].push_back(schemes[i]->RevealedPairCount());
+    }
+  }
+
+  for (size_t i = 0; i < schemes.size(); ++i) {
+    std::printf("%-28s", schemes[i]->SchemeName().c_str());
+    for (size_t s = 0; s < history[i].size(); ++s) {
+      std::printf("  %5zu", history[i][s]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nreading: Secure Join's row equals the minimum at every step "
+      "(no super-additive leakage);\nHahn et al. drifts above it; DET and "
+      "CryptDB expose the full join pattern immediately.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Extension beyond the paper's two-table setting: a three-table join
+// composed of pairwise encrypted joins.
+//
+//   $ ./build/examples/multiway_join
+//
+// Region JOIN Suppliers JOIN Shipments, evaluated as two Secure Join
+// queries whose intermediate result is opened by the client (the paper's
+// non-interactive scheme covers one join per query; composition happens
+// client-side, and each pairwise query still enjoys per-query unlinkable
+// leakage -- contrast with CryptDB's re-encryption onions that link whole
+// columns across joins).
+#include <cstdio>
+
+#include "db/client.h"
+#include "db/server.h"
+
+using namespace sjoin;  // NOLINT: example code
+
+namespace {
+
+void PrintTable(const Table& t) {
+  std::printf("  ");
+  for (const auto& col : t.schema().columns()) {
+    std::printf("%-24s", col.name.c_str());
+  }
+  std::printf("\n");
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    std::printf("  ");
+    for (size_t c = 0; c < t.schema().NumColumns(); ++c) {
+      std::printf("%-24s", t.At(r, c).ToDisplayString().c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== three-table encrypted join ==\n\n");
+
+  Table regions("Regions", Schema({{"region_id", ValueKind::kInt64},
+                                   {"continent", ValueKind::kString}}));
+  SJOIN_CHECK(regions.AppendRow({int64_t{1}, "Europe"}).ok());
+  SJOIN_CHECK(regions.AppendRow({int64_t{2}, "Asia"}).ok());
+
+  Table suppliers("Suppliers", Schema({{"supp_id", ValueKind::kInt64},
+                                       {"region_id", ValueKind::kInt64},
+                                       {"status", ValueKind::kString}}));
+  SJOIN_CHECK(suppliers.AppendRow({int64_t{10}, int64_t{1}, "active"}).ok());
+  SJOIN_CHECK(suppliers.AppendRow({int64_t{11}, int64_t{2}, "active"}).ok());
+  SJOIN_CHECK(suppliers.AppendRow({int64_t{12}, int64_t{1}, "inactive"}).ok());
+
+  Table shipments("Shipments", Schema({{"shipment_id", ValueKind::kInt64},
+                                       {"supp_id", ValueKind::kInt64},
+                                       {"item", ValueKind::kString}}));
+  SJOIN_CHECK(shipments.AppendRow({int64_t{100}, int64_t{10}, "gears"}).ok());
+  SJOIN_CHECK(shipments.AppendRow({int64_t{101}, int64_t{11}, "belts"}).ok());
+  SJOIN_CHECK(shipments.AppendRow({int64_t{102}, int64_t{10}, "pumps"}).ok());
+  SJOIN_CHECK(shipments.AppendRow({int64_t{103}, int64_t{12}, "valves"}).ok());
+
+  EncryptedClient client({.num_attrs = 3, .max_in_clause = 2,
+                          .rng_seed = 77});
+  EncryptedServer server;
+  auto enc_regions = client.EncryptTable(regions, "region_id");
+  auto enc_suppliers = client.EncryptTable(suppliers, "region_id");
+  SJOIN_CHECK(enc_regions.ok() && enc_suppliers.ok());
+  SJOIN_CHECK(server.StoreTable(*enc_regions).ok());
+  SJOIN_CHECK(server.StoreTable(*enc_suppliers).ok());
+
+  // Step 1: Regions JOIN Suppliers ON region_id WHERE continent='Europe'
+  //         AND status='active'.
+  JoinQuerySpec q1;
+  q1.table_a = "Regions";
+  q1.table_b = "Suppliers";
+  q1.join_column_a = q1.join_column_b = "region_id";
+  q1.selection_a.predicates = {{"continent", {Value("Europe")}}};
+  q1.selection_b.predicates = {{"status", {Value("active")}}};
+  auto tok1 = client.BuildQueryTokens(q1, *enc_regions, *enc_suppliers);
+  SJOIN_CHECK(tok1.ok());
+  auto res1 = server.ExecuteJoin(*tok1);
+  SJOIN_CHECK(res1.ok());
+  auto step1 = client.DecryptJoinResult(*res1, *enc_regions, *enc_suppliers);
+  SJOIN_CHECK(step1.ok());
+  std::printf("step 1: Regions x Suppliers (Europe, active) -> %zu row(s)\n",
+              step1->NumRows());
+  PrintTable(*step1);
+
+  // Step 2: re-encrypt the intermediate result (client-side) keyed on
+  // supp_id and join with Shipments. A fresh pairwise query: the server
+  // cannot link it to step 1.
+  Table intermediate("Step1", Schema({{"supp_id", ValueKind::kInt64},
+                                      {"continent", ValueKind::kString}}));
+  size_t supp_col = *step1->schema().ColumnIndex("Suppliers.supp_id");
+  size_t cont_col = *step1->schema().ColumnIndex("Regions.continent");
+  for (size_t r = 0; r < step1->NumRows(); ++r) {
+    SJOIN_CHECK(intermediate
+                    .AppendRow({step1->At(r, supp_col),
+                                step1->At(r, cont_col)})
+                    .ok());
+  }
+  auto enc_step1 = client.EncryptTable(intermediate, "supp_id");
+  auto enc_shipments = client.EncryptTable(shipments, "supp_id");
+  SJOIN_CHECK(enc_step1.ok() && enc_shipments.ok());
+  SJOIN_CHECK(server.StoreTable(*enc_step1).ok());
+  SJOIN_CHECK(server.StoreTable(*enc_shipments).ok());
+
+  JoinQuerySpec q2;
+  q2.table_a = "Step1";
+  q2.table_b = "Shipments";
+  q2.join_column_a = q2.join_column_b = "supp_id";
+  auto tok2 = client.BuildQueryTokens(q2, *enc_step1, *enc_shipments);
+  SJOIN_CHECK(tok2.ok());
+  auto res2 = server.ExecuteJoin(*tok2);
+  SJOIN_CHECK(res2.ok());
+  auto final_result =
+      client.DecryptJoinResult(*res2, *enc_step1, *enc_shipments);
+  SJOIN_CHECK(final_result.ok());
+  std::printf("\nstep 2: Step1 x Shipments -> %zu row(s)\n",
+              final_result->NumRows());
+  PrintTable(*final_result);
+
+  std::printf(
+      "\ncumulative server leakage across both queries: %zu pair(s)\n",
+      server.leakage().RevealedPairCount());
+  std::printf(
+      "note: each pairwise query used a fresh key k; the server cannot link "
+      "step-1 matches to step-2 matches\nexcept through rows both queries "
+      "touched (the transitive closure).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// TPC-H demo: the paper's Section 6 evaluation workload at miniature scale.
+//
+//   $ ./build/examples/tpch_demo [scale_factor]   (default 0.0005)
+//
+// Generates Customers/Orders, encrypts and uploads them, runs the
+// evaluation's selectivity join, verifies the result against the plaintext
+// ground truth and prints the server-side cost breakdown.
+#include <cstdio>
+#include <cstdlib>
+
+#include "db/client.h"
+#include "db/plaintext_exec.h"
+#include "db/server.h"
+#include "tpch/tpch.h"
+#include "util/stopwatch.h"
+
+using namespace sjoin;  // NOLINT: example code
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.0005;
+  std::printf("== TPC-H encrypted join demo (scale factor %.4f) ==\n\n", sf);
+
+  Table customers = GenerateCustomers({.scale_factor = sf});
+  Table orders = GenerateOrders({.scale_factor = sf});
+  std::printf("generated Customers (%zu rows) and Orders (%zu rows)\n",
+              customers.NumRows(), orders.NumRows());
+
+  EncryptedClient client({.num_attrs = 9, .max_in_clause = 2,
+                          .rng_seed = 1234});
+  EncryptedServer server;
+
+  Stopwatch enc_watch;
+  auto enc_customers = client.EncryptTable(customers, "custkey");
+  auto enc_orders = client.EncryptTable(orders, "custkey");
+  SJOIN_CHECK(enc_customers.ok() && enc_orders.ok());
+  std::printf("client encrypted both tables in %.2fs (%.1f ms/row)\n",
+              enc_watch.Seconds(),
+              1e3 * enc_watch.Seconds() /
+                  (customers.NumRows() + orders.NumRows()));
+  SJOIN_CHECK(server.StoreTable(*enc_customers).ok());
+  SJOIN_CHECK(server.StoreTable(*enc_orders).ok());
+
+  // The evaluation query: join on custkey, filter both sides on a
+  // selectivity value (1/12.5 of the rows).
+  JoinQuerySpec q;
+  q.table_a = "Customers";
+  q.table_b = "Orders";
+  q.join_column_a = "custkey";
+  q.join_column_b = "custkey";
+  std::string label = SelectivityLabel(1 / 12.5);
+  q.selection_a.predicates = {{"selectivity", {Value(label)}}};
+  q.selection_b.predicates = {{"selectivity", {Value(label)}}};
+  std::printf(
+      "\nquery: SELECT * FROM Customers JOIN Orders ON custkey\n"
+      "       WHERE Customers.selectivity IN ('%s') AND "
+      "Orders.selectivity IN ('%s')\n\n",
+      label.c_str(), label.c_str());
+
+  auto tokens = client.BuildQueryTokens(q, *enc_customers, *enc_orders);
+  SJOIN_CHECK(tokens.ok());
+  auto result = server.ExecuteJoin(*tokens, {.num_threads = 0});
+  SJOIN_CHECK(result.ok());
+  const JoinExecStats& st = result->stats;
+  std::printf("server-side execution:\n");
+  std::printf("  SSE pre-filter: %zu -> %zu customers, %zu -> %zu orders "
+              "(%.1f ms)\n",
+              st.rows_total_a, st.rows_selected_a, st.rows_total_b,
+              st.rows_selected_b, st.prefilter_seconds * 1e3);
+  std::printf("  SJ.Dec:         %zu rows in %.2fs (%.1f ms/row, all cores)\n",
+              st.rows_selected_a + st.rows_selected_b, st.decrypt_seconds,
+              1e3 * st.decrypt_seconds /
+                  (st.rows_selected_a + st.rows_selected_b));
+  std::printf("  SJ.Match:       hash join in %.2f ms -> %zu pairs\n",
+              st.match_seconds * 1e3, st.result_pairs);
+
+  auto joined = client.DecryptJoinResult(*result, *enc_customers, *enc_orders);
+  SJOIN_CHECK(joined.ok());
+  auto expect = PlaintextHashJoin(customers, orders, q);
+  SJOIN_CHECK(expect.ok());
+  std::printf("\nclient decrypted %zu result rows; plaintext ground truth: "
+              "%zu rows -> %s\n",
+              joined->NumRows(), expect->size(),
+              joined->NumRows() == expect->size() ? "MATCH" : "MISMATCH");
+  std::printf("server learned %zu row-equality pairs (only among rows "
+              "matching the selection)\n",
+              server.leakage().RevealedPairCount());
+  return 0;
+}

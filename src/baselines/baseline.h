@@ -1,0 +1,47 @@
+// Common interface for the join-over-encrypted-data schemes compared in
+// Section 2.1 / 6.5: upload two tables, run a series of join queries, and
+// report how many row-equality pairs the server can link so far.
+//
+// Implementations:
+//   DetJoinBaseline        -- deterministic encryption (Hacigumus et al.)
+//   CryptDbOnionBaseline   -- RND onion over DET, stripped on first join
+//   HahnBaseline           -- functional analogue of Hahn et al. (ICDE'19)
+//   SecureJoinAdapter      -- this paper's scheme (EncryptedClient/Server)
+//   MinimalLeakageReference-- information-theoretic lower bound: transitive
+//                             closure of the per-query minimum leakage
+#ifndef SJOIN_BASELINES_BASELINE_H_
+#define SJOIN_BASELINES_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/scheme.h"  // JoinedRowPair
+#include "db/query.h"
+#include "db/table.h"
+#include "util/status.h"
+
+namespace sjoin {
+
+class JoinSchemeBaseline {
+ public:
+  virtual ~JoinSchemeBaseline() = default;
+
+  virtual std::string SchemeName() const = 0;
+
+  /// Encrypts and outsources both tables ("time t0").
+  virtual Status Upload(const Table& a, const std::string& join_a,
+                        const Table& b, const std::string& join_b) = 0;
+
+  /// Executes one selection+join query; returns matched (row_a, row_b)
+  /// index pairs.
+  virtual Result<std::vector<JoinedRowPair>> RunQuery(
+      const JoinQuerySpec& q) = 0;
+
+  /// Unordered row pairs (within or across tables) whose equality the
+  /// server can establish at this point in the query series.
+  virtual size_t RevealedPairCount() = 0;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_BASELINES_BASELINE_H_

@@ -1,0 +1,138 @@
+#include "baselines/cryptdb_onion.h"
+
+#include <cstring>
+
+#include "crypto/chacha20.h"
+
+namespace sjoin {
+
+CryptDbOnionBaseline::CryptDbOnionBaseline(uint64_t seed)
+    : det_(seed), rng_(seed ^ 0x9e3779b97f4a7c15ull) {
+  rng_.Fill(onion_key_.data(), onion_key_.size());
+}
+
+DetTag CryptDbOnionBaseline::Wrap(const DetTag& tag,
+                                  const std::array<uint8_t, 12>& nonce) const {
+  DetTag out = tag;
+  ChaCha20Xor(onion_key_.data(), 0, nonce.data(), out.data(), out.size());
+  return out;
+}
+
+Status CryptDbOnionBaseline::Upload(const Table& a, const std::string& join_a,
+                                    const Table& b,
+                                    const std::string& join_b) {
+  // Build the inner DET layer first, then wrap every tag.
+  SJOIN_RETURN_IF_ERROR(det_.Upload(a, join_a, b, join_b));
+  for (const auto& [name, det_table] : det_.tables_) {
+    StoredTable st;
+    st.name = name;
+    auto wrap_column = [&](const std::vector<DetTag>& tags) {
+      WrappedColumn col;
+      for (const DetTag& t : tags) {
+        std::array<uint8_t, 12> nonce;
+        rng_.Fill(nonce.data(), nonce.size());
+        col.nonces.push_back(nonce);
+        col.wrapped.push_back(Wrap(t, nonce));
+      }
+      return col;
+    };
+    st.join_col = wrap_column(det_table.join_tags);
+    for (const auto& [col_name, tags] : det_table.attr_tags) {
+      st.attr_cols[col_name] = wrap_column(tags);
+      st.attr_stripped[col_name] = false;
+    }
+    tables_[name] = std::move(st);
+  }
+  return Status::OK();
+}
+
+void CryptDbOnionBaseline::StripJoinColumns() {
+  if (join_onion_stripped_) return;
+  for (auto& [name, st] : tables_) {
+    st.join_tags.clear();
+    for (size_t r = 0; r < st.join_col.wrapped.size(); ++r) {
+      // XOR is an involution: re-wrapping unwraps.
+      st.join_tags.push_back(
+          Wrap(st.join_col.wrapped[r], st.join_col.nonces[r]));
+    }
+  }
+  join_onion_stripped_ = true;
+}
+
+void CryptDbOnionBaseline::StripAttrColumn(StoredTable* t,
+                                           const std::string& column) {
+  if (t->attr_stripped[column]) return;
+  const WrappedColumn& col = t->attr_cols[column];
+  auto& out = t->attr_tags[column];
+  out.clear();
+  for (size_t r = 0; r < col.wrapped.size(); ++r) {
+    out.push_back(Wrap(col.wrapped[r], col.nonces[r]));
+  }
+  t->attr_stripped[column] = true;
+}
+
+Result<std::vector<JoinedRowPair>> CryptDbOnionBaseline::RunQuery(
+    const JoinQuerySpec& q) {
+  auto ita = tables_.find(q.table_a);
+  auto itb = tables_.find(q.table_b);
+  if (ita == tables_.end() || itb == tables_.end()) {
+    return Status::NotFound("tables not uploaded");
+  }
+  // The join requires the DET layer: client releases the onion key, server
+  // strips the RND layer of both join columns (all rows!) and of the
+  // attribute columns referenced by the WHERE clause.
+  StripJoinColumns();
+  auto selected = [&](StoredTable& t,
+                      const TableSelection& sel) -> Result<std::vector<size_t>> {
+    for (const InPredicate& p : sel.predicates) {
+      if (!t.attr_cols.count(p.column)) {
+        return Status::NotFound("no filterable column '" + p.column + "'");
+      }
+      StripAttrColumn(&t, p.column);
+    }
+    std::vector<size_t> rows;
+    for (size_t r = 0; r < t.join_tags.size(); ++r) {
+      bool all = true;
+      for (const InPredicate& p : sel.predicates) {
+        bool any = false;
+        for (const Value& v : p.values) {
+          if (det_.DetAttrTag(p.column, v) == t.attr_tags[p.column][r]) {
+            any = true;
+            break;
+          }
+        }
+        if (!any) {
+          all = false;
+          break;
+        }
+      }
+      if (all) rows.push_back(r);
+    }
+    return rows;
+  };
+
+  auto sel_a = selected(ita->second, q.selection_a);
+  SJOIN_RETURN_IF_ERROR(sel_a.status());
+  auto sel_b = selected(itb->second, q.selection_b);
+  SJOIN_RETURN_IF_ERROR(sel_b.status());
+
+  std::multimap<DetTag, size_t> build;
+  for (size_t i : *sel_a) build.emplace(ita->second.join_tags[i], i);
+  std::vector<JoinedRowPair> out;
+  for (size_t j : *sel_b) {
+    auto [lo, hi] = build.equal_range(itb->second.join_tags[j]);
+    for (auto it = lo; it != hi; ++it) {
+      out.push_back(JoinedRowPair{it->second, j});
+    }
+  }
+  return out;
+}
+
+size_t CryptDbOnionBaseline::RevealedPairCount() {
+  if (!join_onion_stripped_ || tables_.size() < 2) return 0;
+  auto it = tables_.begin();
+  return EqualPairCount(it->second.join_tags,
+                        std::next(it)->second.join_tags);
+}
+
+}  // namespace sjoin

@@ -1,0 +1,58 @@
+// CryptDB-style onion join (Popa et al., SOSP'11): deterministic join
+// ciphertexts wrapped in a probabilistic (RND) layer. Nothing leaks at
+// upload; the first join query on a column pair requires the client to hand
+// over the onion key, whereupon the server strips the RND layer of *all*
+// rows of both columns and the full DET equality pattern becomes visible.
+#ifndef SJOIN_BASELINES_CRYPTDB_ONION_H_
+#define SJOIN_BASELINES_CRYPTDB_ONION_H_
+
+#include <map>
+
+#include "baselines/det_join.h"
+
+namespace sjoin {
+
+class CryptDbOnionBaseline : public JoinSchemeBaseline {
+ public:
+  explicit CryptDbOnionBaseline(uint64_t seed);
+
+  std::string SchemeName() const override { return "CryptDB onion"; }
+  Status Upload(const Table& a, const std::string& join_a, const Table& b,
+                const std::string& join_b) override;
+  Result<std::vector<JoinedRowPair>> RunQuery(const JoinQuerySpec& q) override;
+  size_t RevealedPairCount() override;
+
+  /// True once the RND layer of the join columns has been stripped.
+  bool JoinOnionStripped() const { return join_onion_stripped_; }
+
+ private:
+  struct WrappedColumn {
+    // RND layer: tag XOR keystream(nonce_r); nonce stored alongside.
+    std::vector<std::array<uint8_t, 12>> nonces;
+    std::vector<DetTag> wrapped;
+  };
+
+  struct StoredTable {
+    std::string name;
+    WrappedColumn join_col;
+    std::map<std::string, WrappedColumn> attr_cols;
+    std::map<std::string, bool> attr_stripped;
+    // Populated on strip.
+    std::vector<DetTag> join_tags;
+    std::map<std::string, std::vector<DetTag>> attr_tags;
+  };
+
+  DetTag Wrap(const DetTag& tag, const std::array<uint8_t, 12>& nonce) const;
+  void StripJoinColumns();
+  void StripAttrColumn(StoredTable* t, const std::string& column);
+
+  DetJoinBaseline det_;  // supplies the inner DET layer key material
+  std::array<uint8_t, 32> onion_key_;
+  Rng rng_;
+  std::map<std::string, StoredTable> tables_;
+  bool join_onion_stripped_ = false;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_BASELINES_CRYPTDB_ONION_H_

@@ -1,0 +1,146 @@
+#include "baselines/det_join.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace sjoin {
+namespace {
+
+DetTag Truncate(const Digest32& d) {
+  DetTag t;
+  std::memcpy(t.data(), d.data(), t.size());
+  return t;
+}
+
+}  // namespace
+
+size_t EqualPairCount(const std::vector<DetTag>& a,
+                      const std::vector<DetTag>& b) {
+  std::map<DetTag, size_t> counts;
+  for (const DetTag& t : a) counts[t]++;
+  for (const DetTag& t : b) counts[t]++;
+  size_t pairs = 0;
+  for (const auto& [tag, n] : counts) pairs += n * (n - 1) / 2;
+  return pairs;
+}
+
+DetJoinBaseline::DetJoinBaseline(uint64_t seed) {
+  Rng rng(seed);
+  rng.Fill(join_key_.data(), join_key_.size());
+  rng.Fill(attr_key_.data(), attr_key_.size());
+}
+
+DetTag DetJoinBaseline::DetJoinTag(const Value& v) const {
+  // One key for the joinable column pair: ciphertext equality == equality.
+  return Truncate(HmacSha256(join_key_.data(), join_key_.size(),
+                             v.ToBytes().data(), v.ToBytes().size()));
+}
+
+DetTag DetJoinBaseline::DetAttrTag(const std::string& column,
+                                   const Value& v) const {
+  Bytes scope;
+  std::string prefix = "attr:" + column + ":";
+  scope.insert(scope.end(), prefix.begin(), prefix.end());
+  Bytes vb = v.ToBytes();
+  scope.insert(scope.end(), vb.begin(), vb.end());
+  return Truncate(
+      HmacSha256(attr_key_.data(), attr_key_.size(), scope.data(),
+                 scope.size()));
+}
+
+Result<const DetJoinBaseline::StoredTable*> DetJoinBaseline::Find(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  return &it->second;
+}
+
+Status DetJoinBaseline::Upload(const Table& a, const std::string& join_a,
+                               const Table& b, const std::string& join_b) {
+  auto store = [&](const Table& t, const std::string& join_col) -> Status {
+    auto join_idx = t.schema().ColumnIndex(join_col);
+    SJOIN_RETURN_IF_ERROR(join_idx.status());
+    StoredTable st;
+    st.name = t.name();
+    st.schema = t.schema();
+    for (size_t r = 0; r < t.NumRows(); ++r) {
+      st.join_tags.push_back(DetJoinTag(t.At(r, *join_idx)));
+      for (size_t c = 0; c < t.schema().NumColumns(); ++c) {
+        if (c == *join_idx) continue;
+        const std::string& col = t.schema().column(c).name;
+        st.attr_tags[col].push_back(DetAttrTag(col, t.At(r, c)));
+      }
+    }
+    tables_[st.name] = std::move(st);
+    return Status::OK();
+  };
+  SJOIN_RETURN_IF_ERROR(store(a, join_a));
+  return store(b, join_b);
+}
+
+Result<std::vector<JoinedRowPair>> DetJoinBaseline::RunQuery(
+    const JoinQuerySpec& q) {
+  auto ta = Find(q.table_a);
+  SJOIN_RETURN_IF_ERROR(ta.status());
+  auto tb = Find(q.table_b);
+  SJOIN_RETURN_IF_ERROR(tb.status());
+
+  // Selection: compare stored attribute tags against query-value tags
+  // (exactly what the DET server does).
+  auto selected = [&](const StoredTable& t,
+                      const TableSelection& sel) -> Result<std::vector<size_t>> {
+    std::vector<size_t> rows;
+    size_t n = t.join_tags.size();
+    for (size_t r = 0; r < n; ++r) {
+      bool all = true;
+      for (const InPredicate& p : sel.predicates) {
+        auto it = t.attr_tags.find(p.column);
+        if (it == t.attr_tags.end()) {
+          return Status::NotFound("no filterable column '" + p.column + "'");
+        }
+        bool any = false;
+        for (const Value& v : p.values) {
+          if (DetAttrTag(p.column, v) == it->second[r]) {
+            any = true;
+            break;
+          }
+        }
+        if (!any) {
+          all = false;
+          break;
+        }
+      }
+      if (all) rows.push_back(r);
+    }
+    return rows;
+  };
+
+  auto sel_a = selected(**ta, q.selection_a);
+  SJOIN_RETURN_IF_ERROR(sel_a.status());
+  auto sel_b = selected(**tb, q.selection_b);
+  SJOIN_RETURN_IF_ERROR(sel_b.status());
+
+  // Hash join directly on deterministic ciphertexts.
+  std::multimap<DetTag, size_t> build;
+  for (size_t i : *sel_a) build.emplace((*ta)->join_tags[i], i);
+  std::vector<JoinedRowPair> out;
+  for (size_t j : *sel_b) {
+    auto [lo, hi] = build.equal_range((*tb)->join_tags[j]);
+    for (auto it = lo; it != hi; ++it) {
+      out.push_back(JoinedRowPair{it->second, j});
+    }
+  }
+  return out;
+}
+
+size_t DetJoinBaseline::RevealedPairCount() {
+  // Everything is visible from upload: group all rows by join tag.
+  if (tables_.size() < 2) return 0;
+  auto it = tables_.begin();
+  const std::vector<DetTag>& a = it->second.join_tags;
+  const std::vector<DetTag>& b = std::next(it)->second.join_tags;
+  return EqualPairCount(a, b);
+}
+
+}  // namespace sjoin

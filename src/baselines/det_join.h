@@ -1,0 +1,55 @@
+// Deterministic-encryption join (Hacigumus et al., SIGMOD'02): every join
+// value and every filterable attribute is encrypted deterministically, so
+// the server can hash-join ciphertexts directly -- and can also read the
+// full equality pattern of the join columns from time t0.
+#ifndef SJOIN_BASELINES_DET_JOIN_H_
+#define SJOIN_BASELINES_DET_JOIN_H_
+
+#include <array>
+#include <map>
+
+#include "baselines/baseline.h"
+#include "crypto/rng.h"
+
+namespace sjoin {
+
+using DetTag = std::array<uint8_t, 16>;
+
+class DetJoinBaseline : public JoinSchemeBaseline {
+ public:
+  explicit DetJoinBaseline(uint64_t seed);
+
+  std::string SchemeName() const override { return "DET (Hacigumus et al.)"; }
+  Status Upload(const Table& a, const std::string& join_a, const Table& b,
+                const std::string& join_b) override;
+  Result<std::vector<JoinedRowPair>> RunQuery(const JoinQuerySpec& q) override;
+  size_t RevealedPairCount() override;
+
+ private:
+  friend class CryptDbOnionBaseline;
+
+  struct StoredTable {
+    std::string name;
+    Schema schema;
+    std::vector<DetTag> join_tags;
+    // det_attr_tags[col_name][row]
+    std::map<std::string, std::vector<DetTag>> attr_tags;
+  };
+
+  DetTag DetJoinTag(const Value& v) const;
+  DetTag DetAttrTag(const std::string& column, const Value& v) const;
+  Result<const StoredTable*> Find(const std::string& name) const;
+
+  std::array<uint8_t, 32> join_key_;
+  std::array<uint8_t, 32> attr_key_;
+  std::map<std::string, StoredTable> tables_;
+};
+
+/// Counts SUM C(s,2) over groups of equal tags across both tag lists
+/// (rows of table 0 and table 1). Shared by the baseline leakage metrics.
+size_t EqualPairCount(const std::vector<DetTag>& a,
+                      const std::vector<DetTag>& b);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_BASELINES_DET_JOIN_H_

@@ -1,0 +1,238 @@
+#include "baselines/hahn.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "crypto/sha256.h"
+
+namespace sjoin {
+namespace {
+
+std::array<uint8_t, 32> SeedKey(Rng* rng) {
+  std::array<uint8_t, 32> k;
+  rng->Fill(k.data(), k.size());
+  return k;
+}
+
+DetTag TruncTag(const Digest32& d) {
+  DetTag t;
+  std::memcpy(t.data(), d.data(), t.size());
+  return t;
+}
+
+// Wrap key for a row: derived from an attribute-value token and the row
+// salt -- computable by the server only once it holds a matching token.
+Digest32 WrapKey(const SseToken& token, const SseSalt& salt) {
+  Bytes msg;
+  msg.push_back('w');
+  msg.insert(msg.end(), salt.begin(), salt.end());
+  return HmacSha256(token.data(), token.size(), msg.data(), msg.size());
+}
+
+DetTag WrapMask(const Digest32& wrap_key) {
+  Bytes key(wrap_key.begin(), wrap_key.end());
+  return TruncTag(HmacSha256(key, std::string("mask")));
+}
+
+std::array<uint8_t, 16> CheckTag(const Digest32& wrap_key) {
+  Bytes key(wrap_key.begin(), wrap_key.end());
+  Digest32 d = HmacSha256(key, std::string("check"));
+  std::array<uint8_t, 16> out;
+  std::memcpy(out.data(), d.data(), out.size());
+  return out;
+}
+
+DetTag XorTags(const DetTag& a, const DetTag& b) {
+  DetTag out;
+  for (size_t i = 0; i < out.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+}  // namespace
+
+HahnBaseline::HahnBaseline(uint64_t seed)
+    : det_join_key_{},
+      sse_key_([&] {
+        Rng tmp(seed ^ 0x5851f42d4c957f2dull);
+        return SeedKey(&tmp);
+      }()),
+      rng_(seed) {
+  rng_.Fill(det_join_key_.data(), det_join_key_.size());
+}
+
+SseToken HahnBaseline::AllToken(const std::string& table) const {
+  return sse_key_.TokenFor(table, "__policy_all__", Value(int64_t{1}));
+}
+
+Result<HahnBaseline::StoredTable*> HahnBaseline::Find(
+    const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  return &it->second;
+}
+
+Status HahnBaseline::Upload(const Table& a, const std::string& join_a,
+                            const Table& b, const std::string& join_b) {
+  // PK-FK restriction: the left join column must be a key.
+  {
+    auto idx = a.schema().ColumnIndex(join_a);
+    SJOIN_RETURN_IF_ERROR(idx.status());
+    std::set<Value> seen;
+    for (size_t r = 0; r < a.NumRows(); ++r) {
+      if (!seen.insert(a.At(r, *idx)).second) {
+        return Status::FailedPrecondition(
+            "Hahn et al. supports only PK-FK joins; join column '" + join_a +
+            "' of " + a.name() + " is not unique");
+      }
+    }
+  }
+
+  auto store = [&](const Table& t, const std::string& join_col) -> Status {
+    auto join_idx = t.schema().ColumnIndex(join_col);
+    SJOIN_RETURN_IF_ERROR(join_idx.status());
+    StoredTable st;
+    st.name = t.name();
+    for (size_t c = 0; c < t.schema().NumColumns(); ++c) {
+      if (c != *join_idx) st.attr_columns.push_back(t.schema().column(c).name);
+    }
+    for (size_t r = 0; r < t.NumRows(); ++r) {
+      StoredRow row;
+      row.salt = SseKey::RandomSalt(&rng_);
+      Bytes jb = t.At(r, *join_idx).ToBytes();
+      DetTag det = TruncTag(HmacSha256(det_join_key_.data(),
+                                       det_join_key_.size(), jb.data(),
+                                       jb.size()));
+      // One wrapped copy per filterable attribute (the ABE attribute set).
+      size_t ai = 0;
+      for (size_t c = 0; c < t.schema().NumColumns(); ++c) {
+        if (c == *join_idx) continue;
+        const std::string& col = t.schema().column(c).name;
+        row.attr_tags.push_back(
+            sse_key_.TagFor(t.name(), col, t.At(r, c), row.salt));
+        SseToken value_token = sse_key_.TokenFor(t.name(), col, t.At(r, c));
+        Digest32 wk = WrapKey(value_token, row.salt);
+        row.wrapped_per_attr.push_back(XorTags(det, WrapMask(wk)));
+        row.check_per_attr.push_back(CheckTag(wk));
+        ++ai;
+      }
+      // "ALL" copy for unrestricted queries (ABE policy = true).
+      Digest32 wk_all = WrapKey(AllToken(t.name()), row.salt);
+      row.wrapped_all = XorTags(det, WrapMask(wk_all));
+      row.check_all = CheckTag(wk_all);
+      st.rows.push_back(std::move(row));
+    }
+    tables_[st.name] = std::move(st);
+    return Status::OK();
+  };
+  SJOIN_RETURN_IF_ERROR(store(a, join_a));
+  return store(b, join_b);
+}
+
+Result<std::vector<size_t>> HahnBaseline::SelectAndUnwrap(
+    StoredTable* t, const TableSelection& sel) {
+  // Resolve predicate columns first.
+  std::vector<size_t> pred_attr_idx(sel.predicates.size());
+  for (size_t p = 0; p < sel.predicates.size(); ++p) {
+    auto it = std::find(t->attr_columns.begin(), t->attr_columns.end(),
+                        sel.predicates[p].column);
+    if (it == t->attr_columns.end()) {
+      return Status::NotFound("no filterable column '" +
+                              sel.predicates[p].column + "'");
+    }
+    pred_attr_idx[p] = static_cast<size_t>(it - t->attr_columns.begin());
+  }
+
+  std::vector<size_t> matched;
+  for (size_t r = 0; r < t->rows.size(); ++r) {
+    StoredRow& row = t->rows[r];
+    bool all = true;
+    // Which (attr index, token) satisfied the row, for the unwrap below.
+    std::optional<std::pair<size_t, SseToken>> unlock;
+    for (size_t p = 0; p < sel.predicates.size(); ++p) {
+      const InPredicate& pred = sel.predicates[p];
+      size_t attr_idx = pred_attr_idx[p];
+      bool any = false;
+      for (const Value& v : pred.values) {
+        SseToken tok = sse_key_.TokenFor(t->name, pred.column, v);
+        if (SseTokenMatches(tok, row.salt, row.attr_tags[attr_idx])) {
+          any = true;
+          if (!unlock.has_value()) unlock = {attr_idx, tok};
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+    matched.push_back(r);
+    if (!row.unwrapped.has_value()) {
+      if (sel.predicates.empty()) {
+        // Unrestricted: the client releases the ALL token for the table.
+        Digest32 wk = WrapKey(AllToken(t->name), row.salt);
+        if (CheckTag(wk) == row.check_all) {
+          row.unwrapped = XorTags(row.wrapped_all, WrapMask(wk));
+        }
+      } else if (unlock.has_value()) {
+        Digest32 wk = WrapKey(unlock->second, row.salt);
+        if (CheckTag(wk) == row.check_per_attr[unlock->first]) {
+          row.unwrapped =
+              XorTags(row.wrapped_per_attr[unlock->first], WrapMask(wk));
+        }
+      }
+    }
+  }
+  return matched;
+}
+
+Result<std::vector<JoinedRowPair>> HahnBaseline::RunQuery(
+    const JoinQuerySpec& q) {
+  auto ta = Find(q.table_a);
+  SJOIN_RETURN_IF_ERROR(ta.status());
+  auto tb = Find(q.table_b);
+  SJOIN_RETURN_IF_ERROR(tb.status());
+
+  auto sel_a = SelectAndUnwrap(*ta, q.selection_a);
+  SJOIN_RETURN_IF_ERROR(sel_a.status());
+  auto sel_b = SelectAndUnwrap(*tb, q.selection_b);
+  SJOIN_RETURN_IF_ERROR(sel_b.status());
+
+  // Nested-loop join over the unwrapped ciphertexts (their algorithm).
+  std::vector<JoinedRowPair> out;
+  for (size_t i : *sel_a) {
+    const auto& da = (*ta)->rows[i].unwrapped;
+    if (!da.has_value()) continue;
+    for (size_t j : *sel_b) {
+      const auto& db = (*tb)->rows[j].unwrapped;
+      if (!db.has_value()) continue;
+      if (*da == *db) out.push_back(JoinedRowPair{i, j});
+    }
+  }
+  return out;
+}
+
+size_t HahnBaseline::UnwrappedRowCount() const {
+  size_t n = 0;
+  for (const auto& [name, t] : tables_) {
+    for (const StoredRow& r : t.rows) n += r.unwrapped.has_value() ? 1 : 0;
+  }
+  return n;
+}
+
+size_t HahnBaseline::RevealedPairCount() {
+  // All unwrapped rows -- across every query so far -- are mutually
+  // comparable: group them by DET tag.
+  std::map<DetTag, size_t> counts;
+  for (const auto& [name, t] : tables_) {
+    for (const StoredRow& r : t.rows) {
+      if (r.unwrapped.has_value()) counts[*r.unwrapped]++;
+    }
+  }
+  size_t pairs = 0;
+  for (const auto& [tag, n] : counts) pairs += n * (n - 1) / 2;
+  return pairs;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,74 @@
+// Functional analogue of Hahn, Loza, Kerschbaum (ICDE'19): "Joins over
+// encrypted data with fine granular security".
+//
+// Their construction wraps a deterministic join ciphertext per row in
+// KP-ABE such that it can be unwrapped only by a query whose selection
+// policy the row satisfies. We model the ABE with PRF-derived wrap keys
+// (one wrapped copy per filterable attribute, plus an "ALL" copy for
+// unrestricted queries) -- identical unwrap semantics and leakage profile:
+//   * only rows matching a query's selection become comparable (good),
+//   * an unwrapped row stays comparable forever, so a series of queries
+//     leaks the union over *rows* rather than over *pairs* -- the
+//     super-additive leakage of paper Section 2.1 (bad),
+//   * joins are nested-loop, O(n^2) (their Section 6),
+//   * only primary-key/foreign-key joins are supported: Upload fails if the
+//     left join column is not unique.
+#ifndef SJOIN_BASELINES_HAHN_H_
+#define SJOIN_BASELINES_HAHN_H_
+
+#include <map>
+#include <optional>
+
+#include "baselines/det_join.h"
+#include "crypto/rng.h"
+#include "db/sse.h"
+
+namespace sjoin {
+
+class HahnBaseline : public JoinSchemeBaseline {
+ public:
+  explicit HahnBaseline(uint64_t seed);
+
+  std::string SchemeName() const override { return "Hahn et al. (ICDE'19)"; }
+  Status Upload(const Table& a, const std::string& join_a, const Table& b,
+                const std::string& join_b) override;
+  Result<std::vector<JoinedRowPair>> RunQuery(const JoinQuerySpec& q) override;
+  size_t RevealedPairCount() override;
+
+  /// Rows whose deterministic join ciphertext is currently exposed.
+  size_t UnwrappedRowCount() const;
+
+ private:
+  struct StoredRow {
+    SseSalt salt;
+    std::vector<SseTag> attr_tags;          // selection match, salted SSE
+    std::vector<DetTag> wrapped_per_attr;   // DET(join) XOR mask(attr token)
+    std::vector<std::array<uint8_t, 16>> check_per_attr;
+    DetTag wrapped_all;                     // copy under the "ALL" policy
+    std::array<uint8_t, 16> check_all;
+    std::optional<DetTag> unwrapped;        // server cache: persists forever
+  };
+
+  struct StoredTable {
+    std::string name;
+    std::vector<std::string> attr_columns;
+    std::vector<StoredRow> rows;
+  };
+
+  Result<StoredTable*> Find(const std::string& name);
+  /// Rows matching `sel`; each gets its join ciphertext unwrapped (and
+  /// cached) via the token of one satisfied predicate.
+  Result<std::vector<size_t>> SelectAndUnwrap(StoredTable* t,
+                                              const TableSelection& sel);
+
+  SseToken AllToken(const std::string& table) const;
+
+  std::array<uint8_t, 32> det_join_key_;
+  SseKey sse_key_;
+  Rng rng_;
+  std::map<std::string, StoredTable> tables_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_BASELINES_HAHN_H_

@@ -1,0 +1,46 @@
+#include "baselines/minimal_reference.h"
+
+#include <map>
+
+namespace sjoin {
+
+Status MinimalLeakageReference::Upload(const Table& a,
+                                       const std::string& join_a,
+                                       const Table& b,
+                                       const std::string& join_b) {
+  a_ = a;
+  b_ = b;
+  join_a_ = join_a;
+  join_b_ = join_b;
+  return Status::OK();
+}
+
+Result<std::vector<JoinedRowPair>> MinimalLeakageReference::RunQuery(
+    const JoinQuerySpec& q) {
+  auto result = PlaintextHashJoin(a_, b_, q);
+  SJOIN_RETURN_IF_ERROR(result.status());
+
+  // The per-query minimum leakage: equality groups of join values among the
+  // rows matching the selection, in either table.
+  auto col_a = a_.schema().ColumnIndex(q.join_column_a);
+  SJOIN_RETURN_IF_ERROR(col_a.status());
+  auto col_b = b_.schema().ColumnIndex(q.join_column_b);
+  SJOIN_RETURN_IF_ERROR(col_b.status());
+  std::map<Value, std::vector<RowId>> groups;
+  for (size_t r = 0; r < a_.NumRows(); ++r) {
+    auto m = RowMatchesSelection(a_, r, q.selection_a);
+    SJOIN_RETURN_IF_ERROR(m.status());
+    if (*m) groups[a_.At(r, *col_a)].push_back(RowId{0, r});
+  }
+  for (size_t r = 0; r < b_.NumRows(); ++r) {
+    auto m = RowMatchesSelection(b_, r, q.selection_b);
+    SJOIN_RETURN_IF_ERROR(m.status());
+    if (*m) groups[b_.At(r, *col_b)].push_back(RowId{1, r});
+  }
+  for (const auto& [value, members] : groups) {
+    if (members.size() >= 2) tracker_.ObserveEqualityGroup(members);
+  }
+  return result;
+}
+
+}  // namespace sjoin

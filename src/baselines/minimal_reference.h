@@ -1,0 +1,38 @@
+// Information-theoretic reference: the minimum leakage any efficient
+// non-interactive single-server join scheme must reveal (paper Section 2.1),
+// i.e. the transitive closure over queries of the equality pairs among rows
+// that match each query's selection. Computed directly on plaintext; used to
+// verify that Secure Join leaks exactly this and every baseline leaks at
+// least this.
+#ifndef SJOIN_BASELINES_MINIMAL_REFERENCE_H_
+#define SJOIN_BASELINES_MINIMAL_REFERENCE_H_
+
+#include "baselines/baseline.h"
+#include "core/leakage.h"
+#include "db/plaintext_exec.h"
+
+namespace sjoin {
+
+class MinimalLeakageReference : public JoinSchemeBaseline {
+ public:
+  MinimalLeakageReference() = default;
+
+  std::string SchemeName() const override {
+    return "minimum (transitive closure)";
+  }
+  Status Upload(const Table& a, const std::string& join_a, const Table& b,
+                const std::string& join_b) override;
+  Result<std::vector<JoinedRowPair>> RunQuery(const JoinQuerySpec& q) override;
+  size_t RevealedPairCount() override { return tracker_.RevealedPairCount(); }
+
+  LeakageTracker& tracker() { return tracker_; }
+
+ private:
+  Table a_, b_;
+  std::string join_a_, join_b_;
+  LeakageTracker tracker_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_BASELINES_MINIMAL_REFERENCE_H_

@@ -1,0 +1,35 @@
+// Adapter exposing this paper's scheme (EncryptedClient + EncryptedServer)
+// through the JoinSchemeBaseline interface for the comparative experiments.
+#ifndef SJOIN_BASELINES_SECURE_JOIN_ADAPTER_H_
+#define SJOIN_BASELINES_SECURE_JOIN_ADAPTER_H_
+
+#include <map>
+#include <memory>
+
+#include "baselines/baseline.h"
+#include "db/client.h"
+#include "db/server.h"
+
+namespace sjoin {
+
+class SecureJoinAdapter : public JoinSchemeBaseline {
+ public:
+  explicit SecureJoinAdapter(const ClientOptions& options);
+
+  std::string SchemeName() const override { return "Secure Join (this paper)"; }
+  Status Upload(const Table& a, const std::string& join_a, const Table& b,
+                const std::string& join_b) override;
+  Result<std::vector<JoinedRowPair>> RunQuery(const JoinQuerySpec& q) override;
+  size_t RevealedPairCount() override;
+
+  EncryptedClient& client() { return client_; }
+  EncryptedServer& server() { return server_; }
+
+ private:
+  EncryptedClient client_;
+  EncryptedServer server_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_BASELINES_SECURE_JOIN_ADAPTER_H_

@@ -1,0 +1,265 @@
+#include "bigint/bigint.h"
+
+#include <algorithm>
+
+namespace sjoin {
+
+BigInt::BigInt(uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<uint32_t>(v >> 32));
+}
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+Result<BigInt> BigInt::TryFromDecimal(const std::string& s) {
+  if (s.empty()) return Status::InvalidArgument("empty decimal string");
+  BigInt r;
+  const BigInt ten(10);
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("invalid decimal digit");
+    }
+    r = r * ten + BigInt(static_cast<uint64_t>(c - '0'));
+  }
+  return r;
+}
+
+BigInt BigInt::FromDecimal(const std::string& s) {
+  Result<BigInt> r = TryFromDecimal(s);
+  SJOIN_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+BigInt BigInt::FromHexString(const std::string& s) {
+  BigInt r;
+  for (char c : s) {
+    uint32_t d;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      d = static_cast<uint32_t>(c - 'A' + 10);
+    } else {
+      SJOIN_CHECK(false && "invalid hex digit");
+      d = 0;
+    }
+    r = (r << 4) + BigInt(d);
+  }
+  return r;
+}
+
+BigInt BigInt::FromBytesBE(const uint8_t* data, size_t len) {
+  BigInt r;
+  for (size_t i = 0; i < len; ++i) {
+    r = (r << 8) + BigInt(data[i]);
+  }
+  return r;
+}
+
+std::vector<uint8_t> BigInt::ToBytesBE(size_t width) const {
+  std::vector<uint8_t> out;
+  size_t nbytes = (BitLength() + 7) / 8;
+  if (width == 0) width = std::max<size_t>(nbytes, 1);
+  SJOIN_CHECK(nbytes <= width);
+  out.assign(width, 0);
+  for (size_t i = 0; i < nbytes; ++i) {
+    uint32_t limb = limbs_[i / 4];
+    out[width - 1 - i] = static_cast<uint8_t>(limb >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+std::string BigInt::ToDecimal() const {
+  if (IsZero()) return "0";
+  std::string out;
+  BigInt cur = *this;
+  const BigInt ten(10);
+  while (!cur.IsZero()) {
+    auto [q, r] = cur.DivMod(ten);
+    out.push_back(static_cast<char>('0' + r.ToUint64()));
+    cur = std::move(q);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string BigInt::ToHexString() const {
+  if (IsZero()) return "0";
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (size_t i = BitLength(); i > 0; i -= std::min<size_t>(i, 4)) {
+    size_t shift = ((i - 1) / 4) * 4;
+    uint32_t nibble = static_cast<uint32_t>(((*this) >> shift).ToUint64() & 0xf);
+    out.push_back(kDigits[nibble]);
+    if (shift == 0) break;
+  }
+  // Strip any leading zero produced by the bit-length rounding.
+  size_t firstNonZero = out.find_first_not_of('0');
+  return firstNonZero == std::string::npos ? "0" : out.substr(firstNonZero);
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::Bit(size_t i) const {
+  size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+uint64_t BigInt::ToUint64() const {
+  uint64_t v = 0;
+  if (limbs_.size() > 1) v = static_cast<uint64_t>(limbs_[1]) << 32;
+  if (!limbs_.empty()) v |= limbs_[0];
+  return v;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i > 0; --i) {
+    if (limbs_[i - 1] != other.limbs_[i - 1]) {
+      return limbs_[i - 1] < other.limbs_[i - 1] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  BigInt r;
+  size_t n = std::max(limbs_.size(), o.limbs_.size());
+  r.limbs_.resize(n, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t s = carry;
+    if (i < limbs_.size()) s += limbs_[i];
+    if (i < o.limbs_.size()) s += o.limbs_[i];
+    r.limbs_[i] = static_cast<uint32_t>(s);
+    carry = s >> 32;
+  }
+  if (carry) r.limbs_.push_back(static_cast<uint32_t>(carry));
+  return r;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const {
+  SJOIN_CHECK(*this >= o);
+  BigInt r;
+  r.limbs_.resize(limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    int64_t d = static_cast<int64_t>(limbs_[i]) - borrow;
+    if (i < o.limbs_.size()) d -= o.limbs_[i];
+    if (d < 0) {
+      d += (int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    r.limbs_[i] = static_cast<uint32_t>(d);
+  }
+  r.Trim();
+  return r;
+}
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  if (IsZero() || o.IsZero()) return BigInt();
+  BigInt r;
+  r.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < o.limbs_.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(limbs_[i]) * o.limbs_[j] +
+                     r.limbs_[i + j] + carry;
+      r.limbs_[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + o.limbs_.size();
+    while (carry) {
+      uint64_t cur = r.limbs_[k] + carry;
+      r.limbs_[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  r.Trim();
+  return r;
+}
+
+BigInt BigInt::operator<<(size_t bits) const {
+  if (IsZero()) return BigInt();
+  size_t limbShift = bits / 32;
+  size_t bitShift = bits % 32;
+  BigInt r;
+  r.limbs_.assign(limbs_.size() + limbShift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(limbs_[i]) << bitShift;
+    r.limbs_[i + limbShift] |= static_cast<uint32_t>(v);
+    r.limbs_[i + limbShift + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  r.Trim();
+  return r;
+}
+
+BigInt BigInt::operator>>(size_t bits) const {
+  size_t limbShift = bits / 32;
+  size_t bitShift = bits % 32;
+  if (limbShift >= limbs_.size()) return BigInt();
+  BigInt r;
+  r.limbs_.assign(limbs_.size() - limbShift, 0);
+  for (size_t i = 0; i < r.limbs_.size(); ++i) {
+    uint64_t v = limbs_[i + limbShift] >> bitShift;
+    if (bitShift != 0 && i + limbShift + 1 < limbs_.size()) {
+      v |= static_cast<uint64_t>(limbs_[i + limbShift + 1]) << (32 - bitShift);
+    }
+    r.limbs_[i] = static_cast<uint32_t>(v);
+  }
+  r.Trim();
+  return r;
+}
+
+std::pair<BigInt, BigInt> BigInt::DivMod(const BigInt& divisor) const {
+  SJOIN_CHECK(!divisor.IsZero());
+  if (*this < divisor) return {BigInt(), *this};
+  // Shift-subtract long division: O(bits * limbs), fine for cold paths.
+  size_t shift = BitLength() - divisor.BitLength();
+  BigInt rem = *this;
+  BigInt quot;
+  quot.limbs_.assign((shift / 32) + 1, 0);
+  BigInt d = divisor << shift;
+  for (size_t i = shift + 1; i > 0; --i) {
+    size_t bit = i - 1;
+    if (rem >= d) {
+      rem = rem - d;
+      quot.limbs_[bit / 32] |= (uint32_t{1} << (bit % 32));
+    }
+    d = d >> 1;
+  }
+  quot.Trim();
+  return {quot, rem};
+}
+
+BigInt BigInt::PowMod(const BigInt& e, const BigInt& m) const {
+  SJOIN_CHECK(!m.IsZero());
+  BigInt base = *this % m;
+  BigInt result(1);
+  result = result % m;
+  for (size_t i = e.BitLength(); i > 0; --i) {
+    result = (result * result) % m;
+    if (e.Bit(i - 1)) result = (result * base) % m;
+  }
+  return result;
+}
+
+}  // namespace sjoin

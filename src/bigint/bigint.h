@@ -1,0 +1,83 @@
+// Arbitrary-precision unsigned integers.
+//
+// Used only on cold paths: deriving pairing constants (Frobenius exponents,
+// NAF digits of the Miller-loop count), reference implementations of the
+// final exponentiation, and cross-checking the constexpr Montgomery
+// parameters. Hot field arithmetic lives in src/field/ on fixed 4-limb
+// representations.
+#ifndef SJOIN_BIGINT_BIGINT_H_
+#define SJOIN_BIGINT_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sjoin {
+
+/// Non-negative arbitrary-precision integer, little-endian base-2^32 limbs.
+/// Canonical form: no trailing zero limbs; zero is the empty limb vector.
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(uint64_t v);
+
+  /// Parses a base-10 string of digits. Aborts on malformed input (cold path,
+  /// inputs are compile-time constants); use TryFromDecimal for user data.
+  static BigInt FromDecimal(const std::string& s);
+  static Result<BigInt> TryFromDecimal(const std::string& s);
+  /// Parses a hex string (no 0x prefix, case-insensitive).
+  static BigInt FromHexString(const std::string& s);
+
+  /// Big-endian byte import/export. ToBytesBE pads to `width` bytes
+  /// (width == 0 means minimal).
+  static BigInt FromBytesBE(const uint8_t* data, size_t len);
+  std::vector<uint8_t> ToBytesBE(size_t width = 0) const;
+
+  std::string ToDecimal() const;
+  std::string ToHexString() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  /// Number of significant bits; 0 for zero.
+  size_t BitLength() const;
+  /// Value of bit i (i < BitLength() not required; out-of-range bits are 0).
+  bool Bit(size_t i) const;
+  /// Low 64 bits.
+  uint64_t ToUint64() const;
+
+  int Compare(const BigInt& other) const;
+  bool operator==(const BigInt& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return Compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return Compare(o) >= 0; }
+
+  BigInt operator+(const BigInt& o) const;
+  /// Requires *this >= o (naturals only).
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  BigInt operator<<(size_t bits) const;
+  BigInt operator>>(size_t bits) const;
+
+  /// Quotient and remainder; aborts if divisor is zero.
+  std::pair<BigInt, BigInt> DivMod(const BigInt& divisor) const;
+  BigInt operator/(const BigInt& o) const { return DivMod(o).first; }
+  BigInt operator%(const BigInt& o) const { return DivMod(o).second; }
+
+  /// (this ^ e) mod m with m > 0.
+  BigInt PowMod(const BigInt& e, const BigInt& m) const;
+
+  const std::vector<uint32_t>& limbs() const { return limbs_; }
+
+ private:
+  void Trim();
+  std::vector<uint32_t> limbs_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_BIGINT_BIGINT_H_

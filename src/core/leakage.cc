@@ -1,0 +1,71 @@
+#include "core/leakage.h"
+
+namespace sjoin {
+
+RowId UnionFind::FindRoot(const RowId& a) {
+  auto it = parent_.find(a);
+  if (it == parent_.end()) {
+    parent_[a] = a;
+    return a;
+  }
+  // Path compression (iterative).
+  RowId root = a;
+  while (!(parent_[root] == root)) root = parent_[root];
+  RowId cur = a;
+  while (!(parent_[cur] == root)) {
+    RowId next = parent_[cur];
+    parent_[cur] = root;
+    cur = next;
+  }
+  return root;
+}
+
+RowId UnionFind::Find(const RowId& a) { return FindRoot(a); }
+
+void UnionFind::Union(const RowId& a, const RowId& b) {
+  RowId ra = FindRoot(a);
+  RowId rb = FindRoot(b);
+  if (!(ra == rb)) parent_[rb] = ra;
+}
+
+bool UnionFind::Connected(const RowId& a, const RowId& b) {
+  return FindRoot(a) == FindRoot(b);
+}
+
+std::vector<std::vector<RowId>> UnionFind::Components() {
+  std::map<RowId, std::vector<RowId>> by_root;
+  // Materialize the key list first: FindRoot mutates parent_ via compression.
+  std::vector<RowId> keys;
+  keys.reserve(parent_.size());
+  for (const auto& [k, v] : parent_) keys.push_back(k);
+  for (const RowId& k : keys) by_root[FindRoot(k)].push_back(k);
+  std::vector<std::vector<RowId>> out;
+  for (auto& [root, members] : by_root) {
+    if (members.size() >= 2) out.push_back(std::move(members));
+  }
+  return out;
+}
+
+void LeakageTracker::ObserveEqualityGroup(std::span<const RowId> group) {
+  for (size_t i = 1; i < group.size(); ++i) {
+    uf_.Union(group[0], group[i]);
+  }
+}
+
+size_t LeakageTracker::RevealedPairCount() {
+  size_t pairs = 0;
+  for (const auto& component : uf_.Components()) {
+    pairs += component.size() * (component.size() - 1) / 2;
+  }
+  return pairs;
+}
+
+bool LeakageTracker::Linked(const RowId& a, const RowId& b) {
+  return uf_.Connected(a, b);
+}
+
+std::vector<std::vector<RowId>> LeakageTracker::EqualityClasses() {
+  return uf_.Components();
+}
+
+}  // namespace sjoin

@@ -1,0 +1,41 @@
+#include "core/poly.h"
+
+#include "util/status.h"
+
+namespace sjoin {
+
+std::vector<Fr> PolynomialFromRoots(std::span<const Fr> roots, size_t t,
+                                    const Fr& scalar) {
+  SJOIN_CHECK(roots.size() <= t);
+  // Build prod (x - root) by convolution, ascending-degree coefficients.
+  std::vector<Fr> coeffs(t + 1);
+  coeffs[0] = Fr::One();
+  size_t degree = 0;
+  for (const Fr& root : roots) {
+    // Multiply by (x - root): shift up by one and subtract root * current.
+    for (size_t i = degree + 1; i > 0; --i) {
+      coeffs[i] = coeffs[i - 1] - root * coeffs[i];
+    }
+    coeffs[0] = -root * coeffs[0];
+    ++degree;
+  }
+  for (Fr& c : coeffs) c *= scalar;
+  return coeffs;
+}
+
+std::vector<Fr> RandomizedPolynomialFromRoots(std::span<const Fr> roots,
+                                              size_t t, Rng* rng) {
+  return PolynomialFromRoots(roots, t, rng->NextFrNonZero());
+}
+
+std::vector<Fr> ZeroPolynomial(size_t t) { return std::vector<Fr>(t + 1); }
+
+Fr EvaluatePolynomial(std::span<const Fr> coeffs, const Fr& x) {
+  Fr acc;
+  for (size_t i = coeffs.size(); i > 0; --i) {
+    acc = acc * x + coeffs[i - 1];
+  }
+  return acc;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,37 @@
+// Polynomial encoding of IN-clause selection predicates (paper Section 4.1).
+//
+// A predicate "attribute IN {phi_1..phi_s}" (s <= t) becomes a degree-<=t
+// polynomial P with P(phi_z) = 0, stored as t+1 coefficients. The client
+// multiplies the monic root polynomial by a random nonzero scalar, realizing
+// the paper's observation that each predicate can be encoded by any of at
+// least q distinct polynomials. An absent predicate is the zero polynomial.
+#ifndef SJOIN_CORE_POLY_H_
+#define SJOIN_CORE_POLY_H_
+
+#include <span>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "field/bn254.h"
+
+namespace sjoin {
+
+/// Coefficients (ascending degree, exactly t+1 entries) of
+///   scalar * prod_z (x - roots[z]).
+/// Requires |roots| <= t. With |roots| < t the high coefficients are zero.
+std::vector<Fr> PolynomialFromRoots(std::span<const Fr> roots, size_t t,
+                                    const Fr& scalar);
+
+/// Same with a fresh random nonzero scalar.
+std::vector<Fr> RandomizedPolynomialFromRoots(std::span<const Fr> roots,
+                                              size_t t, Rng* rng);
+
+/// The zero polynomial (t+1 zero coefficients): an unrestricted attribute.
+std::vector<Fr> ZeroPolynomial(size_t t);
+
+/// Horner evaluation.
+Fr EvaluatePolynomial(std::span<const Fr> coeffs, const Fr& x);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_CORE_POLY_H_

@@ -1,0 +1,169 @@
+#include "core/scheme.h"
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+
+namespace sjoin {
+
+SecureJoin::MasterKey SecureJoin::Setup(const SecureJoinParams& params,
+                                        Rng* rng) {
+  SJOIN_CHECK(params.num_attrs >= 1);
+  SJOIN_CHECK(params.max_in_clause >= 1);
+  MasterKey msk;
+  msk.params = params;
+  msk.ipe = IpeMasterKey::Setup(params.Dimension(), rng);
+  return msk;
+}
+
+SjRowCiphertext SecureJoin::EncryptRow(const MasterKey& msk,
+                                       const Fr& join_value_hash,
+                                       std::span<const Fr> attrs, Rng* rng) {
+  const size_t m = msk.params.num_attrs;
+  const size_t t = msk.params.max_in_clause;
+  SJOIN_CHECK(attrs.size() == m);
+
+  Fr gamma1 = rng->NextFr();
+  Fr gamma2 = rng->NextFrNonZero();
+
+  std::vector<Fr> w;
+  w.reserve(msk.params.Dimension());
+  w.push_back(join_value_hash);
+  for (size_t i = 0; i < m; ++i) {
+    // gamma2 * attrs[i]^j for j = 0..t.
+    Fr power = Fr::One();
+    for (size_t j = 0; j <= t; ++j) {
+      w.push_back(gamma2 * power);
+      power *= attrs[i];
+    }
+  }
+  w.push_back(gamma1);
+  w.push_back(Fr::Zero());
+
+  SjRowCiphertext ct;
+  ct.c = ModifiedIpe::Encrypt(msk.ipe, w);
+  return ct;
+}
+
+SjToken SecureJoin::GenToken(const MasterKey& msk,
+                             const SjPredicates& predicates, const Fr& k,
+                             Rng* rng) {
+  const size_t m = msk.params.num_attrs;
+  const size_t t = msk.params.max_in_clause;
+  SJOIN_CHECK(predicates.size() == m);
+  SJOIN_CHECK(!k.IsZero());
+
+  Fr delta = rng->NextFr();
+
+  std::vector<Fr> v;
+  v.reserve(msk.params.Dimension());
+  v.push_back(k);
+  for (size_t i = 0; i < m; ++i) {
+    SJOIN_CHECK(predicates[i].size() <= t);
+    std::vector<Fr> coeffs =
+        predicates[i].empty()
+            ? ZeroPolynomial(t)
+            : RandomizedPolynomialFromRoots(predicates[i], t, rng);
+    v.insert(v.end(), coeffs.begin(), coeffs.end());
+  }
+  v.push_back(Fr::Zero());
+  v.push_back(delta);
+
+  SjToken token;
+  token.tk = ModifiedIpe::KeyGen(msk.ipe, v);
+  return token;
+}
+
+std::pair<SjToken, SjToken> SecureJoin::GenTokenPair(
+    const MasterKey& msk, const SjPredicates& preds_a,
+    const SjPredicates& preds_b, Rng* rng) {
+  Fr k = rng->NextFrNonZero();
+  return {GenToken(msk, preds_a, k, rng), GenToken(msk, preds_b, k, rng)};
+}
+
+GT SecureJoin::Decrypt(const SjToken& token, const SjRowCiphertext& ct) {
+  return ModifiedIpe::Decrypt(token.tk, ct.c);
+}
+
+Digest32 SecureJoin::DecryptToDigest(const SjToken& token,
+                                     const SjRowCiphertext& ct) {
+  auto bytes = Decrypt(token, ct).ToBytes();
+  return Sha256::Hash(bytes.data(), bytes.size());
+}
+
+std::vector<Digest32> SecureJoin::DecryptRows(
+    const SjToken& token, std::span<const SjRowCiphertext> rows,
+    int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads == 0) num_threads = 1;
+  }
+  std::vector<Digest32> out(rows.size());
+  if (num_threads == 1 || rows.size() < 2) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      out[i] = DecryptToDigest(token, rows[i]);
+    }
+    return out;
+  }
+  std::vector<std::thread> workers;
+  std::atomic<size_t> next{0};
+  for (int w = 0; w < num_threads; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        size_t i = next.fetch_add(1);
+        if (i >= rows.size()) return;
+        out[i] = DecryptToDigest(token, rows[i]);
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  return out;
+}
+
+namespace {
+
+struct DigestKey {
+  Digest32 d;
+  bool operator==(const DigestKey& o) const { return d == o.d; }
+};
+
+struct DigestKeyHash {
+  size_t operator()(const DigestKey& k) const {
+    size_t h;
+    std::memcpy(&h, k.d.data(), sizeof(h));
+    return h;
+  }
+};
+
+}  // namespace
+
+std::vector<JoinedRowPair> HashJoinDigests(std::span<const Digest32> da,
+                                           std::span<const Digest32> db) {
+  std::unordered_multimap<DigestKey, size_t, DigestKeyHash> build;
+  build.reserve(da.size());
+  for (size_t i = 0; i < da.size(); ++i) {
+    build.emplace(DigestKey{da[i]}, i);
+  }
+  std::vector<JoinedRowPair> out;
+  for (size_t j = 0; j < db.size(); ++j) {
+    auto [lo, hi] = build.equal_range(DigestKey{db[j]});
+    for (auto it = lo; it != hi; ++it) {
+      out.push_back(JoinedRowPair{it->second, j});
+    }
+  }
+  return out;
+}
+
+std::vector<JoinedRowPair> NestedLoopJoinDigests(std::span<const Digest32> da,
+                                                 std::span<const Digest32> db) {
+  std::vector<JoinedRowPair> out;
+  for (size_t i = 0; i < da.size(); ++i) {
+    for (size_t j = 0; j < db.size(); ++j) {
+      if (da[i] == db[j]) out.push_back(JoinedRowPair{i, j});
+    }
+  }
+  return out;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,61 @@
+#include "crypto/aead.h"
+
+#include <cstring>
+
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+
+namespace sjoin {
+namespace {
+
+Digest32 ComputeTag(const std::array<uint8_t, 32>& mac_key,
+                    const std::array<uint8_t, 12>& nonce, const Bytes& body) {
+  Bytes mac_input;
+  mac_input.reserve(nonce.size() + body.size());
+  mac_input.insert(mac_input.end(), nonce.begin(), nonce.end());
+  mac_input.insert(mac_input.end(), body.begin(), body.end());
+  return HmacSha256(mac_key.data(), mac_key.size(), mac_input.data(),
+                    mac_input.size());
+}
+
+}  // namespace
+
+AeadKey::AeadKey(const std::array<uint8_t, 32>& master) {
+  // Domain-separated subkeys.
+  Bytes km(master.begin(), master.end());
+  Digest32 enc = HmacSha256(km, std::string("sjoin-aead-enc"));
+  Digest32 mac = HmacSha256(km, std::string("sjoin-aead-mac"));
+  std::memcpy(enc_key_.data(), enc.data(), 32);
+  std::memcpy(mac_key_.data(), mac.data(), 32);
+}
+
+AeadKey AeadKey::Random(Rng* rng) {
+  std::array<uint8_t, 32> master;
+  rng->Fill(master.data(), master.size());
+  return AeadKey(master);
+}
+
+AeadCiphertext AeadKey::Encrypt(const Bytes& plaintext, Rng* rng) const {
+  AeadCiphertext ct;
+  rng->Fill(ct.nonce.data(), ct.nonce.size());
+  ct.body = plaintext;
+  ChaCha20Xor(enc_key_.data(), 1, ct.nonce.data(), ct.body.data(),
+              ct.body.size());
+  ct.tag = ComputeTag(mac_key_, ct.nonce, ct.body);
+  return ct;
+}
+
+Result<Bytes> AeadKey::Decrypt(const AeadCiphertext& ct) const {
+  Digest32 expect = ComputeTag(mac_key_, ct.nonce, ct.body);
+  // Constant-time compare.
+  uint8_t diff = 0;
+  for (size_t i = 0; i < expect.size(); ++i) diff |= expect[i] ^ ct.tag[i];
+  if (diff != 0) {
+    return Status::InvalidArgument("AEAD tag verification failed");
+  }
+  Bytes plain = ct.body;
+  ChaCha20Xor(enc_key_.data(), 1, ct.nonce.data(), plain.data(), plain.size());
+  return plain;
+}
+
+}  // namespace sjoin

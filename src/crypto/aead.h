@@ -1,0 +1,42 @@
+// Authenticated encryption (encrypt-then-MAC): ChaCha20 + HMAC-SHA256.
+//
+// Used by the encrypted DB layer to protect row payloads: the server stores
+// and returns payload ciphertexts it can neither read nor undetectably
+// modify; only the client holding the key decrypts joined result rows.
+#ifndef SJOIN_CRYPTO_AEAD_H_
+#define SJOIN_CRYPTO_AEAD_H_
+
+#include <array>
+
+#include "crypto/rng.h"
+#include "util/hex.h"
+#include "util/status.h"
+
+namespace sjoin {
+
+struct AeadCiphertext {
+  std::array<uint8_t, 12> nonce;
+  Bytes body;                     // ChaCha20 ciphertext
+  std::array<uint8_t, 32> tag;    // HMAC-SHA256 over nonce || body
+};
+
+class AeadKey {
+ public:
+  /// Derives independent encryption and MAC keys from 32 bytes of master
+  /// key material.
+  explicit AeadKey(const std::array<uint8_t, 32>& master);
+
+  static AeadKey Random(Rng* rng);
+
+  AeadCiphertext Encrypt(const Bytes& plaintext, Rng* rng) const;
+  /// Fails with InvalidArgument if the tag does not verify.
+  Result<Bytes> Decrypt(const AeadCiphertext& ct) const;
+
+ private:
+  std::array<uint8_t, 32> enc_key_;
+  std::array<uint8_t, 32> mac_key_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_CRYPTO_AEAD_H_

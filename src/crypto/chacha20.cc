@@ -1,0 +1,68 @@
+#include "crypto/chacha20.h"
+
+namespace sjoin {
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline uint32_t Load32LE(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline void Store32LE(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+void ChaChaQuarterRound(uint32_t* a, uint32_t* b, uint32_t* c, uint32_t* d) {
+  *a += *b; *d ^= *a; *d = Rotl(*d, 16);
+  *c += *d; *b ^= *c; *b = Rotl(*b, 12);
+  *a += *b; *d ^= *a; *d = Rotl(*d, 8);
+  *c += *d; *b ^= *c; *b = Rotl(*b, 7);
+}
+
+void ChaCha20Block(const uint8_t key[32], uint32_t counter,
+                   const uint8_t nonce[12], uint8_t out[64]) {
+  uint32_t state[16];
+  state[0] = 0x61707865;  // "expa"
+  state[1] = 0x3320646e;  // "nd 3"
+  state[2] = 0x79622d32;  // "2-by"
+  state[3] = 0x6b206574;  // "te k"
+  for (int i = 0; i < 8; ++i) state[4 + i] = Load32LE(key + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = Load32LE(nonce + 4 * i);
+
+  uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    ChaChaQuarterRound(&x[0], &x[4], &x[8], &x[12]);
+    ChaChaQuarterRound(&x[1], &x[5], &x[9], &x[13]);
+    ChaChaQuarterRound(&x[2], &x[6], &x[10], &x[14]);
+    ChaChaQuarterRound(&x[3], &x[7], &x[11], &x[15]);
+    ChaChaQuarterRound(&x[0], &x[5], &x[10], &x[15]);
+    ChaChaQuarterRound(&x[1], &x[6], &x[11], &x[12]);
+    ChaChaQuarterRound(&x[2], &x[7], &x[8], &x[13]);
+    ChaChaQuarterRound(&x[3], &x[4], &x[9], &x[14]);
+  }
+  for (int i = 0; i < 16; ++i) Store32LE(out + 4 * i, x[i] + state[i]);
+}
+
+void ChaCha20Xor(const uint8_t key[32], uint32_t counter,
+                 const uint8_t nonce[12], uint8_t* data, size_t len) {
+  uint8_t block[64];
+  size_t off = 0;
+  while (off < len) {
+    ChaCha20Block(key, counter++, nonce, block);
+    size_t take = std::min<size_t>(64, len - off);
+    for (size_t i = 0; i < take; ++i) data[off + i] ^= block[i];
+    off += take;
+  }
+}
+
+}  // namespace sjoin

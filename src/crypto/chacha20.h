@@ -1,0 +1,28 @@
+// ChaCha20 stream cipher (RFC 7539). Used as the CSPRNG core and for the
+// payload AEAD; validated against the RFC test vectors.
+#ifndef SJOIN_CRYPTO_CHACHA20_H_
+#define SJOIN_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "util/hex.h"
+
+namespace sjoin {
+
+/// One ChaCha20 quarter round (exposed for the RFC 7539 vector test).
+void ChaChaQuarterRound(uint32_t* a, uint32_t* b, uint32_t* c, uint32_t* d);
+
+/// Produces the 64-byte keystream block for (key, counter, nonce).
+void ChaCha20Block(const uint8_t key[32], uint32_t counter,
+                   const uint8_t nonce[12], uint8_t out[64]);
+
+/// XORs `len` bytes of keystream starting at block `counter` into data
+/// (encryption == decryption).
+void ChaCha20Xor(const uint8_t key[32], uint32_t counter,
+                 const uint8_t nonce[12], uint8_t* data, size_t len);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_CRYPTO_CHACHA20_H_

@@ -1,0 +1,27 @@
+#include "crypto/hash_to_field.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace sjoin {
+
+Fr HashToFr(const std::string& domain, const Bytes& message) {
+  uint8_t wide[64];
+  for (uint8_t block = 0; block < 2; ++block) {
+    Sha256 h;
+    h.Update(domain);
+    h.Update(&block, 1);
+    h.Update(message);
+    Digest32 d = h.Finish();
+    std::memcpy(wide + 32 * block, d.data(), 32);
+  }
+  return Fr::FromUniformBytes(wide);
+}
+
+Fr HashToFr(const std::string& domain, const std::string& message) {
+  return HashToFr(domain,
+                  Bytes(message.begin(), message.end()));
+}
+
+}  // namespace sjoin

@@ -1,0 +1,24 @@
+// The paper's hash H(.) : attribute values -> Z_q (Section 4.1):
+// "an efficient and injective embedding from the attribute values ... to Z_q
+// which generates elements in Z_q uniformly at random ... We use a
+// cryptographic hash function to provide such a mapping."
+//
+// We expand SHA-256 to 64 bytes with two domain-separated invocations and
+// reduce mod q, giving bias < 2^-250.
+#ifndef SJOIN_CRYPTO_HASH_TO_FIELD_H_
+#define SJOIN_CRYPTO_HASH_TO_FIELD_H_
+
+#include <string>
+
+#include "field/bn254.h"
+#include "util/hex.h"
+
+namespace sjoin {
+
+/// Hashes an arbitrary byte string into Fr under a domain-separation tag.
+Fr HashToFr(const std::string& domain, const Bytes& message);
+Fr HashToFr(const std::string& domain, const std::string& message);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_CRYPTO_HASH_TO_FIELD_H_

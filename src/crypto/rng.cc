@@ -1,0 +1,92 @@
+#include "crypto/rng.h"
+
+#include <cstring>
+#include <random>
+
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+
+namespace sjoin {
+
+Rng::Rng(const std::array<uint8_t, 32>& seed) {
+  std::memcpy(key_, seed.data(), 32);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint8_t le[8];
+  for (int i = 0; i < 8; ++i) le[i] = static_cast<uint8_t>(seed >> (8 * i));
+  Digest32 d = Sha256::Hash(le, sizeof(le));
+  std::memcpy(key_, d.data(), 32);
+}
+
+Rng Rng::FromSystemEntropy() {
+  std::random_device rd;
+  std::array<uint8_t, 32> seed;
+  for (size_t i = 0; i < seed.size(); i += 4) {
+    uint32_t v = rd();
+    std::memcpy(&seed[i], &v, 4);
+  }
+  return Rng(seed);
+}
+
+void Rng::Refill() {
+  ChaCha20Block(key_, counter_++, nonce_, buf_);
+  pos_ = 0;
+}
+
+void Rng::Fill(uint8_t* out, size_t len) {
+  while (len > 0) {
+    if (pos_ == 64) Refill();
+    size_t take = std::min<size_t>(64 - pos_, len);
+    std::memcpy(out, buf_ + pos_, take);
+    pos_ += take;
+    out += take;
+    len -= take;
+  }
+}
+
+Bytes Rng::NextBytes(size_t len) {
+  Bytes b(len);
+  Fill(b.data(), len);
+  return b;
+}
+
+uint64_t Rng::NextUint64() {
+  uint8_t b[8];
+  Fill(b, 8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+uint64_t Rng::NextUint64Below(uint64_t bound) {
+  // Rejection sampling over the largest multiple of bound below 2^64.
+  uint64_t zone = bound * ((~uint64_t{0}) / bound);
+  uint64_t v;
+  do {
+    v = NextUint64();
+  } while (v >= zone);
+  return v % bound;
+}
+
+Fr Rng::NextFr() {
+  uint8_t b[64];
+  Fill(b, 64);
+  return Fr::FromUniformBytes(b);
+}
+
+Fp Rng::NextFp() {
+  uint8_t b[64];
+  Fill(b, 64);
+  return Fp::FromUniformBytes(b);
+}
+
+Fr Rng::NextFrNonZero() {
+  Fr v;
+  do {
+    v = NextFr();
+  } while (v.IsZero());
+  return v;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,51 @@
+// Cryptographically strong pseudo-random generator built on ChaCha20.
+//
+// A deterministic seed makes every run of the tests, examples and benchmarks
+// reproducible; SystemRng() seeds from std::random_device for real use.
+#ifndef SJOIN_CRYPTO_RNG_H_
+#define SJOIN_CRYPTO_RNG_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "field/bn254.h"
+#include "util/hex.h"
+
+namespace sjoin {
+
+class Rng {
+ public:
+  /// Constructs from a 32-byte seed.
+  explicit Rng(const std::array<uint8_t, 32>& seed);
+  /// Convenience: expands a 64-bit seed through SHA-256.
+  explicit Rng(uint64_t seed);
+
+  /// Seeded from the OS entropy source.
+  static Rng FromSystemEntropy();
+
+  void Fill(uint8_t* out, size_t len);
+  Bytes NextBytes(size_t len);
+  uint64_t NextUint64();
+  /// Uniform in [0, bound) by rejection sampling; bound > 0.
+  uint64_t NextUint64Below(uint64_t bound);
+
+  /// Uniform field elements (negligible bias via 512-bit reduction).
+  Fr NextFr();
+  Fp NextFp();
+  /// Uniform in Fr \ {0} -- the paper's query-key domain Z_q \ {0}.
+  Fr NextFrNonZero();
+
+ private:
+  void Refill();
+
+  uint8_t key_[32];
+  uint8_t nonce_[12] = {0};
+  uint32_t counter_ = 0;
+  uint8_t buf_[64];
+  size_t pos_ = 64;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_CRYPTO_RNG_H_

@@ -1,0 +1,62 @@
+// SHA-256 (FIPS 180-4). Validated against the FIPS/NIST test vectors in
+// tests/crypto_test.cc.
+#ifndef SJOIN_CRYPTO_SHA256_H_
+#define SJOIN_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/hex.h"
+
+namespace sjoin {
+
+using Digest32 = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  void Update(const std::string& s) {
+    Update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+  /// Finishes and returns the digest. The object must be Reset() before reuse.
+  Digest32 Finish();
+
+  /// One-shot convenience.
+  static Digest32 Hash(const uint8_t* data, size_t len) {
+    Sha256 h;
+    h.Update(data, len);
+    return h.Finish();
+  }
+  static Digest32 Hash(const Bytes& data) {
+    return Hash(data.data(), data.size());
+  }
+  static Digest32 Hash(const std::string& s) {
+    return Hash(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  uint32_t h_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buf_[64];
+  size_t buf_len_ = 0;
+};
+
+/// HMAC-SHA256 (FIPS 198-1 / RFC 2104).
+Digest32 HmacSha256(const uint8_t* key, size_t key_len, const uint8_t* msg,
+                    size_t msg_len);
+Digest32 HmacSha256(const Bytes& key, const Bytes& msg);
+Digest32 HmacSha256(const Bytes& key, const std::string& msg);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_CRYPTO_SHA256_H_

@@ -1,0 +1,217 @@
+#include "db/client.h"
+
+#include <algorithm>
+
+namespace sjoin {
+namespace {
+
+std::array<uint8_t, 32> DeriveSubKey(Rng* rng) {
+  std::array<uint8_t, 32> k;
+  rng->Fill(k.data(), k.size());
+  return k;
+}
+
+}  // namespace
+
+EncryptedClient::EncryptedClient(const ClientOptions& options)
+    : options_(options),
+      rng_(options.rng_seed),
+      msk_(SecureJoin::Setup(
+          {.num_attrs = options.num_attrs,
+           .max_in_clause = options.max_in_clause},
+          &rng_)),
+      payload_key_(DeriveSubKey(&rng_)),
+      sse_key_(DeriveSubKey(&rng_)) {}
+
+EncryptedClient EncryptedClient::WithSystemEntropy(ClientOptions options) {
+  Rng sys = Rng::FromSystemEntropy();
+  options.rng_seed = sys.NextUint64();
+  return EncryptedClient(options);
+}
+
+Fr EncryptedClient::EmbedJoinValue(const Value& v) const {
+  // Shared across tables: equal join values must collide.
+  return HashToFr("sjoin/join-value", v.ToBytes());
+}
+
+Fr EncryptedClient::EmbedAttrValue(const std::string& column,
+                                   const Value& v) const {
+  return HashToFr("sjoin/attr:" + column, v.ToBytes());
+}
+
+Result<EncryptedTable> EncryptedClient::EncryptTable(
+    const Table& table, const std::string& join_column) {
+  auto join_idx_r = table.schema().ColumnIndex(join_column);
+  SJOIN_RETURN_IF_ERROR(join_idx_r.status());
+  size_t join_idx = *join_idx_r;
+
+  EncryptedTable out;
+  out.name = table.name();
+  out.schema = table.schema();
+  out.join_column = join_column;
+  for (size_t c = 0; c < table.schema().NumColumns(); ++c) {
+    if (c == join_idx) continue;
+    out.attr_columns.push_back(table.schema().column(c).name);
+  }
+  if (out.attr_columns.size() > options_.num_attrs) {
+    return Status::InvalidArgument(
+        "table has " + std::to_string(out.attr_columns.size()) +
+        " filterable columns but the client was configured with num_attrs=" +
+        std::to_string(options_.num_attrs));
+  }
+
+  out.rows.reserve(table.NumRows());
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    EncryptedRow row;
+    // SJ vector inputs: hashed join value + embedded attributes, padded to m.
+    Fr join_hash = EmbedJoinValue(table.At(r, join_idx));
+    std::vector<Fr> attrs(options_.num_attrs);
+    row.sse.salt = SseKey::RandomSalt(&rng_);
+    size_t a = 0;
+    for (size_t c = 0; c < table.schema().NumColumns(); ++c) {
+      if (c == join_idx) continue;
+      const std::string& col_name = table.schema().column(c).name;
+      attrs[a] = EmbedAttrValue(col_name, table.At(r, c));
+      row.sse.tags.push_back(sse_key_.TagFor(table.name(), col_name,
+                                             table.At(r, c), row.sse.salt));
+      ++a;
+    }
+    row.sj = SecureJoin::EncryptRow(msk_, join_hash, attrs, &rng_);
+    // Payload: the full row, AEAD-protected.
+    Bytes payload;
+    for (size_t c = 0; c < table.schema().NumColumns(); ++c) {
+      table.At(r, c).SerializeTo(&payload);
+    }
+    row.payload = payload_key_.Encrypt(payload, &rng_);
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<JoinQueryTokens> EncryptedClient::BuildQueryTokens(
+    const JoinQuerySpec& query, const EncryptedTable& enc_a,
+    const EncryptedTable& enc_b) {
+  if (query.table_a != enc_a.name || query.table_b != enc_b.name) {
+    return Status::InvalidArgument("query/table name mismatch");
+  }
+  if (query.join_column_a != enc_a.join_column ||
+      query.join_column_b != enc_b.join_column) {
+    return Status::InvalidArgument(
+        "query join columns do not match the columns the tables were "
+        "encrypted under");
+  }
+
+  auto build_side =
+      [&](const TableSelection& sel, const EncryptedTable& enc,
+          SjPredicates* preds,
+          std::vector<SseTokenGroup>* sse) -> Status {
+    preds->assign(options_.num_attrs, {});
+    for (const InPredicate& p : sel.predicates) {
+      if (p.values.empty()) {
+        return Status::InvalidArgument("empty IN list on '" + p.column + "'");
+      }
+      if (p.values.size() > options_.max_in_clause) {
+        return Status::InvalidArgument(
+            "IN list on '" + p.column + "' exceeds max_in_clause=" +
+            std::to_string(options_.max_in_clause));
+      }
+      auto it = std::find(enc.attr_columns.begin(), enc.attr_columns.end(),
+                          p.column);
+      if (it == enc.attr_columns.end()) {
+        return Status::NotFound("'" + p.column +
+                                "' is not a filterable column of " + enc.name);
+      }
+      size_t attr_idx =
+          static_cast<size_t>(it - enc.attr_columns.begin());
+      SjPredicates::value_type roots;
+      SseTokenGroup group;
+      group.column_index = attr_idx;
+      for (const Value& v : p.values) {
+        roots.push_back(EmbedAttrValue(p.column, v));
+        group.tokens.push_back(sse_key_.TokenFor(enc.name, p.column, v));
+      }
+      (*preds)[attr_idx] = std::move(roots);
+      sse->push_back(std::move(group));
+    }
+    return Status::OK();
+  };
+
+  JoinQueryTokens out;
+  out.table_a = enc_a.name;
+  out.table_b = enc_b.name;
+  out.use_sse_prefilter = options_.enable_sse_prefilter;
+  SjPredicates preds_a, preds_b;
+  SJOIN_RETURN_IF_ERROR(
+      build_side(query.selection_a, enc_a, &preds_a, &out.sse_a));
+  SJOIN_RETURN_IF_ERROR(
+      build_side(query.selection_b, enc_b, &preds_b, &out.sse_b));
+  auto [ta, tb] = SecureJoin::GenTokenPair(msk_, preds_a, preds_b, &rng_);
+  out.token_a = std::move(ta);
+  out.token_b = std::move(tb);
+  return out;
+}
+
+Result<Table> EncryptedClient::DecryptJoinResult(
+    const EncryptedJoinResult& result, const EncryptedTable& enc_a,
+    const EncryptedTable& enc_b) {
+  // Result schema per the paper: (Theta, A..., B...) where Theta carries the
+  // matched join value and the A/B parts are the non-join attributes.
+  auto join_idx_a = enc_a.schema.ColumnIndex(enc_a.join_column);
+  auto join_idx_b = enc_b.schema.ColumnIndex(enc_b.join_column);
+  SJOIN_RETURN_IF_ERROR(join_idx_a.status());
+  SJOIN_RETURN_IF_ERROR(join_idx_b.status());
+
+  std::vector<Column> cols;
+  cols.push_back(Column{
+      "theta", enc_a.schema.column(*join_idx_a).kind});
+  for (size_t c = 0; c < enc_a.schema.NumColumns(); ++c) {
+    if (c == *join_idx_a) continue;
+    cols.push_back(Column{enc_a.name + "." + enc_a.schema.column(c).name,
+                          enc_a.schema.column(c).kind});
+  }
+  for (size_t c = 0; c < enc_b.schema.NumColumns(); ++c) {
+    if (c == *join_idx_b) continue;
+    cols.push_back(Column{enc_b.name + "." + enc_b.schema.column(c).name,
+                          enc_b.schema.column(c).kind});
+  }
+  Table joined("join_result", Schema(cols));
+
+  auto parse_row = [](const Bytes& payload,
+                      size_t num_cols) -> Result<std::vector<Value>> {
+    std::vector<Value> row;
+    size_t pos = 0;
+    for (size_t c = 0; c < num_cols; ++c) {
+      auto v = Value::DeserializeFrom(payload, &pos);
+      SJOIN_RETURN_IF_ERROR(v.status());
+      row.push_back(std::move(*v));
+    }
+    if (pos != payload.size()) {
+      return Status::InvalidArgument("trailing bytes in row payload");
+    }
+    return row;
+  };
+
+  for (const auto& [ct_a, ct_b] : result.row_pairs) {
+    auto pa = payload_key_.Decrypt(ct_a);
+    SJOIN_RETURN_IF_ERROR(pa.status());
+    auto pb = payload_key_.Decrypt(ct_b);
+    SJOIN_RETURN_IF_ERROR(pb.status());
+    auto row_a = parse_row(*pa, enc_a.schema.NumColumns());
+    SJOIN_RETURN_IF_ERROR(row_a.status());
+    auto row_b = parse_row(*pb, enc_b.schema.NumColumns());
+    SJOIN_RETURN_IF_ERROR(row_b.status());
+
+    std::vector<Value> out_row;
+    out_row.push_back((*row_a)[*join_idx_a]);  // Theta
+    for (size_t c = 0; c < row_a->size(); ++c) {
+      if (c != *join_idx_a) out_row.push_back((*row_a)[c]);
+    }
+    for (size_t c = 0; c < row_b->size(); ++c) {
+      if (c != *join_idx_b) out_row.push_back((*row_b)[c]);
+    }
+    SJOIN_RETURN_IF_ERROR(joined.AppendRow(std::move(out_row)));
+  }
+  return joined;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,72 @@
+// The trusted client of the outsourced-database model (Section 2): owns all
+// keys, encrypts tables for upload, issues per-query token pairs, and
+// decrypts join results.
+#ifndef SJOIN_DB_CLIENT_H_
+#define SJOIN_DB_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "db/encrypted_table.h"
+#include "db/query.h"
+
+namespace sjoin {
+
+struct ClientOptions {
+  /// m: number of filterable-attribute slots in the SJ vectors. Both joined
+  /// tables share the master key, so this must cover the larger table;
+  /// narrower tables are zero-padded.
+  size_t num_attrs = 4;
+  /// t: maximum IN-clause size per attribute.
+  size_t max_in_clause = 4;
+  /// Ship SSE tags/tokens so the server pre-filters before SJ.Dec.
+  bool enable_sse_prefilter = true;
+  /// Deterministic seed (examples/benchmarks); use EncryptedClient::
+  /// WithSystemEntropy for production randomness.
+  uint64_t rng_seed = 0;
+};
+
+class EncryptedClient {
+ public:
+  explicit EncryptedClient(const ClientOptions& options);
+  static EncryptedClient WithSystemEntropy(ClientOptions options);
+
+  /// SJ.Setup + SJ.Enc of every row; builds SSE tags and AEAD payloads.
+  /// Every non-join column becomes a filterable attribute (at most
+  /// options.num_attrs of them).
+  Result<EncryptedTable> EncryptTable(const Table& table,
+                                      const std::string& join_column);
+
+  /// SJ.TokenGen for both tables with a fresh shared query key, plus SSE
+  /// tokens for the IN predicates.
+  Result<JoinQueryTokens> BuildQueryTokens(const JoinQuerySpec& query,
+                                           const EncryptedTable& enc_a,
+                                           const EncryptedTable& enc_b);
+
+  /// Opens an EncryptedJoinResult into the paper's result schema
+  /// (Theta, A.<attrs...>, B.<attrs...>).
+  Result<Table> DecryptJoinResult(const EncryptedJoinResult& result,
+                                  const EncryptedTable& enc_a,
+                                  const EncryptedTable& enc_b);
+
+  const SecureJoin::MasterKey& master_key() const { return msk_; }
+  const ClientOptions& options() const { return options_; }
+  Rng* rng() { return &rng_; }
+
+  /// Value embeddings into Z_q (exposed for tests; the join embedding is
+  /// shared across tables, the attribute embedding is domain-separated per
+  /// column name).
+  Fr EmbedJoinValue(const Value& v) const;
+  Fr EmbedAttrValue(const std::string& column, const Value& v) const;
+
+ private:
+  ClientOptions options_;
+  Rng rng_;
+  SecureJoin::MasterKey msk_;
+  AeadKey payload_key_;
+  SseKey sse_key_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_DB_CLIENT_H_

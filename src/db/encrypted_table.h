@@ -1,0 +1,68 @@
+// Wire/storage types shared between the encrypted client and server.
+#ifndef SJOIN_DB_ENCRYPTED_TABLE_H_
+#define SJOIN_DB_ENCRYPTED_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/scheme.h"
+#include "crypto/aead.h"
+#include "db/sse.h"
+#include "db/table.h"
+
+namespace sjoin {
+
+/// One outsourced row: SJ ciphertext (join + selection crypto), SSE tags
+/// for pre-filtering, and the AEAD-protected payload only the client can
+/// open.
+struct EncryptedRow {
+  SjRowCiphertext sj;
+  SseRowTags sse;  // tags aligned with EncryptedTable::attr_columns
+  AeadCiphertext payload;
+};
+
+/// An outsourced table. Schema metadata (column names/kinds) is treated as
+/// public; cell contents are not.
+struct EncryptedTable {
+  std::string name;
+  Schema schema;
+  std::string join_column;
+  std::vector<std::string> attr_columns;  // filterable columns, vector order
+  std::vector<EncryptedRow> rows;
+};
+
+/// Client -> server: everything the server needs to run one join query.
+struct JoinQueryTokens {
+  std::string table_a;
+  std::string table_b;
+  SjToken token_a;
+  SjToken token_b;
+  bool use_sse_prefilter = true;
+  std::vector<SseTokenGroup> sse_a;
+  std::vector<SseTokenGroup> sse_b;
+};
+
+/// Server-side execution accounting (reported with every result).
+struct JoinExecStats {
+  size_t rows_total_a = 0;
+  size_t rows_total_b = 0;
+  size_t rows_selected_a = 0;
+  size_t rows_selected_b = 0;
+  size_t result_pairs = 0;
+  double prefilter_seconds = 0;
+  double decrypt_seconds = 0;
+  double match_seconds = 0;
+};
+
+/// Server -> client: AEAD payload pairs of matched rows.
+struct EncryptedJoinResult {
+  std::vector<std::pair<AeadCiphertext, AeadCiphertext>> row_pairs;
+  /// Original row indices of each pair (information the server necessarily
+  /// has; exposed for the leakage experiments).
+  std::vector<JoinedRowPair> matched_row_indices;
+  JoinExecStats stats;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_DB_ENCRYPTED_TABLE_H_

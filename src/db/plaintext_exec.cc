@@ -1,0 +1,95 @@
+#include "db/plaintext_exec.h"
+
+#include <map>
+
+namespace sjoin {
+
+Result<bool> RowMatchesSelection(const Table& table, size_t r,
+                                 const TableSelection& sel) {
+  for (const InPredicate& pred : sel.predicates) {
+    if (pred.values.empty()) {
+      return Status::InvalidArgument("empty IN list on column '" +
+                                     pred.column + "'");
+    }
+    auto cell = table.ValueByName(r, pred.column);
+    SJOIN_RETURN_IF_ERROR(cell.status());
+    bool any = false;
+    for (const Value& v : pred.values) {
+      if (v == *cell) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+namespace {
+
+Status CheckQueryNames(const Table& a, const Table& b, const JoinQuerySpec& q) {
+  if (a.name() != q.table_a || b.name() != q.table_b) {
+    return Status::InvalidArgument("query table names do not match tables");
+  }
+  if (!a.schema().HasColumn(q.join_column_a)) {
+    return Status::NotFound("join column '" + q.join_column_a + "' not in " +
+                            a.name());
+  }
+  if (!b.schema().HasColumn(q.join_column_b)) {
+    return Status::NotFound("join column '" + q.join_column_b + "' not in " +
+                            b.name());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<JoinedRowPair>> PlaintextHashJoin(const Table& a,
+                                                     const Table& b,
+                                                     const JoinQuerySpec& q) {
+  SJOIN_RETURN_IF_ERROR(CheckQueryNames(a, b, q));
+  size_t col_a = *a.schema().ColumnIndex(q.join_column_a);
+  size_t col_b = *b.schema().ColumnIndex(q.join_column_b);
+
+  std::multimap<Value, size_t> build;
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    auto match = RowMatchesSelection(a, i, q.selection_a);
+    SJOIN_RETURN_IF_ERROR(match.status());
+    if (*match) build.emplace(a.At(i, col_a), i);
+  }
+  std::vector<JoinedRowPair> out;
+  for (size_t j = 0; j < b.NumRows(); ++j) {
+    auto match = RowMatchesSelection(b, j, q.selection_b);
+    SJOIN_RETURN_IF_ERROR(match.status());
+    if (!*match) continue;
+    auto [lo, hi] = build.equal_range(b.At(j, col_b));
+    for (auto it = lo; it != hi; ++it) {
+      out.push_back(JoinedRowPair{it->second, j});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<JoinedRowPair>> PlaintextNestedLoopJoin(
+    const Table& a, const Table& b, const JoinQuerySpec& q) {
+  SJOIN_RETURN_IF_ERROR(CheckQueryNames(a, b, q));
+  size_t col_a = *a.schema().ColumnIndex(q.join_column_a);
+  size_t col_b = *b.schema().ColumnIndex(q.join_column_b);
+  std::vector<JoinedRowPair> out;
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    auto ma = RowMatchesSelection(a, i, q.selection_a);
+    SJOIN_RETURN_IF_ERROR(ma.status());
+    if (!*ma) continue;
+    for (size_t j = 0; j < b.NumRows(); ++j) {
+      auto mb = RowMatchesSelection(b, j, q.selection_b);
+      SJOIN_RETURN_IF_ERROR(mb.status());
+      if (!*mb) continue;
+      if (a.At(i, col_a) == b.At(j, col_b)) {
+        out.push_back(JoinedRowPair{i, j});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,30 @@
+// Plaintext join executors: the ground truth the encrypted pipeline is
+// checked against, and the baseline for the O(n) vs O(n^2) ablation.
+#ifndef SJOIN_DB_PLAINTEXT_EXEC_H_
+#define SJOIN_DB_PLAINTEXT_EXEC_H_
+
+#include <vector>
+
+#include "core/scheme.h"  // JoinedRowPair
+#include "db/query.h"
+#include "db/table.h"
+#include "util/status.h"
+
+namespace sjoin {
+
+/// Does row `r` of `table` satisfy every IN predicate of `sel`?
+Result<bool> RowMatchesSelection(const Table& table, size_t r,
+                                 const TableSelection& sel);
+
+/// Hash equi-join with selection pushdown; pairs are (row_a, row_b) indices.
+Result<std::vector<JoinedRowPair>> PlaintextHashJoin(const Table& a,
+                                                     const Table& b,
+                                                     const JoinQuerySpec& q);
+
+/// Nested-loop variant (identical output, O(|A||B|)).
+Result<std::vector<JoinedRowPair>> PlaintextNestedLoopJoin(
+    const Table& a, const Table& b, const JoinQuerySpec& q);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_DB_PLAINTEXT_EXEC_H_

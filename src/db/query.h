@@ -1,0 +1,37 @@
+// Declarative join-query specification:
+//   SELECT * FROM A JOIN B ON A.ja = B.jb
+//   WHERE A.c1 IN (...) AND ... AND B.c2 IN (...)
+#ifndef SJOIN_DB_QUERY_H_
+#define SJOIN_DB_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+
+namespace sjoin {
+
+/// "column IN values"; an empty `values` list is invalid (omit the predicate
+/// instead to leave a column unrestricted).
+struct InPredicate {
+  std::string column;
+  std::vector<Value> values;
+};
+
+/// Conjunction of IN predicates on one table.
+struct TableSelection {
+  std::vector<InPredicate> predicates;
+};
+
+struct JoinQuerySpec {
+  std::string table_a;
+  std::string table_b;
+  std::string join_column_a;
+  std::string join_column_b;
+  TableSelection selection_a;
+  TableSelection selection_b;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_DB_QUERY_H_

@@ -1,0 +1,51 @@
+// The semi-honest DBMS server: stores encrypted tables, executes join
+// queries from tokens alone, and (for the evaluation) records exactly what
+// it learned in a LeakageTracker.
+#ifndef SJOIN_DB_SERVER_H_
+#define SJOIN_DB_SERVER_H_
+
+#include <map>
+#include <string>
+
+#include "core/leakage.h"
+#include "db/encrypted_table.h"
+
+namespace sjoin {
+
+struct ServerExecOptions {
+  /// Threads for the SJ.Dec pass (<= 0: hardware concurrency).
+  int num_threads = 1;
+  /// false switches SJ.Match to the O(n^2) nested-loop join (ablation A2).
+  bool use_hash_join = true;
+};
+
+class EncryptedServer {
+ public:
+  /// Registers a table; AlreadyExists if the name is taken.
+  Status StoreTable(EncryptedTable table);
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  Result<const EncryptedTable*> GetTable(const std::string& name) const;
+
+  /// Executes one join query: SSE pre-filter, SJ.Dec on the selected rows,
+  /// SJ.Match via hash join on GT digests, payload pairs out.
+  Result<EncryptedJoinResult> ExecuteJoin(
+      const JoinQueryTokens& query, const ServerExecOptions& opts = {});
+
+  /// Everything the server has learned so far (equality of rows, closed
+  /// transitively) -- the quantity the paper's security analysis bounds.
+  LeakageTracker& leakage() { return leakage_; }
+
+ private:
+  int TableIdFor(const std::string& name);
+
+  std::map<std::string, EncryptedTable> tables_;
+  std::map<std::string, int> table_ids_;
+  LeakageTracker leakage_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_DB_SERVER_H_

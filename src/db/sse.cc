@@ -1,0 +1,70 @@
+#include "db/sse.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace sjoin {
+
+SseToken SseKey::TokenFor(const std::string& table, const std::string& column,
+                          const Value& value) const {
+  Bytes master_bytes(master_.begin(), master_.end());
+  Bytes scope;
+  std::string prefix = "sse:" + table + ":" + column + ":";
+  scope.insert(scope.end(), prefix.begin(), prefix.end());
+  Bytes vb = value.ToBytes();
+  scope.insert(scope.end(), vb.begin(), vb.end());
+  Digest32 d = HmacSha256(master_bytes, scope);
+  SseToken token;
+  std::memcpy(token.data(), d.data(), token.size());
+  return token;
+}
+
+SseTag SseKey::TagFor(const std::string& table, const std::string& column,
+                      const Value& value, const SseSalt& salt) const {
+  SseToken token = TokenFor(table, column, value);
+  Digest32 full = HmacSha256(token.data(), token.size(), salt.data(),
+                             salt.size());
+  SseTag tag;
+  std::memcpy(tag.data(), full.data(), tag.size());
+  return tag;
+}
+
+SseSalt SseKey::RandomSalt(Rng* rng) {
+  SseSalt salt;
+  rng->Fill(salt.data(), salt.size());
+  return salt;
+}
+
+bool SseTokenMatches(const SseToken& token, const SseSalt& salt,
+                     const SseTag& tag) {
+  Digest32 full =
+      HmacSha256(token.data(), token.size(), salt.data(), salt.size());
+  return std::memcmp(full.data(), tag.data(), tag.size()) == 0;
+}
+
+std::vector<size_t> SseSelectRows(const std::vector<SseRowTags>& rows,
+                                  const std::vector<SseTokenGroup>& groups) {
+  std::vector<size_t> selected;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    bool all = true;
+    for (const SseTokenGroup& group : groups) {
+      bool any = false;
+      const SseTag& tag = rows[r].tags[group.column_index];
+      for (const SseToken& tok : group.tokens) {
+        if (SseTokenMatches(tok, rows[r].salt, tag)) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) selected.push_back(r);
+  }
+  return selected;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,70 @@
+// Searchable-encryption pre-filter (the "orthogonal" selection layer the
+// paper mentions in SJ.Dec).
+//
+// Construction (row-wise SSE in the style of Curtmola et al.):
+//   K_{col,v} = HMAC(master, table || column || v)        (the search token)
+//   tag_r     = HMAC(K_{col,v_r}, salt_r)[0..16)          (stored per row)
+// with a fresh public per-row salt. Before any token is released the tags
+// are unlinkable across rows (no t0 leakage); a token reveals exactly the
+// access pattern of the rows matching that value -- rows whose equality the
+// join result reveals anyway when the selection matches.
+#ifndef SJOIN_DB_SSE_H_
+#define SJOIN_DB_SSE_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "db/value.h"
+#include "util/status.h"
+
+namespace sjoin {
+
+using SseTag = std::array<uint8_t, 16>;
+using SseSalt = std::array<uint8_t, 16>;
+using SseToken = std::array<uint8_t, 32>;
+
+/// Per-row SSE data stored at the server: one public salt and one tag per
+/// filterable column.
+struct SseRowTags {
+  SseSalt salt;
+  std::vector<SseTag> tags;
+};
+
+/// Client-side key material for tagging and token generation.
+class SseKey {
+ public:
+  explicit SseKey(const std::array<uint8_t, 32>& master) : master_(master) {}
+
+  /// Search token for (table, column, value).
+  SseToken TokenFor(const std::string& table, const std::string& column,
+                    const Value& value) const;
+  /// Salted tag stored for a row whose `column` holds `value`.
+  SseTag TagFor(const std::string& table, const std::string& column,
+                const Value& value, const SseSalt& salt) const;
+
+  static SseSalt RandomSalt(Rng* rng);
+
+ private:
+  std::array<uint8_t, 32> master_;
+};
+
+/// Does `token` match the tag of a row with this salt?
+bool SseTokenMatches(const SseToken& token, const SseSalt& salt,
+                     const SseTag& tag);
+
+/// One IN predicate at the server: any of `tokens` must match the row's tag
+/// in filterable column `column_index`.
+struct SseTokenGroup {
+  size_t column_index;
+  std::vector<SseToken> tokens;
+};
+
+/// Rows satisfying every token group (conjunction of INs).
+std::vector<size_t> SseSelectRows(const std::vector<SseRowTags>& rows,
+                                  const std::vector<SseTokenGroup>& groups);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_DB_SSE_H_

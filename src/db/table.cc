@@ -1,0 +1,35 @@
+#include "db/table.h"
+
+namespace sjoin {
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+Status Table::AppendRow(std::vector<Value> row) {
+  if (row.size() != schema_.NumColumns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.NumColumns()));
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (row[c].kind() != schema_.column(c).kind) {
+      return Status::InvalidArgument("kind mismatch in column '" +
+                                     schema_.column(c).name + "'");
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<Value> Table::ValueByName(size_t r, const std::string& column) const {
+  if (r >= rows_.size()) return Status::OutOfRange("row index out of range");
+  auto idx = schema_.ColumnIndex(column);
+  SJOIN_RETURN_IF_ERROR(idx.status());
+  return rows_[r][*idx];
+}
+
+}  // namespace sjoin

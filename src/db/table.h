@@ -1,0 +1,63 @@
+// Schema and in-memory table of the relational substrate.
+#ifndef SJOIN_DB_TABLE_H_
+#define SJOIN_DB_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+#include "util/status.h"
+
+namespace sjoin {
+
+struct Column {
+  std::string name;
+  ValueKind kind = ValueKind::kInt64;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of a column by name.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+  bool HasColumn(const std::string& name) const {
+    return ColumnIndex(name).ok();
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Row-oriented in-memory table.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Appends a row after checking arity and column kinds.
+  Status AppendRow(std::vector<Value> row);
+
+  const std::vector<Value>& row(size_t r) const { return rows_[r]; }
+  const Value& At(size_t r, size_t c) const { return rows_[r][c]; }
+  Result<Value> ValueByName(size_t r, const std::string& column) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_DB_TABLE_H_

@@ -1,0 +1,59 @@
+#include "db/value.h"
+
+namespace sjoin {
+
+Bytes Value::ToBytes() const {
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(kind()));
+  if (is_int()) {
+    uint64_t v = static_cast<uint64_t>(AsInt());
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<uint8_t>(v >> (56 - 8 * i)));
+    }
+  } else {
+    const std::string& s = AsString();
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  return out;
+}
+
+std::string Value::ToDisplayString() const {
+  return is_int() ? std::to_string(AsInt()) : AsString();
+}
+
+void Value::SerializeTo(Bytes* out) const {
+  Bytes body = ToBytes();
+  uint32_t len = static_cast<uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(len >> (24 - 8 * i)));
+  }
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+Result<Value> Value::DeserializeFrom(const Bytes& in, size_t* pos) {
+  if (*pos + 4 > in.size()) {
+    return Status::OutOfRange("truncated value length");
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len = (len << 8) | in[*pos + i];
+  *pos += 4;
+  if (*pos + len > in.size() || len == 0) {
+    return Status::OutOfRange("truncated value body");
+  }
+  uint8_t kind = in[*pos];
+  if (kind == static_cast<uint8_t>(ValueKind::kInt64)) {
+    if (len != 9) return Status::InvalidArgument("bad int64 encoding");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | in[*pos + 1 + i];
+    *pos += len;
+    return Value(static_cast<int64_t>(v));
+  }
+  if (kind == static_cast<uint8_t>(ValueKind::kString)) {
+    std::string s(in.begin() + *pos + 1, in.begin() + *pos + len);
+    *pos += len;
+    return Value(std::move(s));
+  }
+  return Status::InvalidArgument("unknown value kind");
+}
+
+}  // namespace sjoin

@@ -1,0 +1,54 @@
+// Typed cell values of the relational substrate.
+#ifndef SJOIN_DB_VALUE_H_
+#define SJOIN_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/hex.h"
+#include "util/status.h"
+
+namespace sjoin {
+
+enum class ValueKind : uint8_t { kInt64 = 0, kString = 1 };
+
+/// A database cell: int64 or string. Ordered and hashable; serializable to a
+/// canonical byte form used both by the crypto embeddings and the AEAD row
+/// payloads.
+class Value {
+ public:
+  Value() : rep_(int64_t{0}) {}
+  Value(int64_t v) : rep_(v) {}                       // NOLINT
+  Value(std::string v) : rep_(std::move(v)) {}        // NOLINT
+  Value(const char* v) : rep_(std::string(v)) {}      // NOLINT
+
+  ValueKind kind() const {
+    return std::holds_alternative<int64_t>(rep_) ? ValueKind::kInt64
+                                                 : ValueKind::kString;
+  }
+  bool is_int() const { return kind() == ValueKind::kInt64; }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  bool operator==(const Value& o) const { return rep_ == o.rep_; }
+  bool operator!=(const Value& o) const { return rep_ != o.rep_; }
+  bool operator<(const Value& o) const { return rep_ < o.rep_; }
+
+  /// Canonical, injective byte encoding (kind byte + payload).
+  Bytes ToBytes() const;
+  /// Human-readable form for examples and error messages.
+  std::string ToDisplayString() const;
+
+  /// Appends a length-prefixed encoding to `out` (row serialization).
+  void SerializeTo(Bytes* out) const;
+  /// Parses a length-prefixed encoding from out[*pos...]; advances *pos.
+  static Result<Value> DeserializeFrom(const Bytes& in, size_t* pos);
+
+ private:
+  std::variant<int64_t, std::string> rep_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_DB_VALUE_H_

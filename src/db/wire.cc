@@ -1,0 +1,410 @@
+#include "db/wire.h"
+
+#include <cstring>
+
+namespace sjoin {
+namespace {
+
+// Format version; bump on layout changes.
+constexpr uint8_t kWireVersion = 1;
+
+// Message type tags catch cross-wiring of messages.
+constexpr uint8_t kTagTable = 0x54;   // 'T'
+constexpr uint8_t kTagQuery = 0x51;   // 'Q'
+constexpr uint8_t kTagResult = 0x52;  // 'R'
+
+Status ExpectHeader(WireReader* r, uint8_t tag) {
+  auto version = r->U8();
+  SJOIN_RETURN_IF_ERROR(version.status());
+  if (*version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version " +
+                                   std::to_string(*version));
+  }
+  auto got = r->U8();
+  SJOIN_RETURN_IF_ERROR(got.status());
+  if (*got != tag) {
+    return Status::InvalidArgument("wrong message type tag");
+  }
+  return Status::OK();
+}
+
+void WriteHeader(WireWriter* w, uint8_t tag) {
+  w->U8(kWireVersion);
+  w->U8(tag);
+}
+
+Result<Fp> ReadFp(WireReader* r) {
+  uint8_t buf[32];
+  SJOIN_RETURN_IF_ERROR(r->Raw(buf, sizeof(buf)));
+  return Fp::FromBytesBE(buf);
+}
+
+void WriteFp(WireWriter* w, const Fp& x) {
+  uint8_t buf[32];
+  x.ToBytesBE(buf);
+  w->Raw(buf, sizeof(buf));
+}
+
+void WriteAead(WireWriter* w, const AeadCiphertext& ct) {
+  w->Raw(ct.nonce.data(), ct.nonce.size());
+  w->Blob(ct.body);
+  w->Raw(ct.tag.data(), ct.tag.size());
+}
+
+Result<AeadCiphertext> ReadAead(WireReader* r) {
+  AeadCiphertext ct;
+  SJOIN_RETURN_IF_ERROR(r->Raw(ct.nonce.data(), ct.nonce.size()));
+  auto body = r->Blob();
+  SJOIN_RETURN_IF_ERROR(body.status());
+  ct.body = std::move(*body);
+  SJOIN_RETURN_IF_ERROR(r->Raw(ct.tag.data(), ct.tag.size()));
+  return ct;
+}
+
+void WriteSseGroups(WireWriter* w, const std::vector<SseTokenGroup>& groups) {
+  w->U32(static_cast<uint32_t>(groups.size()));
+  for (const SseTokenGroup& g : groups) {
+    w->U32(static_cast<uint32_t>(g.column_index));
+    w->U32(static_cast<uint32_t>(g.tokens.size()));
+    for (const SseToken& t : g.tokens) w->Raw(t.data(), t.size());
+  }
+}
+
+Result<std::vector<SseTokenGroup>> ReadSseGroups(WireReader* r) {
+  auto count = r->U32();
+  SJOIN_RETURN_IF_ERROR(count.status());
+  std::vector<SseTokenGroup> groups;
+  for (uint32_t i = 0; i < *count; ++i) {
+    SseTokenGroup g;
+    auto col = r->U32();
+    SJOIN_RETURN_IF_ERROR(col.status());
+    g.column_index = *col;
+    auto ntok = r->U32();
+    SJOIN_RETURN_IF_ERROR(ntok.status());
+    for (uint32_t j = 0; j < *ntok; ++j) {
+      SseToken t;
+      SJOIN_RETURN_IF_ERROR(r->Raw(t.data(), t.size()));
+      g.tokens.push_back(t);
+    }
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+}  // namespace
+
+void WireWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::Raw(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+void WireWriter::Blob(const Bytes& b) {
+  U32(static_cast<uint32_t>(b.size()));
+  Raw(b.data(), b.size());
+}
+
+void WireWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  Raw(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+Result<uint8_t> WireReader::U8() {
+  if (pos_ + 1 > buf_.size()) return Status::OutOfRange("wire: truncated u8");
+  return buf_[pos_++];
+}
+
+Result<uint32_t> WireReader::U32() {
+  if (pos_ + 4 > buf_.size()) return Status::OutOfRange("wire: truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(buf_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WireReader::U64() {
+  if (pos_ + 8 > buf_.size()) return Status::OutOfRange("wire: truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Status WireReader::Raw(uint8_t* out, size_t len) {
+  if (pos_ + len > buf_.size()) {
+    return Status::OutOfRange("wire: truncated raw read");
+  }
+  std::memcpy(out, buf_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Result<Bytes> WireReader::Blob() {
+  auto len = U32();
+  SJOIN_RETURN_IF_ERROR(len.status());
+  if (pos_ + *len > buf_.size()) {
+    return Status::OutOfRange("wire: truncated blob");
+  }
+  Bytes out(buf_.begin() + pos_, buf_.begin() + pos_ + *len);
+  pos_ += *len;
+  return out;
+}
+
+Result<std::string> WireReader::Str() {
+  auto b = Blob();
+  SJOIN_RETURN_IF_ERROR(b.status());
+  return std::string(b->begin(), b->end());
+}
+
+void WriteG1Point(WireWriter* w, const G1Affine& p) {
+  if (p.infinity) {
+    w->U8(0x00);
+    return;
+  }
+  w->U8(0x04);
+  WriteFp(w, p.x);
+  WriteFp(w, p.y);
+}
+
+Result<G1Affine> ReadG1Point(WireReader* r) {
+  auto tag = r->U8();
+  SJOIN_RETURN_IF_ERROR(tag.status());
+  if (*tag == 0x00) return G1Affine::Infinity();
+  if (*tag != 0x04) return Status::InvalidArgument("bad G1 point tag");
+  auto x = ReadFp(r);
+  SJOIN_RETURN_IF_ERROR(x.status());
+  auto y = ReadFp(r);
+  SJOIN_RETURN_IF_ERROR(y.status());
+  G1Affine p = G1Affine::From(*x, *y);
+  if (!G1::FromAffine(p).IsOnCurve()) {
+    return Status::InvalidArgument("G1 point not on curve");
+  }
+  return p;
+}
+
+void WriteG2Point(WireWriter* w, const G2Affine& p) {
+  if (p.infinity) {
+    w->U8(0x00);
+    return;
+  }
+  w->U8(0x04);
+  WriteFp(w, p.x.a());
+  WriteFp(w, p.x.b());
+  WriteFp(w, p.y.a());
+  WriteFp(w, p.y.b());
+}
+
+Result<G2Affine> ReadG2Point(WireReader* r) {
+  auto tag = r->U8();
+  SJOIN_RETURN_IF_ERROR(tag.status());
+  if (*tag == 0x00) return G2Affine::Infinity();
+  if (*tag != 0x04) return Status::InvalidArgument("bad G2 point tag");
+  Fp c[4];
+  for (auto& x : c) {
+    auto v = ReadFp(r);
+    SJOIN_RETURN_IF_ERROR(v.status());
+    x = *v;
+  }
+  G2Affine p = G2Affine::From(Fp2(c[0], c[1]), Fp2(c[2], c[3]));
+  if (!G2::FromAffine(p).IsOnCurve()) {
+    return Status::InvalidArgument("G2 point not on curve");
+  }
+  return p;
+}
+
+Bytes SerializeEncryptedTable(const EncryptedTable& table) {
+  WireWriter w;
+  WriteHeader(&w, kTagTable);
+  w.Str(table.name);
+  w.Str(table.join_column);
+  w.U32(static_cast<uint32_t>(table.schema.NumColumns()));
+  for (const Column& c : table.schema.columns()) {
+    w.Str(c.name);
+    w.U8(static_cast<uint8_t>(c.kind));
+  }
+  w.U32(static_cast<uint32_t>(table.attr_columns.size()));
+  for (const std::string& c : table.attr_columns) w.Str(c);
+  w.U32(static_cast<uint32_t>(table.rows.size()));
+  for (const EncryptedRow& row : table.rows) {
+    w.U32(static_cast<uint32_t>(row.sj.c.size()));
+    for (const G2Affine& p : row.sj.c) WriteG2Point(&w, p);
+    w.Raw(row.sse.salt.data(), row.sse.salt.size());
+    w.U32(static_cast<uint32_t>(row.sse.tags.size()));
+    for (const SseTag& t : row.sse.tags) w.Raw(t.data(), t.size());
+    WriteAead(&w, row.payload);
+  }
+  return w.Take();
+}
+
+Result<EncryptedTable> DeserializeEncryptedTable(const Bytes& wire) {
+  WireReader r(wire);
+  SJOIN_RETURN_IF_ERROR(ExpectHeader(&r, kTagTable));
+  EncryptedTable t;
+  auto name = r.Str();
+  SJOIN_RETURN_IF_ERROR(name.status());
+  t.name = *name;
+  auto join_col = r.Str();
+  SJOIN_RETURN_IF_ERROR(join_col.status());
+  t.join_column = *join_col;
+  auto ncols = r.U32();
+  SJOIN_RETURN_IF_ERROR(ncols.status());
+  std::vector<Column> cols;
+  for (uint32_t i = 0; i < *ncols; ++i) {
+    auto cname = r.Str();
+    SJOIN_RETURN_IF_ERROR(cname.status());
+    auto kind = r.U8();
+    SJOIN_RETURN_IF_ERROR(kind.status());
+    if (*kind > static_cast<uint8_t>(ValueKind::kString)) {
+      return Status::InvalidArgument("bad column kind");
+    }
+    cols.push_back(Column{*cname, static_cast<ValueKind>(*kind)});
+  }
+  t.schema = Schema(std::move(cols));
+  auto nattrs = r.U32();
+  SJOIN_RETURN_IF_ERROR(nattrs.status());
+  for (uint32_t i = 0; i < *nattrs; ++i) {
+    auto aname = r.Str();
+    SJOIN_RETURN_IF_ERROR(aname.status());
+    t.attr_columns.push_back(*aname);
+  }
+  auto nrows = r.U32();
+  SJOIN_RETURN_IF_ERROR(nrows.status());
+  for (uint32_t i = 0; i < *nrows; ++i) {
+    EncryptedRow row;
+    auto dim = r.U32();
+    SJOIN_RETURN_IF_ERROR(dim.status());
+    for (uint32_t j = 0; j < *dim; ++j) {
+      auto p = ReadG2Point(&r);
+      SJOIN_RETURN_IF_ERROR(p.status());
+      row.sj.c.push_back(*p);
+    }
+    SJOIN_RETURN_IF_ERROR(r.Raw(row.sse.salt.data(), row.sse.salt.size()));
+    auto ntags = r.U32();
+    SJOIN_RETURN_IF_ERROR(ntags.status());
+    for (uint32_t j = 0; j < *ntags; ++j) {
+      SseTag tag;
+      SJOIN_RETURN_IF_ERROR(r.Raw(tag.data(), tag.size()));
+      row.sse.tags.push_back(tag);
+    }
+    auto payload = ReadAead(&r);
+    SJOIN_RETURN_IF_ERROR(payload.status());
+    row.payload = std::move(*payload);
+    t.rows.push_back(std::move(row));
+  }
+  if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes after table");
+  return t;
+}
+
+Bytes SerializeJoinQueryTokens(const JoinQueryTokens& tokens) {
+  WireWriter w;
+  WriteHeader(&w, kTagQuery);
+  w.Str(tokens.table_a);
+  w.Str(tokens.table_b);
+  w.U8(tokens.use_sse_prefilter ? 1 : 0);
+  for (const SjToken* tk : {&tokens.token_a, &tokens.token_b}) {
+    w.U32(static_cast<uint32_t>(tk->tk.size()));
+    for (const G1Affine& p : tk->tk) WriteG1Point(&w, p);
+  }
+  WriteSseGroups(&w, tokens.sse_a);
+  WriteSseGroups(&w, tokens.sse_b);
+  return w.Take();
+}
+
+Result<JoinQueryTokens> DeserializeJoinQueryTokens(const Bytes& wire) {
+  WireReader r(wire);
+  SJOIN_RETURN_IF_ERROR(ExpectHeader(&r, kTagQuery));
+  JoinQueryTokens out;
+  auto ta = r.Str();
+  SJOIN_RETURN_IF_ERROR(ta.status());
+  out.table_a = *ta;
+  auto tb = r.Str();
+  SJOIN_RETURN_IF_ERROR(tb.status());
+  out.table_b = *tb;
+  auto sse = r.U8();
+  SJOIN_RETURN_IF_ERROR(sse.status());
+  out.use_sse_prefilter = (*sse != 0);
+  for (SjToken* tk : {&out.token_a, &out.token_b}) {
+    auto dim = r.U32();
+    SJOIN_RETURN_IF_ERROR(dim.status());
+    for (uint32_t j = 0; j < *dim; ++j) {
+      auto p = ReadG1Point(&r);
+      SJOIN_RETURN_IF_ERROR(p.status());
+      tk->tk.push_back(*p);
+    }
+  }
+  auto ga = ReadSseGroups(&r);
+  SJOIN_RETURN_IF_ERROR(ga.status());
+  out.sse_a = std::move(*ga);
+  auto gb = ReadSseGroups(&r);
+  SJOIN_RETURN_IF_ERROR(gb.status());
+  out.sse_b = std::move(*gb);
+  if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes after query");
+  return out;
+}
+
+Bytes SerializeJoinResult(const EncryptedJoinResult& result) {
+  WireWriter w;
+  WriteHeader(&w, kTagResult);
+  w.U32(static_cast<uint32_t>(result.row_pairs.size()));
+  for (const auto& [a, b] : result.row_pairs) {
+    WriteAead(&w, a);
+    WriteAead(&w, b);
+  }
+  w.U32(static_cast<uint32_t>(result.matched_row_indices.size()));
+  for (const JoinedRowPair& p : result.matched_row_indices) {
+    w.U64(p.row_a);
+    w.U64(p.row_b);
+  }
+  w.U64(result.stats.rows_total_a);
+  w.U64(result.stats.rows_total_b);
+  w.U64(result.stats.rows_selected_a);
+  w.U64(result.stats.rows_selected_b);
+  w.U64(result.stats.result_pairs);
+  return w.Take();
+}
+
+Result<EncryptedJoinResult> DeserializeJoinResult(const Bytes& wire) {
+  WireReader r(wire);
+  SJOIN_RETURN_IF_ERROR(ExpectHeader(&r, kTagResult));
+  EncryptedJoinResult out;
+  auto npairs = r.U32();
+  SJOIN_RETURN_IF_ERROR(npairs.status());
+  for (uint32_t i = 0; i < *npairs; ++i) {
+    auto a = ReadAead(&r);
+    SJOIN_RETURN_IF_ERROR(a.status());
+    auto b = ReadAead(&r);
+    SJOIN_RETURN_IF_ERROR(b.status());
+    out.row_pairs.emplace_back(std::move(*a), std::move(*b));
+  }
+  auto nidx = r.U32();
+  SJOIN_RETURN_IF_ERROR(nidx.status());
+  for (uint32_t i = 0; i < *nidx; ++i) {
+    auto a = r.U64();
+    SJOIN_RETURN_IF_ERROR(a.status());
+    auto b = r.U64();
+    SJOIN_RETURN_IF_ERROR(b.status());
+    out.matched_row_indices.push_back(
+        JoinedRowPair{static_cast<size_t>(*a), static_cast<size_t>(*b)});
+  }
+  auto read_u64 = [&](size_t* dst) -> Status {
+    auto v = r.U64();
+    SJOIN_RETURN_IF_ERROR(v.status());
+    *dst = static_cast<size_t>(*v);
+    return Status::OK();
+  };
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.rows_total_a));
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.rows_total_b));
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.rows_selected_a));
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.rows_selected_b));
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.result_pairs));
+  if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes after result");
+  return out;
+}
+
+}  // namespace sjoin

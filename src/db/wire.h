@@ -1,0 +1,77 @@
+// Versioned wire format for everything that crosses the client/server
+// boundary: encrypted tables (upload), query tokens (per query), and join
+// results (response). Length-prefixed little-endian framing; elliptic-curve
+// points are serialized uncompressed and validated on-curve when read.
+#ifndef SJOIN_DB_WIRE_H_
+#define SJOIN_DB_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "db/encrypted_table.h"
+#include "util/hex.h"
+#include "util/status.h"
+
+namespace sjoin {
+
+/// Append-only byte sink.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void Raw(const uint8_t* data, size_t len);
+  /// Length-prefixed byte string.
+  void Blob(const Bytes& b);
+  void Str(const std::string& s);
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked reader over a byte buffer.
+class WireReader {
+ public:
+  explicit WireReader(const Bytes& buf) : buf_(buf) {}
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Status Raw(uint8_t* out, size_t len);
+  Result<Bytes> Blob();
+  Result<std::string> Str();
+  bool AtEnd() const { return pos_ == buf_.size(); }
+  size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  const Bytes& buf_;
+  size_t pos_ = 0;
+};
+
+// --- Point codecs (on-curve validated on read) ------------------------------
+
+void WriteG1Point(WireWriter* w, const G1Affine& p);
+Result<G1Affine> ReadG1Point(WireReader* r);
+void WriteG2Point(WireWriter* w, const G2Affine& p);
+Result<G2Affine> ReadG2Point(WireReader* r);
+
+// --- Message codecs -----------------------------------------------------------
+
+/// Upload message: one encrypted table.
+Bytes SerializeEncryptedTable(const EncryptedTable& table);
+Result<EncryptedTable> DeserializeEncryptedTable(const Bytes& wire);
+
+/// Query message: the token pair + SSE tokens.
+Bytes SerializeJoinQueryTokens(const JoinQueryTokens& tokens);
+Result<JoinQueryTokens> DeserializeJoinQueryTokens(const Bytes& wire);
+
+/// Response message: matched payload pairs (+ indices and stats).
+Bytes SerializeJoinResult(const EncryptedJoinResult& result);
+Result<EncryptedJoinResult> DeserializeJoinResult(const Bytes& wire);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_DB_WIRE_H_

@@ -1,0 +1,15 @@
+#include "ec/fixed_base.h"
+
+namespace sjoin {
+
+const G1FixedBase& G1GeneratorTable() {
+  static const G1FixedBase* kTable = new G1FixedBase(G1Generator());
+  return *kTable;
+}
+
+const G2FixedBase& G2GeneratorTable() {
+  static const G2FixedBase* kTable = new G2FixedBase(G2Generator());
+  return *kTable;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,70 @@
+// Fixed-base scalar multiplication with a precomputed windowed table.
+//
+// For a fixed base point G this stores j * 2^{4i} * G for all windows
+// i in [0, 64) and digits j in [1, 15]; a multiplication is then at most
+// 63 mixed additions and no doublings. Used for the per-row exponentiations
+// of the generators in SJ.Enc / SJ.TokenGen, which dominate client cost.
+#ifndef SJOIN_EC_FIXED_BASE_H_
+#define SJOIN_EC_FIXED_BASE_H_
+
+#include <vector>
+
+#include "ec/curve.h"
+#include "ec/g1.h"
+#include "ec/g2.h"
+
+namespace sjoin {
+
+template <typename Curve>
+class FixedBaseTable {
+ public:
+  using P = Point<Curve>;
+  using Affine = AffinePoint<typename Curve::Field>;
+
+  static constexpr size_t kWindowBits = 4;
+  static constexpr size_t kWindows = 256 / kWindowBits;  // 64
+  static constexpr size_t kEntries = (1u << kWindowBits) - 1;  // 15
+
+  explicit FixedBaseTable(const P& base) {
+    std::vector<P> jac;
+    jac.reserve(kWindows * kEntries);
+    P window_base = base;
+    for (size_t i = 0; i < kWindows; ++i) {
+      P cur = window_base;
+      for (size_t j = 0; j < kEntries; ++j) {
+        jac.push_back(cur);
+        cur = cur.Add(window_base);
+      }
+      window_base = cur;  // after kEntries additions cur == 2^4 * window_base
+    }
+    table_ = BatchToAffine<Curve>(jac);
+  }
+
+  /// base * scalar using the precomputed table.
+  P Mul(const U256& scalar) const {
+    P acc = P::Infinity();
+    for (size_t i = 0; i < kWindows; ++i) {
+      uint64_t digit = (scalar.w[i / 16] >> ((i % 16) * 4)) & 0xf;
+      if (digit != 0) {
+        acc = acc.AddMixed(table_[i * kEntries + (digit - 1)]);
+      }
+    }
+    return acc;
+  }
+
+  P Mul(const Fr& k) const { return Mul(k.ToCanonical()); }
+
+ private:
+  std::vector<Affine> table_;
+};
+
+using G1FixedBase = FixedBaseTable<G1Curve>;
+using G2FixedBase = FixedBaseTable<G2Curve>;
+
+/// Process-wide tables for the standard generators (built on first use).
+const G1FixedBase& G1GeneratorTable();
+const G2FixedBase& G2GeneratorTable();
+
+}  // namespace sjoin
+
+#endif  // SJOIN_EC_FIXED_BASE_H_

@@ -1,0 +1,15 @@
+#include "ec/g1.h"
+
+namespace sjoin {
+
+const Fp& G1Curve::B() {
+  static const Fp b = Fp::FromUint64(3);
+  return b;
+}
+
+const G1& G1Generator() {
+  static const G1 g = G1::FromAffine(Fp::One(), Fp::FromUint64(2));
+  return g;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,22 @@
+// G1 = E(Fp): y^2 = x^3 + 3, generator (1, 2), prime order r (cofactor 1).
+#ifndef SJOIN_EC_G1_H_
+#define SJOIN_EC_G1_H_
+
+#include "ec/curve.h"
+
+namespace sjoin {
+
+struct G1Curve {
+  using Field = Fp;
+  static const Fp& B();
+};
+
+using G1 = Point<G1Curve>;
+using G1Affine = AffinePoint<Fp>;
+
+/// The standard generator g1 = (1, 2).
+const G1& G1Generator();
+
+}  // namespace sjoin
+
+#endif  // SJOIN_EC_G1_H_

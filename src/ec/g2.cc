@@ -1,0 +1,18 @@
+#include "ec/g2.h"
+
+namespace sjoin {
+
+const Fp2& G2Curve::B() {
+  // b' = 3 / xi with xi = 9 + u (D-type twist).
+  static const Fp2 b = Fp2::FromFp(Fp::FromUint64(3)) * Fp2::Xi().Inverse();
+  return b;
+}
+
+const G2& G2Generator() {
+  static const G2 g = G2::FromAffine(
+      Fp2(Fp::FromDecimal(kBn254G2XC0), Fp::FromDecimal(kBn254G2XC1)),
+      Fp2(Fp::FromDecimal(kBn254G2YC0), Fp::FromDecimal(kBn254G2YC1)));
+  return g;
+}
+
+}  // namespace sjoin

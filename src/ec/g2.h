@@ -1,0 +1,23 @@
+// G2 = r-torsion of E'(Fp2): y^2 = x^3 + 3/(9+u), the D-type sextic twist.
+#ifndef SJOIN_EC_G2_H_
+#define SJOIN_EC_G2_H_
+
+#include "ec/curve.h"
+#include "field/fp2.h"
+
+namespace sjoin {
+
+struct G2Curve {
+  using Field = Fp2;
+  static const Fp2& B();
+};
+
+using G2 = Point<G2Curve>;
+using G2Affine = AffinePoint<Fp2>;
+
+/// The standard order-r G2 generator.
+const G2& G2Generator();
+
+}  // namespace sjoin
+
+#endif  // SJOIN_EC_G2_H_

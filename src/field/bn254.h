@@ -1,0 +1,46 @@
+// BN254 (aka alt_bn128) curve constants and field typedefs.
+//
+// The curve family is Barreto-Naehrig with parameter x = 4965661367192848881:
+//   p = 36x^4 + 36x^3 + 24x^2 + 6x + 1   (base field, 254 bits)
+//   r = 36x^4 + 36x^3 + 18x^2 + 6x + 1   (group order, 254 bits)
+//   E/Fp:  y^2 = x^3 + 3,        generator g1 = (1, 2), cofactor 1
+//   E'/Fp2: y^2 = x^3 + 3/(9+u)  (D-type sextic twist), xi = 9 + u
+// This is the pairing-friendly curve used by mcl/RELIC-based deployments,
+// which the paper's implementation relies on.
+#ifndef SJOIN_FIELD_BN254_H_
+#define SJOIN_FIELD_BN254_H_
+
+#include "field/fp.h"
+
+namespace sjoin {
+
+inline constexpr char kBn254PDecimal[] =
+    "21888242871839275222246405745257275088696311157297823662689037894645226208583";
+inline constexpr char kBn254RDecimal[] =
+    "21888242871839275222246405745257275088548364400416034343698204186575808495617";
+
+/// BN parameter x; 6x+2 (the optimal-ate Miller loop count) needs 65 bits.
+inline constexpr uint64_t kBnX = 4965661367192848881ULL;
+
+inline constexpr MontParams kBn254FpParams = DeriveMontParams(kBn254PDecimal);
+inline constexpr MontParams kBn254FrParams = DeriveMontParams(kBn254RDecimal);
+
+/// Base field of BN254.
+using Fp = PrimeField<kBn254FpParams>;
+/// Scalar field: the paper's Z_q (order of G1/G2/GT).
+using Fr = PrimeField<kBn254FrParams>;
+
+// Standard alt_bn128 G2 generator (Fp2 coordinates as (c0, c1) with
+// element = c0 + c1*u). Verified on-curve and order-r by tests.
+inline constexpr char kBn254G2XC0[] =
+    "10857046999023057135944570762232829481370756359578518086990519993285655852781";
+inline constexpr char kBn254G2XC1[] =
+    "11559732032986387107991004021392285783925812861821192530917403151452391805634";
+inline constexpr char kBn254G2YC0[] =
+    "8495653923123431417604973247489272438418190587263600148770280649306958101930";
+inline constexpr char kBn254G2YC1[] =
+    "4082367875863433681332203403145435568316851327593401208105741076214120093531";
+
+}  // namespace sjoin
+
+#endif  // SJOIN_FIELD_BN254_H_

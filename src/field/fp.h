@@ -1,0 +1,194 @@
+// Prime-field elements in Montgomery form, templated on the field parameters.
+//
+// PrimeField<kBn254FpParams> is the BN254 base field; PrimeField<kBn254FrParams>
+// the scalar field (aka Z_q in the paper). Elements are value types: 32 bytes,
+// trivially copyable, zero-initialized == additive identity.
+#ifndef SJOIN_FIELD_FP_H_
+#define SJOIN_FIELD_FP_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "bigint/bigint.h"
+#include "field/montgomery.h"
+#include "util/status.h"
+
+namespace sjoin {
+
+template <const MontParams& kParams>
+class PrimeField {
+ public:
+  using Self = PrimeField<kParams>;
+
+  constexpr PrimeField() = default;
+
+  static constexpr const MontParams& Params() { return kParams; }
+  static constexpr U256 Modulus() { return kParams.p; }
+
+  static Self Zero() { return Self(); }
+  static Self One() { return FromMontgomery(kParams.one); }
+
+  /// Wraps a value already in Montgomery form.
+  static Self FromMontgomery(const U256& m) {
+    Self r;
+    r.v_ = m;
+    return r;
+  }
+
+  static Self FromUint64(uint64_t v) {
+    U256 raw{{v, 0, 0, 0}};
+    return FromMontgomery(MontMul(raw, kParams.r2, kParams));
+  }
+
+  /// Cold-path conversion from BigInt (reduced mod p).
+  static Self FromBigInt(const BigInt& b);
+  /// Cold-path parse of a decimal literal.
+  static Self FromDecimal(const std::string& s) {
+    return FromBigInt(BigInt::FromDecimal(s));
+  }
+
+  /// Uniform element from 64 uniformly random big-endian bytes.
+  /// Bias is < 2^-250, i.e. cryptographically negligible.
+  static Self FromUniformBytes(const uint8_t bytes[64]) {
+    U256 hi = RawFromBytesBE(bytes);
+    U256 lo = RawFromBytesBE(bytes + 32);
+    ReduceRaw(&hi);
+    ReduceRaw(&lo);
+    // value = hi*2^256 + lo mod p; MontMul(hi, r2) == hi*R mod p == hi*2^256.
+    U256 canonical = MontAdd(MontMul(hi, kParams.r2, kParams), lo, kParams);
+    return FromMontgomery(MontMul(canonical, kParams.r2, kParams));
+  }
+
+  /// Canonical (non-Montgomery) integer value.
+  U256 ToCanonical() const {
+    U256 one_raw{{1, 0, 0, 0}};
+    return MontMul(v_, one_raw, kParams);  // divide out R
+  }
+  const U256& Montgomery() const { return v_; }
+
+  BigInt ToBigInt() const {
+    uint8_t buf[32];
+    ToBytesBE(buf);
+    return BigInt::FromBytesBE(buf, 32);
+  }
+  std::string ToDecimal() const { return ToBigInt().ToDecimal(); }
+
+  /// 32-byte big-endian canonical serialization.
+  void ToBytesBE(uint8_t out[32]) const {
+    U256 c = ToCanonical();
+    for (int i = 0; i < 4; ++i) {
+      uint64_t limb = c.w[3 - i];
+      for (int j = 0; j < 8; ++j) {
+        out[i * 8 + j] = static_cast<uint8_t>(limb >> (56 - 8 * j));
+      }
+    }
+  }
+
+  /// Parses 32 canonical big-endian bytes; fails if >= p.
+  static Result<Self> FromBytesBE(const uint8_t bytes[32]) {
+    U256 raw = RawFromBytesBE(bytes);
+    if (U256GreaterEq(raw, kParams.p)) {
+      return Status::InvalidArgument("field element not canonical");
+    }
+    return FromMontgomery(MontMul(raw, kParams.r2, kParams));
+  }
+
+  bool IsZero() const { return v_.IsZero(); }
+  bool operator==(const Self& o) const { return v_ == o.v_; }
+  bool operator!=(const Self& o) const { return !(v_ == o.v_); }
+
+  Self operator+(const Self& o) const {
+    return FromMontgomery(MontAdd(v_, o.v_, kParams));
+  }
+  Self operator-(const Self& o) const {
+    return FromMontgomery(MontSub(v_, o.v_, kParams));
+  }
+  Self operator-() const { return FromMontgomery(MontNeg(v_, kParams)); }
+  Self operator*(const Self& o) const {
+    return FromMontgomery(MontMul(v_, o.v_, kParams));
+  }
+  Self& operator+=(const Self& o) { return *this = *this + o; }
+  Self& operator-=(const Self& o) { return *this = *this - o; }
+  Self& operator*=(const Self& o) { return *this = *this * o; }
+
+  Self Square() const { return *this * *this; }
+  Self Double() const { return *this + *this; }
+
+  /// this^e for a raw 256-bit exponent (square-and-multiply, not
+  /// constant-time; acceptable: exponents here are not long-term secrets).
+  Self Pow(const U256& e) const {
+    Self result = One();
+    size_t bits = e.BitLength();
+    for (size_t i = bits; i > 0; --i) {
+      result = result.Square();
+      if (e.Bit(i - 1)) result = result * *this;
+    }
+    return result;
+  }
+
+  /// Multiplicative inverse via Fermat: a^(p-2). Inverse of zero is zero.
+  Self Inverse() const { return Pow(kParams.p_minus_2); }
+
+  /// Multiplication by a small constant via addition chains.
+  Self MulSmall(uint64_t k) const {
+    Self acc = Zero();
+    Self base = *this;
+    while (k != 0) {
+      if (k & 1) acc += base;
+      base = base.Double();
+      k >>= 1;
+    }
+    return acc;
+  }
+
+ private:
+  static U256 RawFromBytesBE(const uint8_t bytes[32]) {
+    U256 r{};
+    for (int i = 0; i < 4; ++i) {
+      uint64_t limb = 0;
+      for (int j = 0; j < 8; ++j) {
+        limb = (limb << 8) | bytes[i * 8 + j];
+      }
+      r.w[3 - i] = limb;
+    }
+    return r;
+  }
+
+  /// Reduces an arbitrary 256-bit value below p (at most 6 subtractions
+  /// since p > 2^253 for both BN254 fields).
+  static void ReduceRaw(U256* v) {
+    while (U256GreaterEq(*v, kParams.p)) {
+      U256 t{};
+      U256SubWithBorrow(*v, kParams.p, &t);
+      *v = t;
+    }
+  }
+
+  U256 v_{};  // Montgomery form
+};
+
+template <const MontParams& kParams>
+PrimeField<kParams> PrimeField<kParams>::FromBigInt(const BigInt& b) {
+  BigInt p = BigInt::FromBytesBE(nullptr, 0);
+  // Build modulus as BigInt from the params (cold path).
+  {
+    uint8_t buf[32];
+    for (int i = 0; i < 4; ++i) {
+      uint64_t limb = kParams.p.w[3 - i];
+      for (int j = 0; j < 8; ++j) {
+        buf[i * 8 + j] = static_cast<uint8_t>(limb >> (56 - 8 * j));
+      }
+    }
+    p = BigInt::FromBytesBE(buf, 32);
+  }
+  BigInt reduced = b % p;
+  std::vector<uint8_t> bytes = reduced.ToBytesBE(32);
+  Result<Self> r = FromBytesBE(bytes.data());
+  SJOIN_CHECK(r.ok());
+  return *r;
+}
+
+}  // namespace sjoin
+
+#endif  // SJOIN_FIELD_FP_H_

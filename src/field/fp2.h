@@ -1,0 +1,99 @@
+// Quadratic extension Fp2 = Fp[u] / (u^2 + 1).
+#ifndef SJOIN_FIELD_FP2_H_
+#define SJOIN_FIELD_FP2_H_
+
+#include "field/bn254.h"
+
+namespace sjoin {
+
+/// Element a + b*u with u^2 = -1.
+class Fp2 {
+ public:
+  constexpr Fp2() = default;
+  Fp2(const Fp& a, const Fp& b) : a_(a), b_(b) {}
+
+  static Fp2 Zero() { return Fp2(); }
+  static Fp2 One() { return Fp2(Fp::One(), Fp::Zero()); }
+  static Fp2 FromFp(const Fp& a) { return Fp2(a, Fp::Zero()); }
+  /// The sextic non-residue xi = 9 + u used by the Fp6/Fp12 tower.
+  static Fp2 Xi() { return Fp2(Fp::FromUint64(9), Fp::One()); }
+
+  const Fp& a() const { return a_; }
+  const Fp& b() const { return b_; }
+
+  bool IsZero() const { return a_.IsZero() && b_.IsZero(); }
+  bool operator==(const Fp2& o) const { return a_ == o.a_ && b_ == o.b_; }
+  bool operator!=(const Fp2& o) const { return !(*this == o); }
+
+  Fp2 operator+(const Fp2& o) const { return Fp2(a_ + o.a_, b_ + o.b_); }
+  Fp2 operator-(const Fp2& o) const { return Fp2(a_ - o.a_, b_ - o.b_); }
+  Fp2 operator-() const { return Fp2(-a_, -b_); }
+  Fp2& operator+=(const Fp2& o) { return *this = *this + o; }
+  Fp2& operator-=(const Fp2& o) { return *this = *this - o; }
+
+  /// Karatsuba multiplication: 3 Fp multiplications.
+  Fp2 operator*(const Fp2& o) const {
+    Fp t0 = a_ * o.a_;
+    Fp t1 = b_ * o.b_;
+    Fp t2 = (a_ + b_) * (o.a_ + o.b_);
+    return Fp2(t0 - t1, t2 - t0 - t1);
+  }
+  Fp2& operator*=(const Fp2& o) { return *this = *this * o; }
+
+  /// Complex squaring: 2 Fp multiplications.
+  Fp2 Square() const {
+    Fp t0 = (a_ + b_) * (a_ - b_);  // a^2 - b^2
+    Fp t1 = a_ * b_;
+    return Fp2(t0, t1.Double());
+  }
+
+  Fp2 Double() const { return Fp2(a_.Double(), b_.Double()); }
+  Fp2 MulByFp(const Fp& s) const { return Fp2(a_ * s, b_ * s); }
+  Fp2 MulSmall(uint64_t k) const { return Fp2(a_.MulSmall(k), b_.MulSmall(k)); }
+
+  /// Conjugate a - b*u (the Frobenius map x -> x^p on Fp2).
+  Fp2 Conjugate() const { return Fp2(a_, -b_); }
+
+  /// Multiplication by xi = 9 + u: (9a - b) + (a + 9b) u.
+  Fp2 MulByXi() const {
+    Fp nine_a = a_.MulSmall(9);
+    Fp nine_b = b_.MulSmall(9);
+    return Fp2(nine_a - b_, a_ + nine_b);
+  }
+
+  /// (a + bu)^-1 = (a - bu) / (a^2 + b^2); inverse of zero is zero.
+  Fp2 Inverse() const {
+    Fp norm = a_.Square() + b_.Square();
+    Fp inv = norm.Inverse();
+    return Fp2(a_ * inv, -(b_ * inv));
+  }
+
+  /// this^e for a raw 256-bit exponent.
+  Fp2 Pow(const U256& e) const {
+    Fp2 result = One();
+    for (size_t i = e.BitLength(); i > 0; --i) {
+      result = result.Square();
+      if (e.Bit(i - 1)) result = result * *this;
+    }
+    return result;
+  }
+
+  /// this^e for an arbitrary-precision exponent (cold path: Frobenius
+  /// constant derivation).
+  Fp2 Pow(const BigInt& e) const {
+    Fp2 result = One();
+    for (size_t i = e.BitLength(); i > 0; --i) {
+      result = result.Square();
+      if (e.Bit(i - 1)) result = result * *this;
+    }
+    return result;
+  }
+
+ private:
+  Fp a_;
+  Fp b_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_FIELD_FP2_H_

@@ -1,0 +1,88 @@
+// Cubic extension Fp6 = Fp2[v] / (v^3 - xi), xi = 9 + u.
+#ifndef SJOIN_FIELD_FP6_H_
+#define SJOIN_FIELD_FP6_H_
+
+#include "field/fp2.h"
+
+namespace sjoin {
+
+/// Element a + b*v + c*v^2 with v^3 = xi.
+class Fp6 {
+ public:
+  constexpr Fp6() = default;
+  Fp6(const Fp2& a, const Fp2& b, const Fp2& c) : a_(a), b_(b), c_(c) {}
+
+  static Fp6 Zero() { return Fp6(); }
+  static Fp6 One() { return Fp6(Fp2::One(), Fp2::Zero(), Fp2::Zero()); }
+  static Fp6 FromFp2(const Fp2& a) { return Fp6(a, Fp2::Zero(), Fp2::Zero()); }
+
+  const Fp2& a() const { return a_; }
+  const Fp2& b() const { return b_; }
+  const Fp2& c() const { return c_; }
+
+  bool IsZero() const { return a_.IsZero() && b_.IsZero() && c_.IsZero(); }
+  bool operator==(const Fp6& o) const {
+    return a_ == o.a_ && b_ == o.b_ && c_ == o.c_;
+  }
+  bool operator!=(const Fp6& o) const { return !(*this == o); }
+
+  Fp6 operator+(const Fp6& o) const {
+    return Fp6(a_ + o.a_, b_ + o.b_, c_ + o.c_);
+  }
+  Fp6 operator-(const Fp6& o) const {
+    return Fp6(a_ - o.a_, b_ - o.b_, c_ - o.c_);
+  }
+  Fp6 operator-() const { return Fp6(-a_, -b_, -c_); }
+  Fp6 Double() const { return Fp6(a_.Double(), b_.Double(), c_.Double()); }
+
+  /// Full multiplication (Karatsuba-style, 6 Fp2 multiplications).
+  Fp6 operator*(const Fp6& o) const {
+    Fp2 t0 = a_ * o.a_;
+    Fp2 t1 = b_ * o.b_;
+    Fp2 t2 = c_ * o.c_;
+    Fp2 r0 = t0 + ((b_ + c_) * (o.b_ + o.c_) - t1 - t2).MulByXi();
+    Fp2 r1 = (a_ + b_) * (o.a_ + o.b_) - t0 - t1 + t2.MulByXi();
+    Fp2 r2 = (a_ + c_) * (o.a_ + o.c_) - t0 - t2 + t1;
+    return Fp6(r0, r1, r2);
+  }
+  Fp6& operator*=(const Fp6& o) { return *this = *this * o; }
+
+  Fp6 Square() const { return *this * *this; }
+
+  /// Multiplication by v: (a, b, c) -> (xi*c, a, b).
+  Fp6 MulByV() const { return Fp6(c_.MulByXi(), a_, b_); }
+
+  /// Sparse multiplication by (s, 0, 0): 3 Fp2 multiplications.
+  Fp6 MulBy0(const Fp2& s) const { return Fp6(a_ * s, b_ * s, c_ * s); }
+
+  /// Sparse multiplication by (s0 + s1*v): 6 Fp2 multiplications.
+  Fp6 MulBy01(const Fp2& s0, const Fp2& s1) const {
+    Fp2 t0 = a_ * s0;
+    Fp2 t1 = b_ * s1;
+    Fp2 r0 = t0 + (c_ * s1).MulByXi();
+    Fp2 r1 = a_ * s1 + b_ * s0;
+    Fp2 r2 = t1 + c_ * s0;
+    return Fp6(r0, r1, r2);
+  }
+
+  Fp6 MulByFp2(const Fp2& s) const { return MulBy0(s); }
+
+  /// Standard Fp6 inversion (one Fp2 inversion); inverse of zero is zero.
+  Fp6 Inverse() const {
+    Fp2 c0 = a_.Square() - (b_ * c_).MulByXi();
+    Fp2 c1 = (c_.Square()).MulByXi() - a_ * b_;
+    Fp2 c2 = b_.Square() - a_ * c_;
+    Fp2 t = a_ * c0 + ((c_ * c1 + b_ * c2)).MulByXi();
+    Fp2 tinv = t.Inverse();
+    return Fp6(c0 * tinv, c1 * tinv, c2 * tinv);
+  }
+
+ private:
+  Fp2 a_;
+  Fp2 b_;
+  Fp2 c_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_FIELD_FP6_H_

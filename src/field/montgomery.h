@@ -1,0 +1,130 @@
+// Montgomery modular arithmetic on 4x64-bit limbs (R = 2^256).
+//
+// All Montgomery parameters are derived at compile time from the decimal
+// modulus string (no hand-copied magic constants); tests/field_test.cc
+// re-derives them with BigInt and asserts equality.
+#ifndef SJOIN_FIELD_MONTGOMERY_H_
+#define SJOIN_FIELD_MONTGOMERY_H_
+
+#include "field/u256.h"
+
+namespace sjoin {
+
+/// Parameters of a Montgomery field over an odd 254..256-bit prime p < 2^255.
+struct MontParams {
+  U256 p;           // the modulus
+  uint64_t inv;     // -p^{-1} mod 2^64
+  U256 one;         // R mod p        (Montgomery form of 1)
+  U256 r2;          // R^2 mod p      (for conversions into Montgomery form)
+  U256 p_minus_2;   // exponent used by Fermat inversion
+};
+
+/// (2a) mod p for a < p, assuming p < 2^255 so the doubling cannot carry out.
+constexpr U256 MontDoubleMod(const U256& a, const U256& p) {
+  U256 r{};
+  uint64_t carry = U256AddWithCarry(a, a, &r);
+  if (carry != 0 || U256GreaterEq(r, p)) {
+    U256 t{};
+    U256SubWithBorrow(r, p, &t);
+    return t;
+  }
+  return r;
+}
+
+/// Derives all Montgomery parameters from a decimal modulus literal.
+consteval MontParams DeriveMontParams(const char* modulus_decimal) {
+  MontParams P{};
+  P.p = U256FromDecimal(modulus_decimal);
+  if ((P.p.w[0] & 1) == 0) throw "modulus must be odd";
+  if (P.p.BitLength() > 255) throw "modulus must be < 2^255";
+
+  // Newton iteration: each step doubles the number of correct low bits of
+  // p^{-1} mod 2^64 (p odd => 1 is correct to 3 bits already; 6 steps > 64).
+  uint64_t pinv = 1;
+  for (int i = 0; i < 6; ++i) pinv *= 2 - P.p.w[0] * pinv;
+  P.inv = ~pinv + 1;  // negate: -p^{-1} mod 2^64
+
+  // R mod p: double 1 (mod p) 256 times; R^2 mod p: 256 more doublings.
+  U256 acc{};
+  acc.w[0] = 1;
+  for (int i = 0; i < 256; ++i) acc = MontDoubleMod(acc, P.p);
+  P.one = acc;
+  for (int i = 0; i < 256; ++i) acc = MontDoubleMod(acc, P.p);
+  P.r2 = acc;
+
+  U256 two{};
+  two.w[0] = 2;
+  U256SubWithBorrow(P.p, two, &P.p_minus_2);
+  return P;
+}
+
+/// Montgomery product a*b*R^{-1} mod p (CIOS method, Koc-Acar-Kaliski).
+/// Inputs must be < p; the output is < p.
+inline U256 MontMul(const U256& a, const U256& b, const MontParams& P) {
+  uint64_t t[6] = {0, 0, 0, 0, 0, 0};
+  for (int i = 0; i < 4; ++i) {
+    // t += a[i] * b
+    uint128_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      uint128_t cur = static_cast<uint128_t>(a.w[i]) * b.w[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    uint128_t cur = static_cast<uint128_t>(t[4]) + carry;
+    t[4] = static_cast<uint64_t>(cur);
+    t[5] = static_cast<uint64_t>(cur >> 64);
+
+    // m = t[0] * (-p^{-1}) mod 2^64; then t = (t + m*p) / 2^64.
+    uint64_t m = t[0] * P.inv;
+    cur = static_cast<uint128_t>(m) * P.p.w[0] + t[0];
+    carry = cur >> 64;
+    for (int j = 1; j < 4; ++j) {
+      cur = static_cast<uint128_t>(m) * P.p.w[j] + t[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    cur = static_cast<uint128_t>(t[4]) + carry;
+    t[3] = static_cast<uint64_t>(cur);
+    t[4] = t[5] + static_cast<uint64_t>(cur >> 64);
+  }
+  U256 r{{t[0], t[1], t[2], t[3]}};
+  if (t[4] != 0 || U256GreaterEq(r, P.p)) {
+    U256 reduced{};
+    U256SubWithBorrow(r, P.p, &reduced);
+    return reduced;
+  }
+  return r;
+}
+
+inline U256 MontAdd(const U256& a, const U256& b, const MontParams& P) {
+  U256 r{};
+  uint64_t carry = U256AddWithCarry(a, b, &r);
+  if (carry != 0 || U256GreaterEq(r, P.p)) {
+    U256 reduced{};
+    U256SubWithBorrow(r, P.p, &reduced);
+    return reduced;
+  }
+  return r;
+}
+
+inline U256 MontSub(const U256& a, const U256& b, const MontParams& P) {
+  U256 r{};
+  uint64_t borrow = U256SubWithBorrow(a, b, &r);
+  if (borrow != 0) {
+    U256 fixed{};
+    U256AddWithCarry(r, P.p, &fixed);
+    return fixed;
+  }
+  return r;
+}
+
+inline U256 MontNeg(const U256& a, const MontParams& P) {
+  if (a.IsZero()) return a;
+  U256 r{};
+  U256SubWithBorrow(P.p, a, &r);
+  return r;
+}
+
+}  // namespace sjoin
+
+#endif  // SJOIN_FIELD_MONTGOMERY_H_

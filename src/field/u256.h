@@ -1,0 +1,95 @@
+// Fixed-width 256-bit little-endian limb vectors and constexpr helpers.
+//
+// These are raw integer utilities; modular semantics live in montgomery.h.
+#ifndef SJOIN_FIELD_U256_H_
+#define SJOIN_FIELD_U256_H_
+
+#include <cstdint>
+
+namespace sjoin {
+
+using uint128_t = unsigned __int128;
+
+/// 256-bit unsigned integer, little-endian 64-bit limbs.
+struct U256 {
+  uint64_t w[4] = {0, 0, 0, 0};
+
+  constexpr bool operator==(const U256& o) const {
+    return w[0] == o.w[0] && w[1] == o.w[1] && w[2] == o.w[2] && w[3] == o.w[3];
+  }
+  constexpr bool operator!=(const U256& o) const { return !(*this == o); }
+
+  constexpr bool IsZero() const {
+    return (w[0] | w[1] | w[2] | w[3]) == 0;
+  }
+
+  constexpr bool Bit(size_t i) const {
+    return (w[i / 64] >> (i % 64)) & 1u;
+  }
+
+  constexpr size_t BitLength() const {
+    for (int i = 3; i >= 0; --i) {
+      if (w[i] != 0) {
+        uint64_t v = w[i];
+        size_t bits = 0;
+        while (v != 0) {
+          ++bits;
+          v >>= 1;
+        }
+        return static_cast<size_t>(i) * 64 + bits;
+      }
+    }
+    return 0;
+  }
+};
+
+/// a >= b on raw 256-bit integers.
+constexpr bool U256GreaterEq(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.w[i] != b.w[i]) return a.w[i] > b.w[i];
+  }
+  return true;
+}
+
+/// a + b; returns the carry-out bit.
+constexpr uint64_t U256AddWithCarry(const U256& a, const U256& b, U256* out) {
+  uint128_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    uint128_t cur = static_cast<uint128_t>(a.w[i]) + b.w[i] + carry;
+    out->w[i] = static_cast<uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  return static_cast<uint64_t>(carry);
+}
+
+/// a - b; returns the borrow-out bit.
+constexpr uint64_t U256SubWithBorrow(const U256& a, const U256& b, U256* out) {
+  uint128_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    uint128_t cur = static_cast<uint128_t>(a.w[i]) - b.w[i] - borrow;
+    out->w[i] = static_cast<uint64_t>(cur);
+    borrow = (cur >> 64) & 1;  // two's-complement wraparound marks borrow
+  }
+  return static_cast<uint64_t>(borrow);
+}
+
+/// Parses a base-10 literal into a U256 at compile time.
+/// Throws (== fails compilation) on bad digits or overflow.
+consteval U256 U256FromDecimal(const char* s) {
+  U256 r{};
+  for (; *s != '\0'; ++s) {
+    if (*s < '0' || *s > '9') throw "invalid decimal digit";
+    uint128_t carry = static_cast<uint128_t>(*s - '0');
+    for (int i = 0; i < 4; ++i) {
+      uint128_t cur = static_cast<uint128_t>(r.w[i]) * 10 + carry;
+      r.w[i] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    if (carry != 0) throw "decimal literal overflows 256 bits";
+  }
+  return r;
+}
+
+}  // namespace sjoin
+
+#endif  // SJOIN_FIELD_U256_H_

@@ -1,0 +1,85 @@
+// Function-hiding inner-product encryption (Kim et al., SCN 2018) and the
+// paper's modified variant (Section 4.2).
+//
+// Original scheme Pi_ipe:
+//   Setup(1^lambda, S):  B <- GL_n(Z_q), B* = det(B) (B^-1)^T
+//   KeyGen(msk, v):      alpha <- Z_q,  sk = (g1^{alpha det B}, g1^{alpha v B})
+//   Encrypt(msk, w):     beta  <- Z_q,  ct = (g2^{beta}, g2^{beta w B*})
+//   Decrypt(pp, sk, ct): D1 = e(K1, C1), D2 = e(K2, C2); find z in S with
+//                        D1^z == D2.
+//
+// Modified variant used by Secure Join:
+//   - alpha = beta = 1; the randomness moves into dedicated vector slots
+//     (the caller appends gamma/delta coordinates to w and v),
+//   - only the second component of keys/ciphertexts is kept,
+//   - decryption returns D = e(g1,g2)^{det(B) <v,w>} in GT instead of
+//     recovering <v,w> (no small-set restriction).
+#ifndef SJOIN_IPE_IPE_H_
+#define SJOIN_IPE_IPE_H_
+
+#include <span>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "ec/fixed_base.h"
+#include "linalg/matrix.h"
+#include "pairing/pairing.h"
+#include "util/status.h"
+
+namespace sjoin {
+
+/// Master secret key shared by the original and modified schemes.
+struct IpeMasterKey {
+  size_t dim = 0;
+  FrMatrix b;        // B
+  FrMatrix b_star;   // det(B) * (B^-1)^T
+  Fr det;            // det(B)
+
+  /// Samples B from GL_n(Z_q) and derives B*.
+  static IpeMasterKey Setup(size_t dim, Rng* rng);
+};
+
+/// Secret key of the original scheme: (K1, K2).
+struct IpeSecretKey {
+  G1Affine k1;
+  std::vector<G1Affine> k2;
+};
+
+/// Ciphertext of the original scheme: (C1, C2).
+struct IpeCiphertext {
+  G2Affine c1;
+  std::vector<G2Affine> c2;
+};
+
+/// Original Kim et al. scheme.
+class Ipe {
+ public:
+  static IpeSecretKey KeyGen(const IpeMasterKey& msk, std::span<const Fr> v,
+                             Rng* rng);
+  static IpeCiphertext Encrypt(const IpeMasterKey& msk, std::span<const Fr> w,
+                               Rng* rng);
+  /// Recovers <v, w> if it lies in [range_lo, range_hi] (the polynomial-sized
+  /// set S, here an integer interval); NotFound otherwise.
+  static Result<int64_t> DecryptRange(const IpeSecretKey& sk,
+                                      const IpeCiphertext& ct, int64_t range_lo,
+                                      int64_t range_hi);
+};
+
+/// Modified scheme (paper Section 4.2). Tokens live in G1, ciphertexts in
+/// G2, decryption produces a GT value compared across rows by SJ.Match.
+class ModifiedIpe {
+ public:
+  /// Tk = g1^{v B}.
+  static std::vector<G1Affine> KeyGen(const IpeMasterKey& msk,
+                                      std::span<const Fr> v);
+  /// C = g2^{w B*}.
+  static std::vector<G2Affine> Encrypt(const IpeMasterKey& msk,
+                                       std::span<const Fr> w);
+  /// D = e(Tk, C) = e(g1, g2)^{det(B) <v, w>} (one multi-pairing).
+  static GT Decrypt(std::span<const G1Affine> token,
+                    std::span<const G2Affine> ct);
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_IPE_IPE_H_

@@ -1,0 +1,145 @@
+#include "linalg/matrix.h"
+
+namespace sjoin {
+
+FrMatrix FrMatrix::Identity(size_t n) {
+  FrMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = Fr::One();
+  return m;
+}
+
+FrMatrix FrMatrix::Random(size_t rows, size_t cols, Rng* rng) {
+  FrMatrix m(rows, cols);
+  for (auto& x : m.data_) x = rng->NextFr();
+  return m;
+}
+
+FrMatrix FrMatrix::RandomInvertible(size_t n, Rng* rng) {
+  for (;;) {
+    FrMatrix m = Random(n, n, rng);
+    if (!m.Determinant().IsZero()) return m;
+  }
+}
+
+FrMatrix FrMatrix::Transpose() const {
+  FrMatrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t.At(c, r) = At(r, c);
+  }
+  return t;
+}
+
+FrMatrix FrMatrix::operator*(const FrMatrix& o) const {
+  SJOIN_CHECK(cols_ == o.rows_);
+  FrMatrix out(rows_, o.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const Fr& a = At(r, k);
+      if (a.IsZero()) continue;
+      for (size_t c = 0; c < o.cols_; ++c) {
+        out.At(r, c) += a * o.At(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+FrMatrix FrMatrix::ScalarMul(const Fr& s) const {
+  FrMatrix out = *this;
+  for (auto& x : out.data_) x *= s;
+  return out;
+}
+
+std::vector<Fr> FrMatrix::RowVecMul(std::span<const Fr> v) const {
+  SJOIN_CHECK(v.size() == rows_);
+  std::vector<Fr> out(cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    if (v[r].IsZero()) continue;
+    for (size_t c = 0; c < cols_; ++c) {
+      out[c] += v[r] * At(r, c);
+    }
+  }
+  return out;
+}
+
+std::vector<Fr> FrMatrix::MatVecMul(std::span<const Fr> v) const {
+  SJOIN_CHECK(v.size() == cols_);
+  std::vector<Fr> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    Fr acc;
+    for (size_t c = 0; c < cols_; ++c) acc += At(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Fr FrMatrix::Determinant() const {
+  SJOIN_CHECK(rows_ == cols_);
+  FrMatrix a = *this;
+  size_t n = rows_;
+  Fr det = Fr::One();
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    while (pivot < n && a.At(pivot, col).IsZero()) ++pivot;
+    if (pivot == n) return Fr::Zero();
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a.At(pivot, c), a.At(col, c));
+      det = -det;
+    }
+    det *= a.At(col, col);
+    Fr inv = a.At(col, col).Inverse();
+    for (size_t r = col + 1; r < n; ++r) {
+      if (a.At(r, col).IsZero()) continue;
+      Fr factor = a.At(r, col) * inv;
+      for (size_t c = col; c < n; ++c) {
+        a.At(r, c) -= factor * a.At(col, c);
+      }
+    }
+  }
+  return det;
+}
+
+Result<std::pair<FrMatrix, Fr>> FrMatrix::InverseAndDet() const {
+  SJOIN_CHECK(rows_ == cols_);
+  size_t n = rows_;
+  FrMatrix a = *this;
+  FrMatrix inv = Identity(n);
+  Fr det = Fr::One();
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    while (pivot < n && a.At(pivot, col).IsZero()) ++pivot;
+    if (pivot == n) return Status::NotFound("matrix is singular");
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(a.At(pivot, c), a.At(col, c));
+        std::swap(inv.At(pivot, c), inv.At(col, c));
+      }
+      det = -det;
+    }
+    Fr p = a.At(col, col);
+    det *= p;
+    Fr pinv = p.Inverse();
+    for (size_t c = 0; c < n; ++c) {
+      a.At(col, c) *= pinv;
+      inv.At(col, c) *= pinv;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col || a.At(r, col).IsZero()) continue;
+      Fr factor = a.At(r, col);
+      for (size_t c = 0; c < n; ++c) {
+        a.At(r, c) -= factor * a.At(col, c);
+        inv.At(r, c) -= factor * inv.At(col, c);
+      }
+    }
+  }
+  return std::make_pair(std::move(inv), det);
+}
+
+Fr InnerProduct(std::span<const Fr> a, std::span<const Fr> b) {
+  SJOIN_CHECK(a.size() == b.size());
+  Fr acc;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace sjoin

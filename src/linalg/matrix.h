@@ -1,0 +1,65 @@
+// Dense matrices over the scalar field Fr (the paper's Z_q).
+//
+// Sized for the IPE dimension n = m(t+1)+3, i.e. at most a few hundred;
+// O(n^3) Gauss-Jordan is perfectly adequate and runs once per master key.
+#ifndef SJOIN_LINALG_MATRIX_H_
+#define SJOIN_LINALG_MATRIX_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "field/bn254.h"
+#include "util/status.h"
+
+namespace sjoin {
+
+class FrMatrix {
+ public:
+  FrMatrix() : rows_(0), cols_(0) {}
+  FrMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  static FrMatrix Identity(size_t n);
+  /// Uniformly random matrix.
+  static FrMatrix Random(size_t rows, size_t cols, Rng* rng);
+  /// Samples from GL_n(Z_q): redraws until invertible (failure probability
+  /// per draw is ~ n/q, i.e. essentially zero).
+  static FrMatrix RandomInvertible(size_t n, Rng* rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  const Fr& At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  Fr& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+
+  bool operator==(const FrMatrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+  FrMatrix Transpose() const;
+  FrMatrix operator*(const FrMatrix& o) const;
+  FrMatrix ScalarMul(const Fr& s) const;
+
+  /// Row-vector times matrix: returns v * M (|v| == rows()).
+  std::vector<Fr> RowVecMul(std::span<const Fr> v) const;
+  /// Matrix times column vector: returns M * v (|v| == cols()).
+  std::vector<Fr> MatVecMul(std::span<const Fr> v) const;
+
+  /// Determinant via Gaussian elimination.
+  Fr Determinant() const;
+  /// Inverse and determinant in one pass; NotFound if singular.
+  Result<std::pair<FrMatrix, Fr>> InverseAndDet() const;
+
+ private:
+  size_t rows_, cols_;
+  std::vector<Fr> data_;
+};
+
+/// Inner product over Fr; sizes must match.
+Fr InnerProduct(std::span<const Fr> a, std::span<const Fr> b);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_LINALG_MATRIX_H_

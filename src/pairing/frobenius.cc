@@ -1,0 +1,55 @@
+#include "pairing/frobenius.h"
+
+#include "bigint/bigint.h"
+#include "util/status.h"
+
+namespace sjoin {
+
+const FrobeniusConstants& FrobeniusConstants::Get() {
+  static const FrobeniusConstants* kConstants = [] {
+    auto* c = new FrobeniusConstants();
+    BigInt p = BigInt::FromDecimal(kBn254PDecimal);
+    BigInt six(6);
+    for (int e = 1; e <= 3; ++e) {
+      BigInt pe(1);
+      for (int i = 0; i < e; ++i) pe = pe * p;
+      auto [exp, rem] = (pe - BigInt(1)).DivMod(six);
+      SJOIN_CHECK(rem.IsZero());  // p^e = 1 mod 6 for BN primes
+      for (int k = 0; k < 6; ++k) {
+        c->gamma[e - 1][k] = Fp2::Xi().Pow(exp * BigInt(static_cast<uint64_t>(k)));
+      }
+    }
+    return c;
+  }();
+  return *kConstants;
+}
+
+Fp12 Frobenius(const Fp12& f, int e) {
+  SJOIN_CHECK(e >= 1 && e <= 3);
+  const FrobeniusConstants& fc = FrobeniusConstants::Get();
+  const Fp2* g = fc.gamma[e - 1];
+  const bool conj = (e % 2) == 1;
+  // Slot map (coefficient of w^k): k=0 -> c0.a, 1 -> c1.a, 2 -> c0.b,
+  // 3 -> c1.b, 4 -> c0.c, 5 -> c1.c.
+  auto apply = [&](const Fp2& slot, int k) {
+    Fp2 s = conj ? slot.Conjugate() : slot;
+    return s * g[k];
+  };
+  Fp6 c0(apply(f.c0().a(), 0), apply(f.c0().b(), 2), apply(f.c0().c(), 4));
+  Fp6 c1(apply(f.c1().a(), 1), apply(f.c1().b(), 3), apply(f.c1().c(), 5));
+  return Fp12(c0, c1);
+}
+
+Fp2 TwistFrobeniusX(const Fp2& x, int e) {
+  const FrobeniusConstants& fc = FrobeniusConstants::Get();
+  Fp2 base = (e % 2 == 1) ? x.Conjugate() : x;
+  return base * fc.gamma[e - 1][2];
+}
+
+Fp2 TwistFrobeniusY(const Fp2& y, int e) {
+  const FrobeniusConstants& fc = FrobeniusConstants::Get();
+  Fp2 base = (e % 2 == 1) ? y.Conjugate() : y;
+  return base * fc.gamma[e - 1][3];
+}
+
+}  // namespace sjoin

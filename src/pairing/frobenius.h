@@ -1,0 +1,34 @@
+// Frobenius endomorphisms on Fp12 and on the G2 twist.
+//
+// For an Fp12 element written in w-power slots (sum of c_k * w^k, c_k in Fp2)
+// the p^e-power Frobenius acts as
+//    pi^e(sum c_k w^k) = sum conj^e(c_k) * gamma_{e,k} * w^k,
+// where gamma_{e,k} = xi^{k (p^e - 1) / 6} and conj^e is Fp2 conjugation
+// applied e times. The gamma constants are derived at first use from BigInt
+// exponents -- nothing is hand-copied.
+#ifndef SJOIN_PAIRING_FROBENIUS_H_
+#define SJOIN_PAIRING_FROBENIUS_H_
+
+#include "field/fp12.h"
+
+namespace sjoin {
+
+struct FrobeniusConstants {
+  // gamma[e-1][k] = xi^{k (p^e - 1) / 6} for e = 1, 2, 3 and k = 0..5.
+  Fp2 gamma[3][6];
+
+  static const FrobeniusConstants& Get();
+};
+
+/// f^(p^e) for e in {1, 2, 3}.
+Fp12 Frobenius(const Fp12& f, int e);
+
+/// The twist coordinates of pi_p(Q) for Q on E'(Fp2):
+///   (conj(x) * gamma_{1,2}, conj(y) * gamma_{1,3}).
+/// and of pi_{p^2}(Q): (x * gamma_{2,2}, y * gamma_{2,3}).
+Fp2 TwistFrobeniusX(const Fp2& x, int e);
+Fp2 TwistFrobeniusY(const Fp2& y, int e);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_PAIRING_FROBENIUS_H_

@@ -1,0 +1,48 @@
+// GT: the order-r target group of the pairing (a subgroup of Fp12*).
+#ifndef SJOIN_PAIRING_GT_H_
+#define SJOIN_PAIRING_GT_H_
+
+#include <array>
+
+#include "field/fp12.h"
+
+namespace sjoin {
+
+/// Element of the pairing target group, written multiplicatively.
+class GT {
+ public:
+  GT() : v_(Fp12::One()) {}
+  explicit GT(const Fp12& v) : v_(v) {}
+
+  static GT One() { return GT(); }
+
+  const Fp12& value() const { return v_; }
+
+  bool IsOne() const { return v_.IsOne(); }
+  bool operator==(const GT& o) const { return v_ == o.v_; }
+  bool operator!=(const GT& o) const { return v_ != o.v_; }
+
+  GT operator*(const GT& o) const { return GT(v_ * o.v_); }
+  GT& operator*=(const GT& o) { v_ *= o.v_; return *this; }
+
+  /// Inverse; elements produced by the pairing live in the cyclotomic
+  /// subgroup where inversion is conjugation.
+  GT Inverse() const { return GT(v_.Conjugate()); }
+
+  GT Pow(const U256& e) const { return GT(v_.Pow(e)); }
+  GT Pow(const Fr& e) const { return GT(v_.Pow(e.ToCanonical())); }
+
+  /// Canonical 384-byte serialization (used for GT digests / hash joins).
+  std::array<uint8_t, 384> ToBytes() const {
+    std::array<uint8_t, 384> out;
+    v_.ToBytesBE(out.data());
+    return out;
+  }
+
+ private:
+  Fp12 v_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_PAIRING_GT_H_

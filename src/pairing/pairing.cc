@@ -1,0 +1,226 @@
+#include "pairing/pairing.h"
+
+#include <array>
+
+#include "bigint/bigint.h"
+#include "pairing/frobenius.h"
+#include "util/status.h"
+
+namespace sjoin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Line functions.
+//
+// With the D-type twist, the untwisting map is psi(x', y') = (x' w^2, y' w^3)
+// where w^6 = xi. The line through points of E(Fp12) evaluated at
+// P = (xP, yP) in E(Fp), anchored at an affine twist point and scaled by the
+// slope denominator, has the sparse form
+//     l = a0 + b0 * w + b1 * w^3,   a0, b0, b1 in Fp2.
+// Derivations (T = (X,Y,Z) Jacobian on the twist, x1 = X/Z^2, y1 = Y/Z^3):
+//
+// Tangent at T, scaled by 2*y1*Z^6:
+//     a0 = 2 Y Z^3 * yP,  b0 = -3 X^2 Z^2 * xP,  b1 = 3 X^3 - 2 Y^2.
+//
+// Chord through T and affine Q=(x2,y2), scaled by 2*Z*(x2 Z^2 - X):
+//     a0 = Z3 * yP,   b0 = -rr * xP,   b1 = rr * x2 - Z3 * y2,
+// where rr = 2(y2 Z^3 - Y) and Z3 = 2 Z (x2 Z^2 - X) is exactly the new Z
+// produced by the mixed-addition formulas, so both are free.
+//
+// Scaling the line by nonzero Fp2 constants is harmless: Fp2 lies inside
+// Fp6, whose elements are annihilated by the (p^6-1) easy part of the final
+// exponentiation.
+// ---------------------------------------------------------------------------
+
+struct LineEval {
+  Fp2 a0;  // w^0 slot
+  Fp2 b0;  // w^1 slot
+  Fp2 b1;  // w^3 slot
+};
+
+// Doubling step: consumes T (Jacobian on the twist), outputs 2T and the
+// tangent line at T evaluated at P.
+void DoublingStep(G2* t, const Fp& xp, const Fp& yp, LineEval* line) {
+  const Fp2 X = t->X(), Y = t->Y(), Z = t->Z();
+  Fp2 XX = X.Square();
+  Fp2 YY = Y.Square();
+  Fp2 ZZ = Z.Square();
+  Fp2 three_xx = XX.Double() + XX;
+
+  line->a0 = (Y * Z * ZZ).Double().MulByFp(yp);        // 2 Y Z^3 yP
+  line->b0 = -(three_xx * ZZ).MulByFp(xp);             // -3 X^2 Z^2 xP
+  line->b1 = three_xx * X - YY.Double();               // 3 X^3 - 2 Y^2
+
+  *t = t->Double();
+}
+
+// Addition step: consumes T and affine Q, outputs T+Q and the chord line
+// through them evaluated at P.
+void AdditionStep(G2* t, const G2Affine& q, const Fp& xp, const Fp& yp,
+                  LineEval* line) {
+  const Fp2 Z = t->Z();
+  Fp2 ZZ = Z.Square();
+  Fp2 rr = (q.y * Z * ZZ - t->Y()).Double();  // 2 (y2 Z^3 - Y)
+
+  *t = t->AddMixed(q);
+  const Fp2& z3 = t->Z();  // 2 Z (x2 Z^2 - X)
+
+  line->a0 = z3.MulByFp(yp);
+  line->b0 = -rr.MulByFp(xp);
+  line->b1 = rr * q.x - z3 * q.y;
+}
+
+// NAF digits of 6x+2 (65 bits), most significant first.
+const std::vector<int8_t>& AteLoopNaf() {
+  static const std::vector<int8_t>* kNaf = [] {
+    uint128_t s = static_cast<uint128_t>(6) * kBnX + 2;
+    std::vector<int8_t> digits;  // least significant first while building
+    while (s != 0) {
+      int8_t d = 0;
+      if (s & 1) {
+        uint64_t mod4 = static_cast<uint64_t>(s & 3);
+        d = (mod4 == 3) ? -1 : 1;
+        if (d > 0) {
+          s -= 1;
+        } else {
+          s += 1;
+        }
+      }
+      digits.push_back(d);
+      s >>= 1;
+    }
+    return new std::vector<int8_t>(digits.rbegin(), digits.rend());
+  }();
+  return *kNaf;
+}
+
+struct PairState {
+  Fp xp, yp;      // G1 point (affine)
+  G2Affine q;     // G2 point (affine)
+  G2Affine negq;  // -Q
+  G2 t;           // running Jacobian point
+};
+
+Fp12 MultiMillerLoopImpl(std::vector<PairState>* states) {
+  const std::vector<int8_t>& naf = AteLoopNaf();
+  Fp12 f = Fp12::One();
+  LineEval line;
+  // Skip the leading digit (always 1): f starts at 1 and T at Q.
+  for (size_t i = 1; i < naf.size(); ++i) {
+    f = f.Square();
+    for (PairState& s : *states) {
+      DoublingStep(&s.t, s.xp, s.yp, &line);
+      f = f.MulByLine(line.a0, line.b0, line.b1);
+    }
+    int8_t d = naf[i];
+    if (d != 0) {
+      for (PairState& s : *states) {
+        AdditionStep(&s.t, d > 0 ? s.q : s.negq, s.xp, s.yp, &line);
+        f = f.MulByLine(line.a0, line.b0, line.b1);
+      }
+    }
+  }
+  // Optimal ate tail: lines through pi_p(Q) and -pi_{p^2}(Q).
+  for (PairState& s : *states) {
+    G2Affine q1 = G2Affine::From(TwistFrobeniusX(s.q.x, 1),
+                                 TwistFrobeniusY(s.q.y, 1));
+    G2Affine q2_neg = G2Affine::From(TwistFrobeniusX(s.q.x, 2),
+                                     -TwistFrobeniusY(s.q.y, 2));
+    AdditionStep(&s.t, q1, s.xp, s.yp, &line);
+    f = f.MulByLine(line.a0, line.b0, line.b1);
+    AdditionStep(&s.t, q2_neg, s.xp, s.yp, &line);
+    f = f.MulByLine(line.a0, line.b0, line.b1);
+  }
+  return f;
+}
+
+std::vector<PairState> BuildStates(
+    std::span<const std::pair<G1Affine, G2Affine>> pairs) {
+  std::vector<PairState> states;
+  states.reserve(pairs.size());
+  for (const auto& [p, q] : pairs) {
+    if (p.infinity || q.infinity) continue;  // contributes factor 1
+    PairState s;
+    s.xp = p.x;
+    s.yp = p.y;
+    s.q = q;
+    s.negq = q.Negate();
+    s.t = G2::FromAffine(q);
+    states.push_back(s);
+  }
+  return states;
+}
+
+// f^x for the BN parameter (64-bit, plain square-and-multiply; inputs are in
+// the cyclotomic subgroup but correctness does not depend on that).
+Fp12 PowX(const Fp12& f) {
+  U256 x{{kBnX, 0, 0, 0}};
+  return f.Pow(x);
+}
+
+}  // namespace
+
+Fp12 MillerLoop(const G1Affine& p, const G2Affine& q) {
+  std::array<std::pair<G1Affine, G2Affine>, 1> one = {{{p, q}}};
+  return MultiMillerLoop(one);
+}
+
+Fp12 MultiMillerLoop(std::span<const std::pair<G1Affine, G2Affine>> pairs) {
+  std::vector<PairState> states = BuildStates(pairs);
+  if (states.empty()) return Fp12::One();
+  return MultiMillerLoopImpl(&states);
+}
+
+Fp12 FinalExponentiation(const Fp12& f) {
+  if (f.IsZero()) return f;  // degenerate; never produced by Miller loops
+  // Easy part: f^((p^6 - 1)(p^2 + 1)).
+  Fp12 m = f.Conjugate() * f.Inverse();   // f^(p^6 - 1)
+  m = Frobenius(m, 2) * m;                // ^(p^2 + 1)
+  // Hard part (Beuchat et al., "High-speed software implementation of the
+  // optimal ate pairing over BN curves"): exponent (p^4 - p^2 + 1)/r.
+  Fp12 ft1 = PowX(m);
+  Fp12 ft2 = PowX(ft1);
+  Fp12 ft3 = PowX(ft2);
+  Fp12 y0 = Frobenius(m, 1) * Frobenius(m, 2) * Frobenius(m, 3);
+  Fp12 y1 = m.Conjugate();
+  Fp12 y2 = Frobenius(ft2, 2);
+  Fp12 y3 = Frobenius(ft1, 1).Conjugate();
+  Fp12 y4 = (ft1 * Frobenius(ft2, 1)).Conjugate();
+  Fp12 y5 = ft2.Conjugate();
+  Fp12 y6 = (ft3 * Frobenius(ft3, 1)).Conjugate();
+  Fp12 t0 = y6.Square() * y4 * y5;
+  Fp12 t1 = y3 * y5 * t0;
+  t0 = t0 * y2;
+  t1 = (t1.Square() * t0).Square();
+  t0 = t1 * y1;
+  t1 = t1 * y0;
+  t0 = t0.Square();
+  return t1 * t0;
+}
+
+Fp12 FinalExponentiationReference(const Fp12& f) {
+  if (f.IsZero()) return f;
+  Fp12 m = f.Conjugate() * f.Inverse();
+  m = Frobenius(m, 2) * m;
+  BigInt p = BigInt::FromDecimal(kBn254PDecimal);
+  BigInt r = BigInt::FromDecimal(kBn254RDecimal);
+  BigInt p2 = p * p;
+  BigInt p4 = p2 * p2;
+  auto [hard, rem] = (p4 - p2 + BigInt(1)).DivMod(r);
+  SJOIN_CHECK(rem.IsZero());
+  return m.Pow(hard);
+}
+
+GT Pair(const G1Affine& p, const G2Affine& q) {
+  return GT(FinalExponentiation(MillerLoop(p, q)));
+}
+
+GT Pair(const G1& p, const G2& q) {
+  return Pair(p.ToAffine(), q.ToAffine());
+}
+
+GT MultiPair(std::span<const std::pair<G1Affine, G2Affine>> pairs) {
+  return GT(FinalExponentiation(MultiMillerLoop(pairs)));
+}
+
+}  // namespace sjoin

@@ -1,0 +1,50 @@
+// Optimal ate pairing e : G1 x G2 -> GT on BN254.
+//
+// The Miller loop runs over the NAF digits of 6x+2 (x = kBnX) with line
+// functions evaluated at the G1 point; after the loop two extra line
+// additions with pi_p(Q) and -pi_{p^2}(Q) complete the optimal ate formula.
+// Line functions are derived in Jacobian coordinates (see pairing.cc) and
+// are scaled by arbitrary nonzero Fp2 constants, which the final
+// exponentiation eliminates.
+//
+// MultiPairing computes prod_i e(P_i, Q_i) with a shared accumulator
+// (one squaring chain and one final exponentiation for the whole product) --
+// this is what makes SJ.Dec cost ~n sparse multiplications instead of n
+// full pairings for vector dimension n.
+#ifndef SJOIN_PAIRING_PAIRING_H_
+#define SJOIN_PAIRING_PAIRING_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ec/g1.h"
+#include "ec/g2.h"
+#include "pairing/gt.h"
+
+namespace sjoin {
+
+/// Miller loop only (no final exponentiation).
+Fp12 MillerLoop(const G1Affine& p, const G2Affine& q);
+
+/// Product of Miller loops with one shared squaring chain.
+Fp12 MultiMillerLoop(std::span<const std::pair<G1Affine, G2Affine>> pairs);
+
+/// Final exponentiation f^((p^12-1)/r): easy part + Beuchat et al. hard part.
+Fp12 FinalExponentiation(const Fp12& f);
+
+/// Reference final exponentiation: the hard part computed by naive
+/// square-and-multiply with the BigInt exponent (p^4 - p^2 + 1)/r.
+/// Slow; used by tests to validate the fast chain.
+Fp12 FinalExponentiationReference(const Fp12& f);
+
+/// e(P, Q). Returns GT::One() if either input is the identity.
+GT Pair(const G1& p, const G2& q);
+GT Pair(const G1Affine& p, const G2Affine& q);
+
+/// prod_i e(P_i, Q_i) with a single final exponentiation.
+GT MultiPair(std::span<const std::pair<G1Affine, G2Affine>> pairs);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_PAIRING_PAIRING_H_

@@ -1,0 +1,163 @@
+#include "tpch/tpch.h"
+
+#include <cmath>
+
+#include "crypto/rng.h"
+#include "util/status.h"
+
+namespace sjoin {
+namespace {
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                           "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kStatuses[] = {"O", "F", "P"};
+const char* kCommentWords[] = {"carefully", "final", "deposits", "sleep",
+                               "quickly", "ironic", "requests", "accounts",
+                               "pending", "furiously", "express", "packages"};
+
+std::string PaddedNumber(const std::string& prefix, uint64_t n, int width) {
+  std::string digits = std::to_string(n);
+  std::string out = prefix;
+  for (int i = static_cast<int>(digits.size()); i < width; ++i) {
+    out.push_back('0');
+  }
+  return out + digits;
+}
+
+std::string RandomComment(Rng* rng) {
+  std::string out;
+  size_t words = 3 + rng->NextUint64Below(5);
+  for (size_t i = 0; i < words; ++i) {
+    if (i) out.push_back(' ');
+    out += kCommentWords[rng->NextUint64Below(std::size(kCommentWords))];
+  }
+  return out;
+}
+
+std::string RandomPhone(Rng* rng) {
+  std::string out = std::to_string(10 + rng->NextUint64Below(25));
+  out.push_back('-');
+  for (int group = 0; group < 3; ++group) {
+    out += std::to_string(100 + rng->NextUint64Below(900));
+    if (group < 2) out.push_back('-');
+  }
+  return out;
+}
+
+std::string RandomDate(Rng* rng) {
+  uint64_t year = 1992 + rng->NextUint64Below(7);
+  uint64_t month = 1 + rng->NextUint64Below(12);
+  uint64_t day = 1 + rng->NextUint64Below(28);
+  return PaddedNumber(std::to_string(year) + "-", month, 2) +
+         PaddedNumber("-", day, 2);
+}
+
+/// The paper assigns selectivity value s to exactly s*n rows; rows not
+/// covered by any of the four values get a unique filler so they match no
+/// selectivity query.
+std::vector<std::string> SelectivityColumn(size_t n, Rng* rng) {
+  std::vector<std::string> labels;
+  labels.reserve(n);
+  for (double s : TpchSelectivities()) {
+    size_t count = static_cast<size_t>(std::llround(s * static_cast<double>(n)));
+    for (size_t i = 0; i < count && labels.size() < n; ++i) {
+      labels.push_back(SelectivityLabel(s));
+    }
+  }
+  while (labels.size() < n) {
+    labels.push_back("none-" + std::to_string(labels.size()));
+  }
+  // Fisher-Yates shuffle for a deterministic but unordered assignment.
+  for (size_t i = n; i > 1; --i) {
+    size_t j = rng->NextUint64Below(i);
+    std::swap(labels[i - 1], labels[j]);
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::string SelectivityLabel(double s) {
+  // Render 1/12.5, 1/25, 1/50, 1/100 exactly.
+  double inv = 1.0 / s;
+  double rounded = std::round(inv * 10.0) / 10.0;
+  std::string txt;
+  if (std::abs(rounded - std::round(rounded)) < 1e-9) {
+    txt = std::to_string(static_cast<int64_t>(std::llround(rounded)));
+  } else {
+    txt = std::to_string(rounded);
+    // Trim trailing zeros of the fractional part.
+    while (txt.back() == '0') txt.pop_back();
+  }
+  return "s=1/" + txt;
+}
+
+Table GenerateCustomers(const TpchOptions& options) {
+  size_t n = static_cast<size_t>(
+      std::llround(kTpchCustomersBaseRows * options.scale_factor));
+  Rng rng(options.seed ^ 0xc001d00dULL);
+  Table t("Customers", Schema({{"custkey", ValueKind::kInt64},
+                               {"name", ValueKind::kString},
+                               {"address", ValueKind::kString},
+                               {"nationkey", ValueKind::kInt64},
+                               {"phone", ValueKind::kString},
+                               {"acctbal", ValueKind::kInt64},
+                               {"mktsegment", ValueKind::kString},
+                               {"comment", ValueKind::kString},
+                               {"selectivity", ValueKind::kString}}));
+  std::vector<std::string> selectivity = SelectivityColumn(n, &rng);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t custkey = static_cast<int64_t>(i + 1);
+    Status s = t.AppendRow(
+        {custkey,
+         PaddedNumber("Customer#", i + 1, 9),
+         "addr-" + std::to_string(rng.NextUint64() % 100000),
+         static_cast<int64_t>(rng.NextUint64Below(25)),
+         RandomPhone(&rng),
+         static_cast<int64_t>(rng.NextUint64Below(1000000)) - 99999,
+         kSegments[rng.NextUint64Below(std::size(kSegments))],
+         RandomComment(&rng),
+         selectivity[i]});
+    SJOIN_CHECK(s.ok());
+  }
+  return t;
+}
+
+Table GenerateOrders(const TpchOptions& options) {
+  size_t n = static_cast<size_t>(
+      std::llround(kTpchOrdersBaseRows * options.scale_factor));
+  size_t customers = static_cast<size_t>(
+      std::llround(kTpchCustomersBaseRows * options.scale_factor));
+  SJOIN_CHECK(customers > 0);
+  Rng rng(options.seed ^ 0x0bdecafeULL);
+  Table t("Orders", Schema({{"orderkey", ValueKind::kInt64},
+                            {"custkey", ValueKind::kInt64},
+                            {"orderstatus", ValueKind::kString},
+                            {"totalprice", ValueKind::kInt64},
+                            {"orderdate", ValueKind::kString},
+                            {"orderpriority", ValueKind::kString},
+                            {"clerk", ValueKind::kString},
+                            {"shippriority", ValueKind::kInt64},
+                            {"comment", ValueKind::kString},
+                            {"selectivity", ValueKind::kString}}));
+  std::vector<std::string> selectivity = SelectivityColumn(n, &rng);
+  for (size_t i = 0; i < n; ++i) {
+    Status s = t.AppendRow(
+        {static_cast<int64_t>(i + 1),
+         static_cast<int64_t>(1 + rng.NextUint64Below(customers)),
+         kStatuses[rng.NextUint64Below(std::size(kStatuses))],
+         static_cast<int64_t>(100000 + rng.NextUint64Below(50000000)),
+         RandomDate(&rng),
+         kPriorities[rng.NextUint64Below(std::size(kPriorities))],
+         PaddedNumber("Clerk#", 1 + rng.NextUint64Below(1000), 9),
+         int64_t{0},
+         RandomComment(&rng),
+         selectivity[i]});
+    SJOIN_CHECK(s.ok());
+  }
+  return t;
+}
+
+}  // namespace sjoin

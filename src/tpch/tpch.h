@@ -1,0 +1,51 @@
+// TPC-H-like data generator for the Section 6 evaluation.
+//
+// The paper evaluates on the Customers and Orders tables (8 and 9
+// attributes), scale factors 0.01-0.1, joined on custkey, with an added
+// `selectivity` column whose value s is assigned to exactly s*n rows
+// (s in {1/12.5, 1/25, 1/50, 1/100}). The official dbgen tool is not
+// available offline; this generator reproduces the schemas, the row counts
+// per scale factor (Customers = 150,000 * SF, Orders = 1,500,000 * SF) and
+// TPC-H-shaped value distributions deterministically from a seed. Join
+// runtime depends only on row counts and selectivities, so the evaluation
+// shapes are preserved (see DESIGN.md, substitutions).
+#ifndef SJOIN_TPCH_TPCH_H_
+#define SJOIN_TPCH_TPCH_H_
+
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+
+namespace sjoin {
+
+inline constexpr size_t kTpchCustomersBaseRows = 150000;
+inline constexpr size_t kTpchOrdersBaseRows = 1500000;
+
+/// The paper's selectivity values, largest first.
+inline const std::vector<double>& TpchSelectivities() {
+  static const std::vector<double> kS = {1 / 12.5, 1 / 25.0, 1 / 50.0,
+                                         1 / 100.0};
+  return kS;
+}
+
+/// Column label for a selectivity value (e.g. "s=1/25").
+std::string SelectivityLabel(double s);
+
+struct TpchOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 20220101;
+};
+
+/// Customers(custkey, name, address, nationkey, phone, acctbal, mktsegment,
+/// comment, selectivity); 150,000 * SF rows, custkey = 1..n.
+Table GenerateCustomers(const TpchOptions& options);
+
+/// Orders(orderkey, custkey, orderstatus, totalprice, orderdate,
+/// orderpriority, clerk, shippriority, comment, selectivity);
+/// 1,500,000 * SF rows, custkey uniform over the customers of the same SF.
+Table GenerateOrders(const TpchOptions& options);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_TPCH_TPCH_H_

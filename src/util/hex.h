@@ -1,0 +1,24 @@
+// Hex encoding/decoding for byte strings.
+#ifndef SJOIN_UTIL_HEX_H_
+#define SJOIN_UTIL_HEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sjoin {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Lowercase hex encoding of `data`.
+std::string ToHex(const Bytes& data);
+std::string ToHex(const uint8_t* data, size_t len);
+
+/// Decodes a hex string (case-insensitive, even length).
+Result<Bytes> FromHex(const std::string& hex);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_UTIL_HEX_H_

@@ -1,0 +1,118 @@
+// Status / Result error-handling primitives (RocksDB/Arrow idiom: the library
+// does not throw; fallible operations return Status or Result<T>).
+#ifndef SJOIN_UTIL_STATUS_H_
+#define SJOIN_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sjoin {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Lightweight error carrier. An engaged message implies a non-OK code.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "UNKNOWN";
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
+      case StatusCode::kNotFound: name = "NOT_FOUND"; break;
+      case StatusCode::kAlreadyExists: name = "ALREADY_EXISTS"; break;
+      case StatusCode::kFailedPrecondition: name = "FAILED_PRECONDITION"; break;
+      case StatusCode::kOutOfRange: name = "OUT_OF_RANGE"; break;
+      case StatusCode::kInternal: name = "INTERNAL"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {}   // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+  T& value() & { return std::get<T>(rep_); }
+  const T& value() const& { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace sjoin
+
+/// Internal invariant check; aborts with location info on failure. Used for
+/// programmer errors, never for data-dependent conditions.
+#define SJOIN_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SJOIN_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define SJOIN_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::sjoin::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#endif  // SJOIN_UTIL_STATUS_H_

@@ -1,0 +1,222 @@
+// Comparative tests of the four join-encryption schemes on the paper's
+// running example (Section 2.1, Tables 1-4) and on randomized workloads:
+// all schemes return identical join results, but their leakage timelines
+// differ exactly as the paper's analysis predicts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "baselines/cryptdb_onion.h"
+#include "baselines/det_join.h"
+#include "baselines/hahn.h"
+#include "baselines/minimal_reference.h"
+#include "baselines/secure_join_adapter.h"
+
+namespace sjoin {
+namespace {
+
+Table MakeTeams() {
+  Table t("Teams", Schema({{"key", ValueKind::kInt64},
+                           {"name", ValueKind::kString}}));
+  SJOIN_CHECK(t.AppendRow({int64_t{1}, "Web Application"}).ok());
+  SJOIN_CHECK(t.AppendRow({int64_t{2}, "Database"}).ok());
+  return t;
+}
+
+Table MakeEmployees() {
+  Table t("Employees", Schema({{"record", ValueKind::kInt64},
+                               {"employee", ValueKind::kString},
+                               {"role", ValueKind::kString},
+                               {"team", ValueKind::kInt64}}));
+  SJOIN_CHECK(t.AppendRow({int64_t{1}, "Hans", "Programmer", int64_t{1}}).ok());
+  SJOIN_CHECK(t.AppendRow({int64_t{2}, "Kaily", "Tester", int64_t{1}}).ok());
+  SJOIN_CHECK(t.AppendRow({int64_t{3}, "John", "Programmer", int64_t{2}}).ok());
+  SJOIN_CHECK(t.AppendRow({int64_t{4}, "Sally", "Tester", int64_t{2}}).ok());
+  return t;
+}
+
+JoinQuerySpec QueryT1() {
+  JoinQuerySpec q;
+  q.table_a = "Teams";
+  q.table_b = "Employees";
+  q.join_column_a = "key";
+  q.join_column_b = "team";
+  q.selection_a.predicates = {{"name", {Value("Web Application")}}};
+  q.selection_b.predicates = {{"role", {Value("Tester")}}};
+  return q;
+}
+
+JoinQuerySpec QueryT2() {
+  JoinQuerySpec q = QueryT1();
+  q.selection_a.predicates = {{"name", {Value("Database")}}};
+  q.selection_b.predicates = {{"role", {Value("Programmer")}}};
+  return q;
+}
+
+std::vector<JoinedRowPair> Sorted(std::vector<JoinedRowPair> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// Runs the paper's t0/t1/t2 timeline on a scheme; returns the three
+// revealed-pair counts and checks the query results are correct.
+std::array<size_t, 3> RunExampleTimeline(JoinSchemeBaseline* scheme) {
+  EXPECT_TRUE(
+      scheme->Upload(MakeTeams(), "key", MakeEmployees(), "team").ok());
+  std::array<size_t, 3> leaks{};
+  leaks[0] = scheme->RevealedPairCount();
+
+  auto r1 = scheme->RunQuery(QueryT1());
+  EXPECT_TRUE(r1.ok()) << scheme->SchemeName() << ": "
+                       << r1.status().ToString();
+  // Table 3 of the paper: Kaily (Employees row 1) with Teams row 0.
+  EXPECT_EQ(Sorted(*r1), (std::vector<JoinedRowPair>{{0, 1}}))
+      << scheme->SchemeName();
+  leaks[1] = scheme->RevealedPairCount();
+
+  auto r2 = scheme->RunQuery(QueryT2());
+  EXPECT_TRUE(r2.ok());
+  // Table 4 of the paper: John (Employees row 2) with Teams row 1.
+  EXPECT_EQ(Sorted(*r2), (std::vector<JoinedRowPair>{{1, 2}}))
+      << scheme->SchemeName();
+  leaks[2] = scheme->RevealedPairCount();
+  return leaks;
+}
+
+TEST(BaselineTimelineTest, DetLeaksEverythingFromUpload) {
+  DetJoinBaseline det(1);
+  EXPECT_EQ(RunExampleTimeline(&det), (std::array<size_t, 3>{6, 6, 6}));
+}
+
+TEST(BaselineTimelineTest, CryptDbLeaksEverythingAfterFirstJoin) {
+  CryptDbOnionBaseline onion(2);
+  EXPECT_FALSE(onion.JoinOnionStripped());
+  EXPECT_EQ(RunExampleTimeline(&onion), (std::array<size_t, 3>{0, 6, 6}));
+  EXPECT_TRUE(onion.JoinOnionStripped());
+}
+
+TEST(BaselineTimelineTest, HahnLeaksSuperAdditively) {
+  HahnBaseline hahn(3);
+  // t1 is minimal (1 pair) but t2 jumps to all 6: the union of unwrapped
+  // rows is more than the union of the per-query pair leakages.
+  EXPECT_EQ(RunExampleTimeline(&hahn), (std::array<size_t, 3>{0, 1, 6}));
+  EXPECT_EQ(hahn.UnwrappedRowCount(), 6u);
+}
+
+TEST(BaselineTimelineTest, SecureJoinLeaksOnlyTransitiveClosure) {
+  SecureJoinAdapter sj(ClientOptions{
+      .num_attrs = 3, .max_in_clause = 2, .rng_seed = 4});
+  EXPECT_EQ(RunExampleTimeline(&sj), (std::array<size_t, 3>{0, 1, 2}));
+}
+
+TEST(BaselineTimelineTest, MinimalReferenceTimeline) {
+  MinimalLeakageReference ref;
+  EXPECT_EQ(RunExampleTimeline(&ref), (std::array<size_t, 3>{0, 1, 2}));
+}
+
+TEST(HahnTest, RejectsNonPkJoin) {
+  HahnBaseline hahn(5);
+  // Joining Employees (non-unique team) as the left table violates PK-FK.
+  Table emps = MakeEmployees();
+  Table teams = MakeTeams();
+  Status s = hahn.Upload(emps, "team", teams, "key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HahnTest, UnrestrictedQueryUnwrapsEverything) {
+  HahnBaseline hahn(6);
+  ASSERT_TRUE(hahn.Upload(MakeTeams(), "key", MakeEmployees(), "team").ok());
+  JoinQuerySpec q = QueryT1();
+  q.selection_a.predicates.clear();
+  q.selection_b.predicates.clear();
+  auto r = hahn.RunQuery(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);  // full PK-FK join
+  EXPECT_EQ(hahn.UnwrappedRowCount(), 6u);
+  EXPECT_EQ(hahn.RevealedPairCount(), 6u);
+}
+
+TEST(DetTest, SelectionViaDetTagsWorks) {
+  DetJoinBaseline det(7);
+  ASSERT_TRUE(det.Upload(MakeTeams(), "key", MakeEmployees(), "team").ok());
+  JoinQuerySpec q = QueryT1();
+  q.selection_b.predicates = {{"role", {Value("Tester"), Value("Programmer")}}};
+  auto r = det.RunQuery(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);  // both employees of team 1
+}
+
+// Randomized workload: all four schemes agree with the plaintext join, the
+// leakage ordering DET >= CryptDB >= Hahn >= SecureJoin == minimum holds at
+// every step.
+TEST(BaselinePropertyTest, LeakageOrderingOnRandomWorkload) {
+  Rng rng(777);
+  // Left table: unique keys 0..n-1 (PK side for Hahn); right: random FKs.
+  const int n = 8;
+  Table left("L", Schema({{"id", ValueKind::kInt64},
+                          {"grp", ValueKind::kInt64}}));
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(
+        left.AppendRow({int64_t{i},
+                        static_cast<int64_t>(rng.NextUint64Below(3))})
+            .ok());
+  }
+  Table right("R", Schema({{"fk", ValueKind::kInt64},
+                           {"cat", ValueKind::kInt64}}));
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(
+        right
+            .AppendRow({static_cast<int64_t>(rng.NextUint64Below(n)),
+                        static_cast<int64_t>(rng.NextUint64Below(3))})
+            .ok());
+  }
+
+  DetJoinBaseline det(10);
+  CryptDbOnionBaseline onion(11);
+  HahnBaseline hahn(12);
+  SecureJoinAdapter sj(ClientOptions{
+      .num_attrs = 1, .max_in_clause = 2, .rng_seed = 13});
+  MinimalLeakageReference ref;
+  std::vector<JoinSchemeBaseline*> schemes = {&det, &onion, &hahn, &sj, &ref};
+  for (auto* s : schemes) {
+    ASSERT_TRUE(s->Upload(left, "id", right, "fk").ok()) << s->SchemeName();
+  }
+
+  for (int step = 0; step < 3; ++step) {
+    JoinQuerySpec q;
+    q.table_a = "L";
+    q.table_b = "R";
+    q.join_column_a = "id";
+    q.join_column_b = "fk";
+    int64_t ga = static_cast<int64_t>(rng.NextUint64Below(3));
+    int64_t cb = static_cast<int64_t>(rng.NextUint64Below(3));
+    q.selection_a.predicates = {{"grp", {Value(ga)}}};
+    q.selection_b.predicates = {{"cat", {Value(cb)}}};
+
+    std::vector<std::vector<JoinedRowPair>> results;
+    for (auto* s : schemes) {
+      auto r = s->RunQuery(q);
+      ASSERT_TRUE(r.ok()) << s->SchemeName() << ": " << r.status().ToString();
+      results.push_back(Sorted(*r));
+    }
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[i], results[0])
+          << schemes[i]->SchemeName() << " step " << step;
+    }
+    // Leakage ordering, and SecureJoin == minimum.
+    size_t l_det = det.RevealedPairCount();
+    size_t l_onion = onion.RevealedPairCount();
+    size_t l_hahn = hahn.RevealedPairCount();
+    size_t l_sj = sj.RevealedPairCount();
+    size_t l_min = ref.RevealedPairCount();
+    EXPECT_GE(l_det, l_onion);
+    EXPECT_GE(l_onion, l_hahn);
+    EXPECT_GE(l_hahn, l_sj);
+    EXPECT_EQ(l_sj, l_min) << "SecureJoin must leak exactly the closure";
+  }
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,142 @@
+#include "bigint/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+namespace sjoin {
+namespace {
+
+TEST(BigIntTest, ZeroBasics) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToDecimal(), "0");
+  EXPECT_EQ(z.ToUint64(), 0u);
+}
+
+TEST(BigIntTest, FromUint64RoundTrip) {
+  for (uint64_t v : {0ull, 1ull, 2ull, 255ull, 4294967295ull, 4294967296ull,
+                     18446744073709551615ull}) {
+    BigInt b(v);
+    EXPECT_EQ(b.ToUint64(), v);
+    EXPECT_EQ(BigInt::FromDecimal(b.ToDecimal()), b);
+  }
+}
+
+TEST(BigIntTest, DecimalParseKnownValue) {
+  BigInt b = BigInt::FromDecimal("340282366920938463463374607431768211456");
+  // 2^128
+  EXPECT_EQ(b, BigInt(1) << 128);
+  EXPECT_EQ(b.BitLength(), 129u);
+}
+
+TEST(BigIntTest, TryFromDecimalRejectsGarbage) {
+  EXPECT_FALSE(BigInt::TryFromDecimal("").ok());
+  EXPECT_FALSE(BigInt::TryFromDecimal("12a3").ok());
+  EXPECT_FALSE(BigInt::TryFromDecimal("-5").ok());
+  EXPECT_TRUE(BigInt::TryFromDecimal("0123").ok());
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  BigInt b = BigInt::FromHexString("deadbeefcafebabe1234567890abcdef");
+  EXPECT_EQ(b.ToHexString(), "deadbeefcafebabe1234567890abcdef");
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt a = (BigInt(1) << 96) - BigInt(1);
+  BigInt b(1);
+  EXPECT_EQ(a + b, BigInt(1) << 96);
+}
+
+TEST(BigIntTest, SubtractionBorrows) {
+  BigInt a = BigInt(1) << 128;
+  BigInt b(1);
+  BigInt c = a - b;
+  EXPECT_EQ(c + b, a);
+  EXPECT_EQ(c.BitLength(), 128u);
+}
+
+TEST(BigIntTest, MultiplicationKnownValues) {
+  BigInt a = BigInt::FromDecimal("123456789012345678901234567890");
+  BigInt b = BigInt::FromDecimal("987654321098765432109876543210");
+  EXPECT_EQ((a * b).ToDecimal(),
+            "121932631137021795226185032733622923332237463801111263526900");
+  EXPECT_EQ((a * BigInt()).ToDecimal(), "0");
+  EXPECT_EQ((a * BigInt(1)), a);
+}
+
+TEST(BigIntTest, ShiftsInverse) {
+  BigInt a = BigInt::FromDecimal("98765432109876543210987654321");
+  for (size_t s : {1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ((a << s) >> s, a) << "shift " << s;
+  }
+}
+
+TEST(BigIntTest, DivModSmall) {
+  BigInt a(100);
+  auto [q, r] = a.DivMod(BigInt(7));
+  EXPECT_EQ(q.ToUint64(), 14u);
+  EXPECT_EQ(r.ToUint64(), 2u);
+}
+
+TEST(BigIntTest, DivModLargeReconstructs) {
+  BigInt a = BigInt::FromDecimal(
+      "2188824287183927522224640574525727508869631115729782366268903789464522"
+      "6208583");
+  BigInt d = BigInt::FromDecimal("340282366920938463463374607431768211507");
+  auto [q, r] = a.DivMod(d);
+  EXPECT_LT(r.Compare(d), 0);
+  EXPECT_EQ(q * d + r, a);
+}
+
+TEST(BigIntTest, DivModRandomizedReconstructs) {
+  std::mt19937_64 gen(42);
+  for (int i = 0; i < 200; ++i) {
+    BigInt a(gen());
+    a = (a << 64) + BigInt(gen());
+    a = (a << 64) + BigInt(gen());
+    BigInt d(gen() | 1);
+    if (i % 3 == 0) d = (d << 37) + BigInt(gen());
+    auto [q, r] = a.DivMod(d);
+    EXPECT_EQ(q * d + r, a);
+    EXPECT_LT(r.Compare(d), 0);
+  }
+}
+
+TEST(BigIntTest, PowModMatchesFermat) {
+  // 2^(p-1) == 1 mod p for prime p.
+  BigInt p = BigInt::FromDecimal("1000000007");
+  BigInt e = p - BigInt(1);
+  EXPECT_EQ(BigInt(2).PowMod(e, p), BigInt(1));
+  EXPECT_EQ(BigInt(0).PowMod(e, p), BigInt(0));
+  EXPECT_EQ(BigInt(5).PowMod(BigInt(0), p), BigInt(1));
+}
+
+TEST(BigIntTest, BytesBERoundTrip) {
+  BigInt a = BigInt::FromDecimal("123456789012345678901234567890");
+  std::vector<uint8_t> bytes = a.ToBytesBE(32);
+  EXPECT_EQ(bytes.size(), 32u);
+  EXPECT_EQ(BigInt::FromBytesBE(bytes.data(), bytes.size()), a);
+}
+
+TEST(BigIntTest, BitAccess) {
+  BigInt a = BigInt(1) << 100;
+  EXPECT_TRUE(a.Bit(100));
+  EXPECT_FALSE(a.Bit(99));
+  EXPECT_FALSE(a.Bit(101));
+  EXPECT_FALSE(a.Bit(100000));
+}
+
+TEST(BigIntTest, CompareOrdering) {
+  BigInt a = BigInt::FromDecimal("99999999999999999999");
+  BigInt b = BigInt::FromDecimal("100000000000000000000");
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_GT(b.Compare(a), 0);
+  EXPECT_EQ(a.Compare(a), 0);
+  EXPECT_TRUE(a < b && b > a && a <= a && a >= a && a != b);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,276 @@
+// Known-answer tests (FIPS 180-4, RFC 4231, RFC 7539) and behavioural tests
+// for the crypto utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/aead.h"
+#include "crypto/chacha20.h"
+#include "crypto/hash_to_field.h"
+#include "crypto/rng.h"
+#include "crypto/sha256.h"
+#include "util/hex.h"
+
+namespace sjoin {
+namespace {
+
+std::string HexDigest(const Digest32& d) {
+  return ToHex(d.data(), d.size());
+}
+
+// --- SHA-256 (FIPS 180-4 examples) ------------------------------------------
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HexDigest(Sha256::Hash(std::string(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HexDigest(Sha256::Hash(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HexDigest(Sha256::Hash(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(HexDigest(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly and with vigor";
+  for (size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(h.Finish(), Sha256::Hash(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding edges must all differ.
+  std::set<std::string> digests;
+  for (size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    digests.insert(HexDigest(Sha256::Hash(std::string(len, 'x'))));
+  }
+  EXPECT_EQ(digests.size(), 9u);
+}
+
+// --- HMAC-SHA256 (RFC 4231) ---------------------------------------------------
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(HexDigest(HmacSha256(key, std::string("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  Bytes key = {'J', 'e', 'f', 'e'};
+  EXPECT_EQ(HexDigest(HmacSha256(key, std::string("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes msg(50, 0xdd);
+  EXPECT_EQ(HexDigest(HmacSha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      HexDigest(HmacSha256(key, std::string("Test Using Larger Than Block-Size "
+                                            "Key - Hash Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DifferentKeysDisagree) {
+  Bytes k1(16, 0x01), k2(16, 0x02);
+  Bytes msg = {1, 2, 3};
+  EXPECT_NE(HmacSha256(k1, msg), HmacSha256(k2, msg));
+}
+
+// --- ChaCha20 (RFC 7539) -----------------------------------------------------
+
+TEST(ChaCha20Test, QuarterRoundVector) {
+  uint32_t a = 0x11111111, b = 0x01020304, c = 0x9b8d6f43, d = 0x01234567;
+  ChaChaQuarterRound(&a, &b, &c, &d);
+  EXPECT_EQ(a, 0xea2a92f4u);
+  EXPECT_EQ(b, 0xcb1cf8ceu);
+  EXPECT_EQ(c, 0x4581472eu);
+  EXPECT_EQ(d, 0x5881c4bbu);
+}
+
+TEST(ChaCha20Test, BlockFunctionVector) {
+  // RFC 7539 section 2.3.2.
+  uint8_t key[32];
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<uint8_t>(i);
+  uint8_t nonce[12] = {0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  uint8_t out[64];
+  ChaCha20Block(key, 1, nonce, out);
+  EXPECT_EQ(ToHex(out, 64),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20Test, EncryptionVector) {
+  // RFC 7539 section 2.4.2.
+  uint8_t key[32];
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<uint8_t>(i);
+  uint8_t nonce[12] = {0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you only one "
+      "tip for the future, sunscreen would be it.";
+  Bytes data(plaintext.begin(), plaintext.end());
+  ChaCha20Xor(key, 1, nonce, data.data(), data.size());
+  EXPECT_EQ(ToHex(data).substr(0, 64),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b");
+}
+
+TEST(ChaCha20Test, XorIsInvolution) {
+  uint8_t key[32] = {7};
+  uint8_t nonce[12] = {9};
+  Bytes data(300);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  Bytes orig = data;
+  ChaCha20Xor(key, 5, nonce, data.data(), data.size());
+  EXPECT_NE(data, orig);
+  ChaCha20Xor(key, 5, nonce, data.data(), data.size());
+  EXPECT_EQ(data, orig);
+}
+
+// --- RNG ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(1234), b(1234);
+  EXPECT_EQ(a.NextBytes(40), b.NextBytes(40));
+  EXPECT_EQ(a.NextFr(), b.NextFr());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.NextBytes(32), b.NextBytes(32));
+}
+
+TEST(RngTest, NextUint64BelowInRange) {
+  Rng rng(99);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_LT(rng.NextUint64Below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextFrNonZero) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.NextFrNonZero().IsZero());
+  }
+}
+
+TEST(RngTest, FrLooksUniform) {
+  // Extremely weak sanity check: 100 draws are pairwise distinct.
+  Rng rng(6);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.NextFr().ToDecimal());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+// --- AEAD ---------------------------------------------------------------------
+
+TEST(AeadTest, RoundTrip) {
+  Rng rng(7);
+  AeadKey key = AeadKey::Random(&rng);
+  Bytes msg = {1, 2, 3, 4, 5, 250, 251, 252};
+  AeadCiphertext ct = key.Encrypt(msg, &rng);
+  auto back = key.Decrypt(ct);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, msg);
+}
+
+TEST(AeadTest, EmptyPlaintext) {
+  Rng rng(8);
+  AeadKey key = AeadKey::Random(&rng);
+  AeadCiphertext ct = key.Encrypt({}, &rng);
+  auto back = key.Decrypt(ct);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(AeadTest, TamperedBodyRejected) {
+  Rng rng(9);
+  AeadKey key = AeadKey::Random(&rng);
+  AeadCiphertext ct = key.Encrypt({10, 20, 30}, &rng);
+  ct.body[0] ^= 1;
+  EXPECT_FALSE(key.Decrypt(ct).ok());
+}
+
+TEST(AeadTest, TamperedTagRejected) {
+  Rng rng(10);
+  AeadKey key = AeadKey::Random(&rng);
+  AeadCiphertext ct = key.Encrypt({10, 20, 30}, &rng);
+  ct.tag[31] ^= 0x80;
+  EXPECT_FALSE(key.Decrypt(ct).ok());
+}
+
+TEST(AeadTest, WrongKeyRejected) {
+  Rng rng(11);
+  AeadKey k1 = AeadKey::Random(&rng);
+  AeadKey k2 = AeadKey::Random(&rng);
+  AeadCiphertext ct = k1.Encrypt({1, 2, 3}, &rng);
+  EXPECT_FALSE(k2.Decrypt(ct).ok());
+}
+
+TEST(AeadTest, NonceFreshPerEncryption) {
+  Rng rng(12);
+  AeadKey key = AeadKey::Random(&rng);
+  AeadCiphertext c1 = key.Encrypt({1}, &rng);
+  AeadCiphertext c2 = key.Encrypt({1}, &rng);
+  EXPECT_NE(c1.nonce, c2.nonce);
+  EXPECT_NE(c1.body, c2.body);
+}
+
+// --- Hash-to-field -------------------------------------------------------------
+
+TEST(HashToFieldTest, DeterministicAndDomainSeparated) {
+  Fr a = HashToFr("join", std::string("42"));
+  Fr b = HashToFr("join", std::string("42"));
+  Fr c = HashToFr("other", std::string("42"));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(HashToFieldTest, InjectiveOnSamples) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(HashToFr("join", std::to_string(i)).ToDecimal());
+  }
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(HashToFieldTest, MatchesManualExpansion) {
+  // H(m) == Fr::FromUniformBytes(SHA256(d||0||m) || SHA256(d||1||m)).
+  std::string domain = "dom", msg = "msg";
+  uint8_t wide[64];
+  for (uint8_t block = 0; block < 2; ++block) {
+    Sha256 h;
+    h.Update(domain);
+    h.Update(&block, 1);
+    h.Update(msg);
+    auto d = h.Finish();
+    memcpy(wide + 32 * block, d.data(), 32);
+  }
+  EXPECT_EQ(HashToFr(domain, msg), Fr::FromUniformBytes(wide));
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,155 @@
+// Function-hiding IPE tests: inner-product recovery in the original scheme,
+// the modified scheme's GT-equality semantics, and the master-key identity.
+#include <gtest/gtest.h>
+
+#include "ipe/ipe.h"
+
+namespace sjoin {
+namespace {
+
+std::vector<Fr> FrVec(std::initializer_list<uint64_t> xs) {
+  std::vector<Fr> v;
+  for (uint64_t x : xs) v.push_back(Fr::FromUint64(x));
+  return v;
+}
+
+TEST(IpeMasterKeyTest, SetupProducesConsistentKey) {
+  Rng rng(200);
+  IpeMasterKey msk = IpeMasterKey::Setup(6, &rng);
+  EXPECT_EQ(msk.dim, 6u);
+  EXPECT_FALSE(msk.det.IsZero());
+  // B (B*)^T = det * I.
+  EXPECT_EQ(msk.b * msk.b_star.Transpose(),
+            FrMatrix::Identity(6).ScalarMul(msk.det));
+}
+
+TEST(IpeTest, RecoversSmallInnerProduct) {
+  Rng rng(201);
+  IpeMasterKey msk = IpeMasterKey::Setup(4, &rng);
+  // <v, w> = 1*2 + 2*3 + 3*1 + 0*5 = 11
+  auto v = FrVec({1, 2, 3, 0});
+  auto w = FrVec({2, 3, 1, 5});
+  IpeSecretKey sk = Ipe::KeyGen(msk, v, &rng);
+  IpeCiphertext ct = Ipe::Encrypt(msk, w, &rng);
+  auto z = Ipe::DecryptRange(sk, ct, 0, 50);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(*z, 11);
+}
+
+TEST(IpeTest, RecoversZeroAndBoundaries) {
+  Rng rng(202);
+  IpeMasterKey msk = IpeMasterKey::Setup(3, &rng);
+  auto v = FrVec({1, 1, 1});
+  auto w = FrVec({0, 0, 0});
+  IpeSecretKey sk = Ipe::KeyGen(msk, v, &rng);
+  IpeCiphertext ct = Ipe::Encrypt(msk, w, &rng);
+  auto z = Ipe::DecryptRange(sk, ct, 0, 0);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(*z, 0);
+}
+
+TEST(IpeTest, RecoversNegativeInnerProduct) {
+  Rng rng(203);
+  IpeMasterKey msk = IpeMasterKey::Setup(2, &rng);
+  std::vector<Fr> v = {Fr::FromUint64(3), -Fr::FromUint64(5)};
+  std::vector<Fr> w = {Fr::FromUint64(1), Fr::FromUint64(2)};
+  // <v, w> = 3 - 10 = -7.
+  IpeSecretKey sk = Ipe::KeyGen(msk, v, &rng);
+  IpeCiphertext ct = Ipe::Encrypt(msk, w, &rng);
+  auto z = Ipe::DecryptRange(sk, ct, -20, 20);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(*z, -7);
+}
+
+TEST(IpeTest, OutOfRangeFails) {
+  Rng rng(204);
+  IpeMasterKey msk = IpeMasterKey::Setup(2, &rng);
+  auto v = FrVec({10, 10});
+  auto w = FrVec({10, 10});  // <v,w> = 200
+  IpeSecretKey sk = Ipe::KeyGen(msk, v, &rng);
+  IpeCiphertext ct = Ipe::Encrypt(msk, w, &rng);
+  EXPECT_FALSE(Ipe::DecryptRange(sk, ct, 0, 100).ok());
+}
+
+TEST(IpeTest, FreshRandomnessPerInvocation) {
+  Rng rng(205);
+  IpeMasterKey msk = IpeMasterKey::Setup(2, &rng);
+  auto v = FrVec({1, 2});
+  IpeSecretKey sk1 = Ipe::KeyGen(msk, v, &rng);
+  IpeSecretKey sk2 = Ipe::KeyGen(msk, v, &rng);
+  // alpha randomizes keys: same vector, different key material.
+  EXPECT_FALSE(sk1.k1 == sk2.k1);
+  IpeCiphertext c1 = Ipe::Encrypt(msk, v, &rng);
+  IpeCiphertext c2 = Ipe::Encrypt(msk, v, &rng);
+  EXPECT_FALSE(c1.c1 == c2.c1);
+  // Both keys still decrypt both ciphertexts.
+  for (const auto& sk : {sk1, sk2}) {
+    for (const auto& ct : {c1, c2}) {
+      auto z = Ipe::DecryptRange(sk, ct, 0, 10);
+      ASSERT_TRUE(z.ok());
+      EXPECT_EQ(*z, 5);
+    }
+  }
+}
+
+TEST(ModifiedIpeTest, DecryptsToDetTimesInnerProductInExponent) {
+  Rng rng(206);
+  IpeMasterKey msk = IpeMasterKey::Setup(5, &rng);
+  std::vector<Fr> v, w;
+  for (int i = 0; i < 5; ++i) {
+    v.push_back(rng.NextFr());
+    w.push_back(rng.NextFr());
+  }
+  auto token = ModifiedIpe::KeyGen(msk, v);
+  auto ct = ModifiedIpe::Encrypt(msk, w);
+  GT d = ModifiedIpe::Decrypt(token, ct);
+  GT base = Pair(G1Generator(), G2Generator());
+  EXPECT_EQ(d, base.Pow(msk.det * InnerProduct(v, w)));
+}
+
+TEST(ModifiedIpeTest, EqualInnerProductsCollide) {
+  Rng rng(207);
+  IpeMasterKey msk = IpeMasterKey::Setup(3, &rng);
+  // <v1, w1> = 6, <v2, w2> = 6 via different vectors.
+  auto d1 = ModifiedIpe::Decrypt(ModifiedIpe::KeyGen(msk, FrVec({1, 2, 3})),
+                                 ModifiedIpe::Encrypt(msk, FrVec({1, 1, 1})));
+  auto d2 = ModifiedIpe::Decrypt(ModifiedIpe::KeyGen(msk, FrVec({2, 2, 0})),
+                                 ModifiedIpe::Encrypt(msk, FrVec({1, 2, 9})));
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(ModifiedIpeTest, DifferentInnerProductsDiffer) {
+  Rng rng(208);
+  IpeMasterKey msk = IpeMasterKey::Setup(3, &rng);
+  auto d1 = ModifiedIpe::Decrypt(ModifiedIpe::KeyGen(msk, FrVec({1, 2, 3})),
+                                 ModifiedIpe::Encrypt(msk, FrVec({1, 1, 1})));
+  auto d2 = ModifiedIpe::Decrypt(ModifiedIpe::KeyGen(msk, FrVec({1, 2, 3})),
+                                 ModifiedIpe::Encrypt(msk, FrVec({1, 1, 2})));
+  EXPECT_NE(d1, d2);
+}
+
+TEST(ModifiedIpeTest, DifferentMasterKeysUnlinkable) {
+  // Same vectors under different master keys give different D values
+  // (det(B) differs): the basis of per-query unlinkability in Secure Join.
+  Rng rng(209);
+  IpeMasterKey msk1 = IpeMasterKey::Setup(3, &rng);
+  IpeMasterKey msk2 = IpeMasterKey::Setup(3, &rng);
+  auto v = FrVec({1, 2, 3});
+  auto w = FrVec({4, 5, 6});
+  auto d1 = ModifiedIpe::Decrypt(ModifiedIpe::KeyGen(msk1, v),
+                                 ModifiedIpe::Encrypt(msk1, w));
+  auto d2 = ModifiedIpe::Decrypt(ModifiedIpe::KeyGen(msk2, v),
+                                 ModifiedIpe::Encrypt(msk2, w));
+  EXPECT_NE(d1, d2);
+}
+
+TEST(ModifiedIpeTest, ZeroVectorGivesIdentity) {
+  Rng rng(210);
+  IpeMasterKey msk = IpeMasterKey::Setup(3, &rng);
+  auto token = ModifiedIpe::KeyGen(msk, FrVec({0, 0, 0}));
+  auto ct = ModifiedIpe::Encrypt(msk, FrVec({7, 8, 9}));
+  EXPECT_TRUE(ModifiedIpe::Decrypt(token, ct).IsOne());
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,136 @@
+// Matrix algebra over Fr: inverse/determinant correctness and the
+// B* = det(B) (B^-1)^T identity the IPE master key relies on.
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+#include "linalg/matrix.h"
+
+namespace sjoin {
+namespace {
+
+TEST(MatrixTest, IdentityBehaves) {
+  FrMatrix id = FrMatrix::Identity(4);
+  EXPECT_EQ(id * id, id);
+  EXPECT_EQ(id.Determinant(), Fr::One());
+  EXPECT_EQ(id.Transpose(), id);
+}
+
+TEST(MatrixTest, MultiplicationKnownValues) {
+  // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
+  FrMatrix a(2, 2), b(2, 2);
+  a.At(0, 0) = Fr::FromUint64(1);
+  a.At(0, 1) = Fr::FromUint64(2);
+  a.At(1, 0) = Fr::FromUint64(3);
+  a.At(1, 1) = Fr::FromUint64(4);
+  b.At(0, 0) = Fr::FromUint64(5);
+  b.At(0, 1) = Fr::FromUint64(6);
+  b.At(1, 0) = Fr::FromUint64(7);
+  b.At(1, 1) = Fr::FromUint64(8);
+  FrMatrix c = a * b;
+  EXPECT_EQ(c.At(0, 0), Fr::FromUint64(19));
+  EXPECT_EQ(c.At(0, 1), Fr::FromUint64(22));
+  EXPECT_EQ(c.At(1, 0), Fr::FromUint64(43));
+  EXPECT_EQ(c.At(1, 1), Fr::FromUint64(50));
+  // det(a) = -2
+  EXPECT_EQ(a.Determinant(), -Fr::FromUint64(2));
+}
+
+TEST(MatrixTest, SingularMatrixDetected) {
+  FrMatrix a(2, 2);
+  a.At(0, 0) = Fr::FromUint64(1);
+  a.At(0, 1) = Fr::FromUint64(2);
+  a.At(1, 0) = Fr::FromUint64(2);
+  a.At(1, 1) = Fr::FromUint64(4);
+  EXPECT_TRUE(a.Determinant().IsZero());
+  EXPECT_FALSE(a.InverseAndDet().ok());
+}
+
+TEST(MatrixTest, InverseTimesSelfIsIdentity) {
+  Rng rng(101);
+  for (size_t n : {1u, 2u, 3u, 7u, 16u}) {
+    FrMatrix a = FrMatrix::RandomInvertible(n, &rng);
+    auto inv = a.InverseAndDet();
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ(a * inv->first, FrMatrix::Identity(n)) << "n=" << n;
+    EXPECT_EQ(inv->first * a, FrMatrix::Identity(n)) << "n=" << n;
+    EXPECT_EQ(inv->second, a.Determinant()) << "n=" << n;
+  }
+}
+
+TEST(MatrixTest, DeterminantMultiplicative) {
+  Rng rng(102);
+  FrMatrix a = FrMatrix::Random(5, 5, &rng);
+  FrMatrix b = FrMatrix::Random(5, 5, &rng);
+  EXPECT_EQ((a * b).Determinant(), a.Determinant() * b.Determinant());
+}
+
+TEST(MatrixTest, DeterminantOfTranspose) {
+  Rng rng(103);
+  FrMatrix a = FrMatrix::Random(6, 6, &rng);
+  EXPECT_EQ(a.Determinant(), a.Transpose().Determinant());
+}
+
+TEST(MatrixTest, RowVecMulMatchesMatrixProduct) {
+  Rng rng(104);
+  FrMatrix m = FrMatrix::Random(4, 6, &rng);
+  std::vector<Fr> v;
+  for (int i = 0; i < 4; ++i) v.push_back(rng.NextFr());
+  std::vector<Fr> got = m.RowVecMul(v);
+  // Reference: 1x4 matrix times 4x6.
+  FrMatrix vm(1, 4);
+  for (int i = 0; i < 4; ++i) vm.At(0, i) = v[i];
+  FrMatrix expect = vm * m;
+  ASSERT_EQ(got.size(), 6u);
+  for (int c = 0; c < 6; ++c) EXPECT_EQ(got[c], expect.At(0, c));
+}
+
+TEST(MatrixTest, MatVecMulMatchesMatrixProduct) {
+  Rng rng(105);
+  FrMatrix m = FrMatrix::Random(4, 6, &rng);
+  std::vector<Fr> v;
+  for (int i = 0; i < 6; ++i) v.push_back(rng.NextFr());
+  std::vector<Fr> got = m.MatVecMul(v);
+  FrMatrix vm(6, 1);
+  for (int i = 0; i < 6; ++i) vm.At(i, 0) = v[i];
+  FrMatrix expect = m * vm;
+  ASSERT_EQ(got.size(), 4u);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(got[r], expect.At(r, 0));
+}
+
+TEST(MatrixTest, BStarIdentity) {
+  // B * (B*)^T == det(B) * I -- the core identity behind IPE decryption.
+  Rng rng(106);
+  for (size_t n : {2u, 5u, 9u}) {
+    FrMatrix b = FrMatrix::RandomInvertible(n, &rng);
+    auto inv = b.InverseAndDet();
+    ASSERT_TRUE(inv.ok());
+    FrMatrix b_star = inv->first.Transpose().ScalarMul(inv->second);
+    FrMatrix product = b * b_star.Transpose();
+    EXPECT_EQ(product, FrMatrix::Identity(n).ScalarMul(inv->second));
+  }
+}
+
+TEST(MatrixTest, InnerProductBilinear) {
+  Rng rng(107);
+  std::vector<Fr> a, b, c;
+  for (int i = 0; i < 8; ++i) {
+    a.push_back(rng.NextFr());
+    b.push_back(rng.NextFr());
+    c.push_back(rng.NextFr());
+  }
+  std::vector<Fr> bc(8);
+  for (int i = 0; i < 8; ++i) bc[i] = b[i] + c[i];
+  EXPECT_EQ(InnerProduct(a, bc), InnerProduct(a, b) + InnerProduct(a, c));
+  EXPECT_EQ(InnerProduct(a, b), InnerProduct(b, a));
+}
+
+TEST(MatrixTest, RandomInvertibleIsInvertible) {
+  Rng rng(108);
+  for (int i = 0; i < 5; ++i) {
+    FrMatrix b = FrMatrix::RandomInvertible(8, &rng);
+    EXPECT_FALSE(b.Determinant().IsZero());
+  }
+}
+
+}  // namespace
+}  // namespace sjoin

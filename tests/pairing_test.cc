@@ -1,0 +1,184 @@
+// Pairing correctness: non-degeneracy, order-r outputs, bilinearity,
+// multi-pairing consistency, and fast-vs-reference final exponentiation.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "pairing/frobenius.h"
+#include "pairing/pairing.h"
+
+namespace sjoin {
+namespace {
+
+class TestRandom {
+ public:
+  explicit TestRandom(uint64_t seed) : gen_(seed) {}
+  Fr NextFr() {
+    std::array<uint8_t, 64> b;
+    for (auto& x : b) x = static_cast<uint8_t>(gen_());
+    return Fr::FromUniformBytes(b.data());
+  }
+  Fp NextFp() {
+    std::array<uint8_t, 64> b;
+    for (auto& x : b) x = static_cast<uint8_t>(gen_());
+    return Fp::FromUniformBytes(b.data());
+  }
+  Fp12 NextFp12() {
+    Fp2 c[6];
+    for (auto& x : c) x = Fp2(NextFp(), NextFp());
+    return Fp12(Fp6(c[0], c[1], c[2]), Fp6(c[3], c[4], c[5]));
+  }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+GT BasePairing() {
+  static const GT e = Pair(G1Generator(), G2Generator());
+  return e;
+}
+
+TEST(FrobeniusTest, MatchesPowP) {
+  TestRandom rng(40);
+  Fp12 f = rng.NextFp12();
+  BigInt p = BigInt::FromDecimal(kBn254PDecimal);
+  EXPECT_EQ(Frobenius(f, 1), f.Pow(p));
+  EXPECT_EQ(Frobenius(f, 2), f.Pow(p * p));
+  EXPECT_EQ(Frobenius(f, 3), f.Pow(p * p * p));
+}
+
+TEST(FrobeniusTest, ComposesCorrectly) {
+  TestRandom rng(41);
+  Fp12 f = rng.NextFp12();
+  EXPECT_EQ(Frobenius(Frobenius(f, 1), 1), Frobenius(f, 2));
+  EXPECT_EQ(Frobenius(Frobenius(f, 2), 1), Frobenius(f, 3));
+}
+
+TEST(FrobeniusTest, TwistFrobeniusMapsIntoTwist) {
+  // pi_p maps the r-torsion of the twist to itself.
+  G2Affine q = G2Generator().ToAffine();
+  G2 q1 = G2::FromAffine(TwistFrobeniusX(q.x, 1), TwistFrobeniusY(q.y, 1));
+  EXPECT_TRUE(q1.IsOnCurve());
+  EXPECT_TRUE(q1.ScalarMul(kBn254FrParams.p).IsInfinity());
+  G2 q2 = G2::FromAffine(TwistFrobeniusX(q.x, 2), TwistFrobeniusY(q.y, 2));
+  EXPECT_TRUE(q2.IsOnCurve());
+  // pi_{p^2} acts on G2 as multiplication by an eigenvalue; applying pi_p
+  // twice must agree with pi_{p^2}.
+  G2Affine q1a = q1.ToAffine();
+  G2 q11 = G2::FromAffine(TwistFrobeniusX(q1a.x, 1), TwistFrobeniusY(q1a.y, 1));
+  EXPECT_EQ(q11, q2);
+}
+
+TEST(PairingTest, NonDegenerate) {
+  EXPECT_FALSE(BasePairing().IsOne());
+  EXPECT_FALSE(BasePairing().value().IsZero());
+}
+
+TEST(PairingTest, OutputHasOrderR) {
+  GT e = BasePairing();
+  EXPECT_TRUE(e.Pow(kBn254FrParams.p).IsOne());
+}
+
+TEST(PairingTest, IdentityInputsGiveOne) {
+  EXPECT_TRUE(Pair(G1::Infinity(), G2Generator()).IsOne());
+  EXPECT_TRUE(Pair(G1Generator(), G2::Infinity()).IsOne());
+}
+
+TEST(PairingTest, BilinearInFirstArgument) {
+  TestRandom rng(42);
+  Fr a = rng.NextFr();
+  GT lhs = Pair(G1Generator().ScalarMul(a), G2Generator());
+  EXPECT_EQ(lhs, BasePairing().Pow(a));
+}
+
+TEST(PairingTest, BilinearInSecondArgument) {
+  TestRandom rng(43);
+  Fr b = rng.NextFr();
+  GT lhs = Pair(G1Generator(), G2Generator().ScalarMul(b));
+  EXPECT_EQ(lhs, BasePairing().Pow(b));
+}
+
+TEST(PairingTest, FullBilinearity) {
+  TestRandom rng(44);
+  Fr a = rng.NextFr();
+  Fr b = rng.NextFr();
+  GT lhs = Pair(G1Generator().ScalarMul(a), G2Generator().ScalarMul(b));
+  EXPECT_EQ(lhs, BasePairing().Pow(a * b));
+}
+
+TEST(PairingTest, AdditiveInFirstArgument) {
+  TestRandom rng(45);
+  G1 p1 = G1Generator().ScalarMul(rng.NextFr());
+  G1 p2 = G1Generator().ScalarMul(rng.NextFr());
+  G2 q = G2Generator().ScalarMul(rng.NextFr());
+  EXPECT_EQ(Pair(p1 + p2, q), Pair(p1, q) * Pair(p2, q));
+}
+
+TEST(PairingTest, InverseViaNegation) {
+  TestRandom rng(46);
+  G1 p = G1Generator().ScalarMul(rng.NextFr());
+  G2 q = G2Generator().ScalarMul(rng.NextFr());
+  EXPECT_TRUE((Pair(p, q) * Pair(p.Negate(), q)).IsOne());
+  EXPECT_EQ(Pair(p.Negate(), q), Pair(p, q).Inverse());
+}
+
+TEST(PairingTest, MultiPairMatchesProductOfPairs) {
+  TestRandom rng(47);
+  std::vector<std::pair<G1Affine, G2Affine>> pairs;
+  GT expected = GT::One();
+  for (int i = 0; i < 5; ++i) {
+    G1 p = G1Generator().ScalarMul(rng.NextFr());
+    G2 q = G2Generator().ScalarMul(rng.NextFr());
+    pairs.emplace_back(p.ToAffine(), q.ToAffine());
+    expected *= Pair(p, q);
+  }
+  EXPECT_EQ(MultiPair(pairs), expected);
+}
+
+TEST(PairingTest, MultiPairSkipsInfinities) {
+  TestRandom rng(48);
+  G1 p = G1Generator().ScalarMul(rng.NextFr());
+  G2 q = G2Generator().ScalarMul(rng.NextFr());
+  std::vector<std::pair<G1Affine, G2Affine>> pairs = {
+      {G1Affine::Infinity(), q.ToAffine()},
+      {p.ToAffine(), q.ToAffine()},
+      {p.ToAffine(), G2Affine::Infinity()},
+  };
+  EXPECT_EQ(MultiPair(pairs), Pair(p, q));
+}
+
+TEST(PairingTest, EmptyMultiPairIsOne) {
+  std::vector<std::pair<G1Affine, G2Affine>> pairs;
+  EXPECT_TRUE(MultiPair(pairs).IsOne());
+}
+
+TEST(FinalExpTest, FastChainMatchesReference) {
+  TestRandom rng(49);
+  for (int i = 0; i < 3; ++i) {
+    Fp12 f = rng.NextFp12();
+    if (f.IsZero()) continue;
+    EXPECT_EQ(FinalExponentiation(f), FinalExponentiationReference(f));
+  }
+  // Also on an actual Miller-loop output.
+  Fp12 ml = MillerLoop(G1Generator().ToAffine(), G2Generator().ToAffine());
+  EXPECT_EQ(FinalExponentiation(ml), FinalExponentiationReference(ml));
+}
+
+TEST(FinalExpTest, OutputInCyclotomicSubgroup) {
+  // After final exp, conjugate == inverse (unit norm over Fp6).
+  TestRandom rng(50);
+  Fp12 f = FinalExponentiation(rng.NextFp12());
+  EXPECT_EQ(f.Conjugate(), f.Inverse());
+  EXPECT_TRUE((f * f.Conjugate()).IsOne());
+}
+
+TEST(PairingTest, PairingOfSamePointDifferentScalars) {
+  // e(a g1, Q) == e(g1, a Q): swapping which side carries the scalar.
+  TestRandom rng(51);
+  Fr a = rng.NextFr();
+  EXPECT_EQ(Pair(G1Generator().ScalarMul(a), G2Generator()),
+            Pair(G1Generator(), G2Generator().ScalarMul(a)));
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,193 @@
+// Parameterized property tests sweeping the scheme's dimensioning
+// parameters (m attributes, IN-clause bound t) and workload shapes:
+// correctness and unlinkability must hold for every configuration.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/scheme.h"
+#include "crypto/hash_to_field.h"
+#include "ipe/ipe.h"
+
+namespace sjoin {
+namespace {
+
+// --- Secure Join over (m, t) -------------------------------------------------
+
+using DimParam = std::tuple<size_t, size_t>;  // (num_attrs m, max_in_clause t)
+
+class SecureJoinDimTest : public ::testing::TestWithParam<DimParam> {
+ protected:
+  size_t m() const { return std::get<0>(GetParam()); }
+  size_t t() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(SecureJoinDimTest, MatchIffJoinEqualAndSelected) {
+  Rng rng(1000 + 31 * m() + t());
+  auto msk = SecureJoin::Setup({.num_attrs = m(), .max_in_clause = t()}, &rng);
+
+  // Predicates: first attribute restricted to t values, rest unrestricted.
+  SjPredicates preds(m());
+  std::vector<Fr> allowed;
+  for (size_t z = 0; z < t(); ++z) {
+    allowed.push_back(HashToFr("attr", "allowed-" + std::to_string(z)));
+  }
+  preds[0] = allowed;
+  Fr k = rng.NextFrNonZero();
+  SjToken token = SecureJoin::GenToken(msk, preds, k, &rng);
+
+  auto encrypt = [&](const std::string& join, const Fr& attr0) {
+    std::vector<Fr> attrs(m());
+    attrs[0] = attr0;
+    for (size_t i = 1; i < m(); ++i) {
+      attrs[i] = HashToFr("attr", "other-" + std::to_string(i));
+    }
+    return SecureJoin::EncryptRow(msk, HashToFr("join", join), attrs, &rng);
+  };
+
+  Fr rejected = HashToFr("attr", "rejected");
+  GT d_match_1 = SecureJoin::Decrypt(token, encrypt("J1", allowed[0]));
+  GT d_match_2 =
+      SecureJoin::Decrypt(token, encrypt("J1", allowed[t() - 1]));
+  GT d_other_join = SecureJoin::Decrypt(token, encrypt("J2", allowed[0]));
+  GT d_unselected = SecureJoin::Decrypt(token, encrypt("J1", rejected));
+
+  EXPECT_TRUE(SecureJoin::Match(d_match_1, d_match_2));
+  EXPECT_FALSE(SecureJoin::Match(d_match_1, d_other_join));
+  EXPECT_FALSE(SecureJoin::Match(d_match_1, d_unselected));
+  EXPECT_FALSE(SecureJoin::Match(d_other_join, d_unselected));
+}
+
+TEST_P(SecureJoinDimTest, FreshQueryKeysUnlinkable) {
+  Rng rng(2000 + 31 * m() + t());
+  auto msk = SecureJoin::Setup({.num_attrs = m(), .max_in_clause = t()}, &rng);
+  SjPredicates unrestricted(m());
+  Fr join = HashToFr("join", "same");
+  std::vector<Fr> attrs(m(), HashToFr("attr", "x"));
+  SjRowCiphertext ct = SecureJoin::EncryptRow(msk, join, attrs, &rng);
+  SjToken tok1 =
+      SecureJoin::GenToken(msk, unrestricted, rng.NextFrNonZero(), &rng);
+  SjToken tok2 =
+      SecureJoin::GenToken(msk, unrestricted, rng.NextFrNonZero(), &rng);
+  // The same ciphertext under two queries yields unlinkable values.
+  EXPECT_FALSE(SecureJoin::Match(SecureJoin::Decrypt(tok1, ct),
+                                 SecureJoin::Decrypt(tok2, ct)));
+}
+
+TEST_P(SecureJoinDimTest, VectorDimensionFormula) {
+  SecureJoinParams p{.num_attrs = m(), .max_in_clause = t()};
+  EXPECT_EQ(p.Dimension(), m() * (t() + 1) + 3);
+  Rng rng(3000);
+  auto msk = SecureJoin::Setup(p, &rng);
+  std::vector<Fr> attrs(m(), Fr::FromUint64(1));
+  auto ct = SecureJoin::EncryptRow(msk, Fr::FromUint64(7), attrs, &rng);
+  EXPECT_EQ(ct.c.size(), p.Dimension());
+  SjToken token =
+      SecureJoin::GenToken(msk, SjPredicates(m()), Fr::FromUint64(3), &rng);
+  EXPECT_EQ(token.tk.size(), p.Dimension());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimensionSweep, SecureJoinDimTest,
+    ::testing::Values(DimParam{1, 1}, DimParam{1, 3}, DimParam{2, 2},
+                      DimParam{3, 1}, DimParam{4, 2}, DimParam{2, 5}),
+    [](const ::testing::TestParamInfo<DimParam>& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- Polynomial encoding across t --------------------------------------------
+
+class PolyDegreeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PolyDegreeTest, FullInClauseVanishesOnAllRoots) {
+  size_t t = GetParam();
+  Rng rng(4000 + t);
+  std::vector<Fr> roots;
+  for (size_t i = 0; i < t; ++i) roots.push_back(rng.NextFr());
+  auto coeffs = RandomizedPolynomialFromRoots(roots, t, &rng);
+  ASSERT_EQ(coeffs.size(), t + 1);
+  EXPECT_FALSE(coeffs[t].IsZero());  // degree exactly t
+  for (const Fr& r : roots) {
+    EXPECT_TRUE(EvaluatePolynomial(coeffs, r).IsZero());
+  }
+  // Schwartz-Zippel in practice: a random point is not a root.
+  EXPECT_FALSE(EvaluatePolynomial(coeffs, rng.NextFr()).IsZero());
+}
+
+TEST_P(PolyDegreeTest, PartialInClausePadsWithZeros) {
+  size_t t = GetParam();
+  if (t < 2) GTEST_SKIP();
+  Rng rng(5000 + t);
+  std::vector<Fr> roots = {rng.NextFr()};  // one value, t slots
+  auto coeffs = PolynomialFromRoots(roots, t, Fr::One());
+  EXPECT_TRUE(EvaluatePolynomial(coeffs, roots[0]).IsZero());
+  for (size_t j = 2; j <= t; ++j) {
+    EXPECT_TRUE(coeffs[j].IsZero()) << "coefficient " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DegreeSweep, PolyDegreeTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 10));
+
+// --- Modified IPE across dimensions ------------------------------------------
+
+class IpeDimTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(IpeDimTest, DecryptionIsDetTimesInnerProduct) {
+  size_t dim = GetParam();
+  Rng rng(6000 + dim);
+  IpeMasterKey msk = IpeMasterKey::Setup(dim, &rng);
+  std::vector<Fr> v, w;
+  for (size_t i = 0; i < dim; ++i) {
+    v.push_back(rng.NextFr());
+    w.push_back(rng.NextFr());
+  }
+  GT d = ModifiedIpe::Decrypt(ModifiedIpe::KeyGen(msk, v),
+                              ModifiedIpe::Encrypt(msk, w));
+  EXPECT_EQ(d, Pair(G1Generator(), G2Generator())
+                   .Pow(msk.det * InnerProduct(v, w)));
+}
+
+TEST_P(IpeDimTest, OriginalSchemeRecoversInnerProduct) {
+  size_t dim = GetParam();
+  Rng rng(7000 + dim);
+  IpeMasterKey msk = IpeMasterKey::Setup(dim, &rng);
+  std::vector<Fr> v(dim), w(dim);
+  int64_t expect = 0;
+  for (size_t i = 0; i < dim; ++i) {
+    uint64_t a = rng.NextUint64Below(4);
+    uint64_t b = rng.NextUint64Below(4);
+    v[i] = Fr::FromUint64(a);
+    w[i] = Fr::FromUint64(b);
+    expect += static_cast<int64_t>(a * b);
+  }
+  auto sk = Ipe::KeyGen(msk, v, &rng);
+  auto ct = Ipe::Encrypt(msk, w, &rng);
+  auto z = Ipe::DecryptRange(sk, ct, 0, static_cast<int64_t>(9 * dim));
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(*z, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(IpeDimensionSweep, IpeDimTest,
+                         ::testing::Values(1, 2, 5, 9, 16));
+
+// --- GT digest properties -----------------------------------------------------
+
+TEST(GtDigestTest, DigestInjectiveOnDistinctValues) {
+  Rng rng(8000);
+  auto msk = SecureJoin::Setup({.num_attrs = 1, .max_in_clause = 1}, &rng);
+  SjToken token = SecureJoin::GenToken(msk, SjPredicates(1),
+                                       rng.NextFrNonZero(), &rng);
+  std::set<std::string> digests;
+  for (int i = 0; i < 8; ++i) {
+    auto ct = SecureJoin::EncryptRow(msk, HashToFr("join", std::to_string(i)),
+                                     {{HashToFr("attr", "x")}}, &rng);
+    auto d = SecureJoin::DecryptToDigest(token, ct);
+    digests.insert(std::string(d.begin(), d.end()));
+  }
+  EXPECT_EQ(digests.size(), 8u);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,119 @@
+// Generator tests: schemas, scale-factor row counts, exact selectivity
+// fractions, determinism, and joinability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "db/plaintext_exec.h"
+#include "tpch/tpch.h"
+
+namespace sjoin {
+namespace {
+
+TEST(TpchTest, SchemasMatchThePaper) {
+  TpchOptions opt{.scale_factor = 0.001};
+  Table customers = GenerateCustomers(opt);
+  Table orders = GenerateOrders(opt);
+  // Paper section 6.1: Customers has eight TPC-H attributes, Orders nine;
+  // both get the added selectivity column.
+  EXPECT_EQ(customers.schema().NumColumns(), 8u + 1u);
+  EXPECT_EQ(orders.schema().NumColumns(), 9u + 1u);
+  EXPECT_TRUE(customers.schema().HasColumn("custkey"));
+  EXPECT_TRUE(customers.schema().HasColumn("selectivity"));
+  EXPECT_TRUE(orders.schema().HasColumn("custkey"));
+  EXPECT_TRUE(orders.schema().HasColumn("selectivity"));
+}
+
+TEST(TpchTest, RowCountsScale) {
+  for (double sf : {0.001, 0.01}) {
+    TpchOptions opt{.scale_factor = sf};
+    EXPECT_EQ(GenerateCustomers(opt).NumRows(),
+              static_cast<size_t>(kTpchCustomersBaseRows * sf));
+    EXPECT_EQ(GenerateOrders(opt).NumRows(),
+              static_cast<size_t>(kTpchOrdersBaseRows * sf));
+  }
+}
+
+TEST(TpchTest, SelectivityFractionsExact) {
+  TpchOptions opt{.scale_factor = 0.01};  // 1500 customers, 15000 orders
+  for (const Table& t : {GenerateCustomers(opt), GenerateOrders(opt)}) {
+    std::map<std::string, size_t> counts;
+    size_t col = *t.schema().ColumnIndex("selectivity");
+    for (size_t r = 0; r < t.NumRows(); ++r) {
+      counts[t.At(r, col).AsString()]++;
+    }
+    for (double s : TpchSelectivities()) {
+      EXPECT_EQ(counts[SelectivityLabel(s)],
+                static_cast<size_t>(std::llround(s * t.NumRows())))
+          << t.name() << " " << SelectivityLabel(s);
+    }
+  }
+}
+
+TEST(TpchTest, SelectivityLabels) {
+  EXPECT_EQ(SelectivityLabel(1 / 12.5), "s=1/12.5");
+  EXPECT_EQ(SelectivityLabel(1 / 25.0), "s=1/25");
+  EXPECT_EQ(SelectivityLabel(1 / 50.0), "s=1/50");
+  EXPECT_EQ(SelectivityLabel(1 / 100.0), "s=1/100");
+}
+
+TEST(TpchTest, DeterministicForSameSeed) {
+  TpchOptions opt{.scale_factor = 0.001, .seed = 99};
+  Table a = GenerateCustomers(opt);
+  Table b = GenerateCustomers(opt);
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  for (size_t r = 0; r < a.NumRows(); ++r) {
+    EXPECT_EQ(a.row(r), b.row(r));
+  }
+  TpchOptions other{.scale_factor = 0.001, .seed = 100};
+  Table c = GenerateCustomers(other);
+  bool any_diff = false;
+  for (size_t r = 0; r < a.NumRows(); ++r) {
+    if (!(a.row(r) == c.row(r))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TpchTest, CustkeysAreValidForeignKeys) {
+  TpchOptions opt{.scale_factor = 0.001};
+  Table customers = GenerateCustomers(opt);
+  Table orders = GenerateOrders(opt);
+  std::set<int64_t> keys;
+  size_t ck = *customers.schema().ColumnIndex("custkey");
+  for (size_t r = 0; r < customers.NumRows(); ++r) {
+    EXPECT_TRUE(keys.insert(customers.At(r, ck).AsInt()).second)
+        << "custkey must be unique";
+  }
+  size_t ok = *orders.schema().ColumnIndex("custkey");
+  for (size_t r = 0; r < orders.NumRows(); ++r) {
+    EXPECT_TRUE(keys.count(orders.At(r, ok).AsInt()))
+        << "orders.custkey must reference a customer";
+  }
+}
+
+TEST(TpchTest, PaperJoinQueryRuns) {
+  // The evaluation query shape: join on custkey, one selectivity value in
+  // the IN clause of each table.
+  TpchOptions opt{.scale_factor = 0.002};  // 300 customers, 3000 orders
+  Table customers = GenerateCustomers(opt);
+  Table orders = GenerateOrders(opt);
+  JoinQuerySpec q;
+  q.table_a = "Customers";
+  q.table_b = "Orders";
+  q.join_column_a = "custkey";
+  q.join_column_b = "custkey";
+  std::string label = SelectivityLabel(1 / 12.5);
+  q.selection_a.predicates = {{"selectivity", {Value(label)}}};
+  q.selection_b.predicates = {{"selectivity", {Value(label)}}};
+  auto result = PlaintextHashJoin(customers, orders, q);
+  ASSERT_TRUE(result.ok());
+  // ~ (n_c/12.5 customers) joined with (n_o/12.5 orders): expected nonzero
+  // on this seed, and bounded by the selected row counts.
+  EXPECT_GT(result->size(), 0u);
+  EXPECT_LE(result->size(), orders.NumRows() / 10);
+}
+
+}  // namespace
+}  // namespace sjoin
