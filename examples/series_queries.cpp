@@ -1,0 +1,93 @@
+// The series-of-queries engine: a batch of join queries prepared by the
+// client in one shot and executed by the server as one pipeline.
+//
+//   $ ./build/examples/series_queries
+//
+// Two things happen that a per-query loop cannot do:
+//   1. every SJ.Dec pairing of the batch is scheduled onto one shared
+//      thread pool, and
+//   2. a per-(table, token) digest cache decrypts each row at most once --
+//      the multi-way chain below shares the Suppliers token between its
+//      two queries, so Suppliers is decrypted once, not twice.
+#include <cstdio>
+
+#include "db/client.h"
+#include "db/server.h"
+
+using namespace sjoin;  // NOLINT: example code
+
+int main() {
+  std::printf("== series of join queries ==\n\n");
+
+  Table regions("Regions", Schema({{"region_id", ValueKind::kInt64},
+                                   {"continent", ValueKind::kString}}));
+  SJOIN_CHECK(regions.AppendRow({int64_t{1}, "Europe"}).ok());
+  SJOIN_CHECK(regions.AppendRow({int64_t{2}, "Asia"}).ok());
+
+  Table suppliers("Suppliers", Schema({{"supp_id", ValueKind::kInt64},
+                                       {"region_id", ValueKind::kInt64}}));
+  SJOIN_CHECK(suppliers.AppendRow({int64_t{10}, int64_t{1}}).ok());
+  SJOIN_CHECK(suppliers.AppendRow({int64_t{11}, int64_t{2}}).ok());
+  SJOIN_CHECK(suppliers.AppendRow({int64_t{12}, int64_t{1}}).ok());
+
+  Table offices("Offices", Schema({{"office_id", ValueKind::kInt64},
+                                   {"region_id", ValueKind::kInt64}}));
+  SJOIN_CHECK(offices.AppendRow({int64_t{100}, int64_t{1}}).ok());
+  SJOIN_CHECK(offices.AppendRow({int64_t{101}, int64_t{2}}).ok());
+
+  EncryptedClient client({.num_attrs = 2, .max_in_clause = 2,
+                          .rng_seed = 99});
+  EncryptedServer server;
+  auto enc_regions = client.EncryptTable(regions, "region_id");
+  auto enc_suppliers = client.EncryptTable(suppliers, "region_id");
+  auto enc_offices = client.EncryptTable(offices, "region_id");
+  SJOIN_CHECK(enc_regions.ok() && enc_suppliers.ok() && enc_offices.ok());
+  SJOIN_CHECK(server.StoreTable(*enc_regions).ok());
+  SJOIN_CHECK(server.StoreTable(*enc_suppliers).ok());
+  SJOIN_CHECK(server.StoreTable(*enc_offices).ok());
+
+  // A multi-way chain Regions |><| Suppliers |><| Offices as two pairwise
+  // queries under one query key (PrepareChain), plus an unrelated repeat
+  // of the first query under a fresh key (PrepareSeries default).
+  JoinQuerySpec rs;
+  rs.table_a = "Regions";
+  rs.table_b = "Suppliers";
+  rs.join_column_a = rs.join_column_b = "region_id";
+  JoinQuerySpec so;
+  so.table_a = "Suppliers";
+  so.table_b = "Offices";
+  so.join_column_a = so.join_column_b = "region_id";
+
+  std::vector<const EncryptedTable*> tables = {&*enc_regions, &*enc_suppliers,
+                                               &*enc_offices};
+  auto chain = client.PrepareChain({rs, so}, tables);
+  SJOIN_CHECK(chain.ok());
+  auto fresh = client.PrepareSeries({rs}, tables);
+  SJOIN_CHECK(fresh.ok());
+
+  QuerySeriesTokens series = *chain;
+  series.queries.push_back(fresh->queries[0]);
+
+  auto result = server.ExecuteJoinSeries(series, {.num_threads = 0});
+  SJOIN_CHECK(result.ok());
+
+  for (size_t q = 0; q < result->results.size(); ++q) {
+    const JoinQueryTokens& tok = series.queries[q];
+    std::printf("query %zu: %s |><| %s -> %zu pair(s)\n", q,
+                tok.table_a.c_str(), tok.table_b.c_str(),
+                result->results[q].stats.result_pairs);
+  }
+
+  const SeriesExecStats& s = result->stats;
+  std::printf(
+      "\nSJ.Dec accounting: %zu digests requested, %zu pairings computed, "
+      "%zu cache hits\n",
+      s.decrypts_requested, s.decrypts_performed, s.digest_cache_hits);
+  std::printf(
+      "(the chain's shared Suppliers token is decrypted once; the repeated "
+      "query under a\nfresh key shares nothing -- unlinkability is the "
+      "default, reuse is opt-in)\n");
+  std::printf("\ncumulative leakage across the series: %zu pair(s)\n",
+              server.leakage().RevealedPairCount());
+  return 0;
+}

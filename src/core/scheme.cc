@@ -1,9 +1,10 @@
 #include "core/scheme.h"
 
-#include <atomic>
+#include <algorithm>
 #include <cstring>
-#include <thread>
 #include <unordered_map>
+
+#include "util/thread_pool.h"
 
 namespace sjoin {
 
@@ -95,29 +96,22 @@ Digest32 SecureJoin::DecryptToDigest(const SjToken& token,
 std::vector<Digest32> SecureJoin::DecryptRows(
     const SjToken& token, std::span<const SjRowCiphertext> rows,
     int num_threads) {
-  if (num_threads <= 0) {
-    num_threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (num_threads == 0) num_threads = 1;
-  }
+  ThreadPool& pool = ThreadPool::Shared();
+  size_t width = num_threads <= 0 ? static_cast<size_t>(pool.concurrency())
+                                  : static_cast<size_t>(num_threads);
+  // Never more executors than rows: small batches must not pay scheduling
+  // cost for idle workers.
+  width = std::min(width, rows.size());
   std::vector<Digest32> out(rows.size());
-  if (num_threads == 1 || rows.size() < 2) {
+  if (width <= 1) {
     for (size_t i = 0; i < rows.size(); ++i) {
       out[i] = DecryptToDigest(token, rows[i]);
     }
     return out;
   }
-  std::vector<std::thread> workers;
-  std::atomic<size_t> next{0};
-  for (int w = 0; w < num_threads; ++w) {
-    workers.emplace_back([&] {
-      for (;;) {
-        size_t i = next.fetch_add(1);
-        if (i >= rows.size()) return;
-        out[i] = DecryptToDigest(token, rows[i]);
-      }
-    });
-  }
-  for (auto& th : workers) th.join();
+  pool.ParallelFor(
+      rows.size(), static_cast<int>(width),
+      [&](size_t i) { out[i] = DecryptToDigest(token, rows[i]); });
   return out;
 }
 

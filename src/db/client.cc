@@ -1,6 +1,8 @@
 #include "db/client.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 namespace sjoin {
 namespace {
@@ -88,9 +90,43 @@ Result<EncryptedTable> EncryptedClient::EncryptTable(
   return out;
 }
 
-Result<JoinQueryTokens> EncryptedClient::BuildQueryTokens(
-    const JoinQuerySpec& query, const EncryptedTable& enc_a,
-    const EncryptedTable& enc_b) {
+Status EncryptedClient::BuildSide(const TableSelection& sel,
+                                  const EncryptedTable& enc,
+                                  SjPredicates* preds,
+                                  std::vector<SseTokenGroup>* sse) {
+  preds->assign(options_.num_attrs, {});
+  for (const InPredicate& p : sel.predicates) {
+    if (p.values.empty()) {
+      return Status::InvalidArgument("empty IN list on '" + p.column + "'");
+    }
+    if (p.values.size() > options_.max_in_clause) {
+      return Status::InvalidArgument(
+          "IN list on '" + p.column + "' exceeds max_in_clause=" +
+          std::to_string(options_.max_in_clause));
+    }
+    auto it = std::find(enc.attr_columns.begin(), enc.attr_columns.end(),
+                        p.column);
+    if (it == enc.attr_columns.end()) {
+      return Status::NotFound("'" + p.column +
+                              "' is not a filterable column of " + enc.name);
+    }
+    size_t attr_idx = static_cast<size_t>(it - enc.attr_columns.begin());
+    SjPredicates::value_type roots;
+    SseTokenGroup group;
+    group.column_index = attr_idx;
+    for (const Value& v : p.values) {
+      roots.push_back(EmbedAttrValue(p.column, v));
+      group.tokens.push_back(sse_key_.TokenFor(enc.name, p.column, v));
+    }
+    (*preds)[attr_idx] = std::move(roots);
+    sse->push_back(std::move(group));
+  }
+  return Status::OK();
+}
+
+Status EncryptedClient::CheckSpec(const JoinQuerySpec& query,
+                                  const EncryptedTable& enc_a,
+                                  const EncryptedTable& enc_b) const {
   if (query.table_a != enc_a.name || query.table_b != enc_b.name) {
     return Status::InvalidArgument("query/table name mismatch");
   }
@@ -100,41 +136,13 @@ Result<JoinQueryTokens> EncryptedClient::BuildQueryTokens(
         "query join columns do not match the columns the tables were "
         "encrypted under");
   }
+  return Status::OK();
+}
 
-  auto build_side =
-      [&](const TableSelection& sel, const EncryptedTable& enc,
-          SjPredicates* preds,
-          std::vector<SseTokenGroup>* sse) -> Status {
-    preds->assign(options_.num_attrs, {});
-    for (const InPredicate& p : sel.predicates) {
-      if (p.values.empty()) {
-        return Status::InvalidArgument("empty IN list on '" + p.column + "'");
-      }
-      if (p.values.size() > options_.max_in_clause) {
-        return Status::InvalidArgument(
-            "IN list on '" + p.column + "' exceeds max_in_clause=" +
-            std::to_string(options_.max_in_clause));
-      }
-      auto it = std::find(enc.attr_columns.begin(), enc.attr_columns.end(),
-                          p.column);
-      if (it == enc.attr_columns.end()) {
-        return Status::NotFound("'" + p.column +
-                                "' is not a filterable column of " + enc.name);
-      }
-      size_t attr_idx =
-          static_cast<size_t>(it - enc.attr_columns.begin());
-      SjPredicates::value_type roots;
-      SseTokenGroup group;
-      group.column_index = attr_idx;
-      for (const Value& v : p.values) {
-        roots.push_back(EmbedAttrValue(p.column, v));
-        group.tokens.push_back(sse_key_.TokenFor(enc.name, p.column, v));
-      }
-      (*preds)[attr_idx] = std::move(roots);
-      sse->push_back(std::move(group));
-    }
-    return Status::OK();
-  };
+Result<JoinQueryTokens> EncryptedClient::BuildQueryTokens(
+    const JoinQuerySpec& query, const EncryptedTable& enc_a,
+    const EncryptedTable& enc_b) {
+  SJOIN_RETURN_IF_ERROR(CheckSpec(query, enc_a, enc_b));
 
   JoinQueryTokens out;
   out.table_a = enc_a.name;
@@ -142,12 +150,114 @@ Result<JoinQueryTokens> EncryptedClient::BuildQueryTokens(
   out.use_sse_prefilter = options_.enable_sse_prefilter;
   SjPredicates preds_a, preds_b;
   SJOIN_RETURN_IF_ERROR(
-      build_side(query.selection_a, enc_a, &preds_a, &out.sse_a));
+      BuildSide(query.selection_a, enc_a, &preds_a, &out.sse_a));
   SJOIN_RETURN_IF_ERROR(
-      build_side(query.selection_b, enc_b, &preds_b, &out.sse_b));
+      BuildSide(query.selection_b, enc_b, &preds_b, &out.sse_b));
   auto [ta, tb] = SecureJoin::GenTokenPair(msk_, preds_a, preds_b, &rng_);
   out.token_a = std::move(ta);
   out.token_b = std::move(tb);
+  return out;
+}
+
+namespace {
+
+Result<const EncryptedTable*> FindTable(
+    const std::vector<const EncryptedTable*>& tables,
+    const std::string& name) {
+  for (const EncryptedTable* t : tables) {
+    if (t != nullptr && t->name == name) return t;
+  }
+  return Status::NotFound("series references table '" + name +
+                          "' not in the provided table set");
+}
+
+/// Canonical encoding of one side's selection; two chain queries may share
+/// a table's token only when they select it identically (the token embeds
+/// the predicate polynomials). Every chunk is length-prefixed: value bytes
+/// are arbitrary, so in-band separators would make the key ambiguous.
+std::string SelectionKey(const TableSelection& sel) {
+  std::string key;
+  auto append_chunk = [&key](const uint8_t* data, size_t len) {
+    for (int i = 0; i < 4; ++i) {
+      key.push_back(static_cast<char>(len >> (8 * i)));
+    }
+    key.append(reinterpret_cast<const char*>(data), len);
+  };
+  for (const InPredicate& p : sel.predicates) {
+    append_chunk(reinterpret_cast<const uint8_t*>(p.column.data()),
+                 p.column.size());
+    for (const Value& v : p.values) {
+      Bytes b = v.ToBytes();
+      append_chunk(b.data(), b.size());
+    }
+    key.push_back('\1');  // predicate terminator (chunk lengths skip it)
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<QuerySeriesTokens> EncryptedClient::PrepareSeries(
+    const std::vector<JoinQuerySpec>& queries,
+    const std::vector<const EncryptedTable*>& tables) {
+  QuerySeriesTokens out;
+  out.queries.reserve(queries.size());
+  for (const JoinQuerySpec& spec : queries) {
+    auto enc_a = FindTable(tables, spec.table_a);
+    SJOIN_RETURN_IF_ERROR(enc_a.status());
+    auto enc_b = FindTable(tables, spec.table_b);
+    SJOIN_RETURN_IF_ERROR(enc_b.status());
+    auto tokens = BuildQueryTokens(spec, **enc_a, **enc_b);
+    SJOIN_RETURN_IF_ERROR(tokens.status());
+    out.queries.push_back(std::move(*tokens));
+  }
+  return out;
+}
+
+Result<QuerySeriesTokens> EncryptedClient::PrepareChain(
+    const std::vector<JoinQuerySpec>& chain,
+    const std::vector<const EncryptedTable*>& tables) {
+  if (chain.empty()) {
+    return Status::InvalidArgument("empty chain");
+  }
+  // One query key for the whole chain; tokens are cached per
+  // (table, selection) so a table shared by adjacent queries reuses its
+  // token verbatim.
+  Fr k = rng_.NextFrNonZero();
+  std::map<std::pair<std::string, std::string>, SjToken> token_cache;
+  auto side_token = [&](const TableSelection& sel, const EncryptedTable& enc,
+                        std::vector<SseTokenGroup>* sse,
+                        SjToken* token) -> Status {
+    SjPredicates preds;
+    SJOIN_RETURN_IF_ERROR(BuildSide(sel, enc, &preds, sse));
+    auto key = std::make_pair(enc.name, SelectionKey(sel));
+    auto it = token_cache.find(key);
+    if (it == token_cache.end()) {
+      it = token_cache.emplace(key, SecureJoin::GenToken(msk_, preds, k, &rng_))
+               .first;
+    }
+    *token = it->second;
+    return Status::OK();
+  };
+
+  QuerySeriesTokens out;
+  out.queries.reserve(chain.size());
+  for (const JoinQuerySpec& spec : chain) {
+    auto enc_a = FindTable(tables, spec.table_a);
+    SJOIN_RETURN_IF_ERROR(enc_a.status());
+    auto enc_b = FindTable(tables, spec.table_b);
+    SJOIN_RETURN_IF_ERROR(enc_b.status());
+    SJOIN_RETURN_IF_ERROR(CheckSpec(spec, **enc_a, **enc_b));
+    JoinQueryTokens q;
+    q.table_a = spec.table_a;
+    q.table_b = spec.table_b;
+    q.use_sse_prefilter = options_.enable_sse_prefilter;
+    SJOIN_RETURN_IF_ERROR(
+        side_token(spec.selection_a, **enc_a, &q.sse_a, &q.token_a));
+    SJOIN_RETURN_IF_ERROR(
+        side_token(spec.selection_b, **enc_b, &q.sse_b, &q.token_b));
+    out.queries.push_back(std::move(q));
+  }
   return out;
 }
 

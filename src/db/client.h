@@ -43,6 +43,31 @@ class EncryptedClient {
                                            const EncryptedTable& enc_a,
                                            const EncryptedTable& enc_b);
 
+  /// Batch token generation for a series of queries (the setting the
+  /// paper's amortized analysis covers). Each query gets a fresh query key
+  /// k, so queries stay mutually unlinkable beyond what their results
+  /// overlap on -- the secure default. `tables` must contain every table a
+  /// query references (looked up by name).
+  Result<QuerySeriesTokens> PrepareSeries(
+      const std::vector<JoinQuerySpec>& queries,
+      const std::vector<const EncryptedTable*>& tables);
+
+  /// Multi-way chain T1 JOIN T2 JOIN ... JOIN Tk expressed as k-1 pairwise
+  /// queries sharing ONE query key: the token of a table shared by two
+  /// adjacent queries (same table, same selection) is literally reused, so
+  /// the server's series digest cache decrypts each shared row once
+  /// instead of twice. Leakage trade-off: under a shared key, decryption
+  /// digests are comparable across ALL of the chain's queries, so the
+  /// server learns join-value equality between any two decrypted rows of
+  /// the chain -- including pairs (e.g. a T1 row and a T3 row with no
+  /// connecting T2 row) that the combined multi-way result would not
+  /// link. ExecuteJoinSeries feeds exactly this cross-query observation
+  /// to the LeakageTracker. Use PrepareSeries when per-query
+  /// unlinkability matters more than the decryption savings.
+  Result<QuerySeriesTokens> PrepareChain(
+      const std::vector<JoinQuerySpec>& chain,
+      const std::vector<const EncryptedTable*>& tables);
+
   /// Opens an EncryptedJoinResult into the paper's result schema
   /// (Theta, A.<attrs...>, B.<attrs...>).
   Result<Table> DecryptJoinResult(const EncryptedJoinResult& result,
@@ -60,6 +85,13 @@ class EncryptedClient {
   Fr EmbedAttrValue(const std::string& column, const Value& v) const;
 
  private:
+  /// Predicate roots + SSE token groups for one side of one query.
+  Status BuildSide(const TableSelection& sel, const EncryptedTable& enc,
+                   SjPredicates* preds, std::vector<SseTokenGroup>* sse);
+  /// Shared validation of a spec against the encrypted tables it names.
+  Status CheckSpec(const JoinQuerySpec& query, const EncryptedTable& enc_a,
+                   const EncryptedTable& enc_b) const;
+
   ClientOptions options_;
   Rng rng_;
   SecureJoin::MasterKey msk_;

@@ -42,6 +42,14 @@ struct JoinQueryTokens {
   std::vector<SseTokenGroup> sse_b;
 };
 
+/// Client -> server: a batch ("series") of join queries executed as one
+/// unit. The paper's cost and leakage analysis is amortized over exactly
+/// such a series; the server schedules all SJ.Dec work of the batch onto
+/// one shared thread pool and deduplicates per-(table, token) decryptions.
+struct QuerySeriesTokens {
+  std::vector<JoinQueryTokens> queries;
+};
+
 /// Server-side execution accounting (reported with every result).
 struct JoinExecStats {
   size_t rows_total_a = 0;
@@ -61,6 +69,26 @@ struct EncryptedJoinResult {
   /// has; exposed for the leakage experiments).
   std::vector<JoinedRowPair> matched_row_indices;
   JoinExecStats stats;
+};
+
+/// Series-level accounting: how much SJ.Dec work the batch needed and how
+/// much the per-(table, token) digest cache saved. A multi-way chain whose
+/// queries share the middle-table token decrypts each shared row once;
+/// `digest_cache_hits` counts the decryptions avoided.
+struct SeriesExecStats {
+  size_t queries = 0;
+  size_t decrypts_requested = 0;  // (table, token, row) digests needed
+  size_t decrypts_performed = 0;  // pairings actually computed
+  size_t digest_cache_hits = 0;   // requests served from the series cache
+  double prefilter_seconds = 0;
+  double decrypt_seconds = 0;     // the one batched SJ.Dec pass
+  double match_seconds = 0;
+};
+
+/// Server -> client: one result per query of the series, in order.
+struct EncryptedSeriesResult {
+  std::vector<EncryptedJoinResult> results;
+  SeriesExecStats stats;
 };
 
 }  // namespace sjoin

@@ -1,10 +1,63 @@
 #include "db/server.h"
 
+#include <algorithm>
+#include <memory>
 #include <numeric>
+#include <optional>
+#include <utility>
 
+#include "db/wire.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace sjoin {
+namespace {
+
+/// Rows passing a query side's SSE pre-filter (all rows if disabled).
+std::vector<size_t> SelectRows(const EncryptedTable& t,
+                               const std::vector<SseTokenGroup>& groups,
+                               bool use_sse_prefilter) {
+  if (!use_sse_prefilter || groups.empty()) {
+    std::vector<size_t> all(t.rows.size());
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  std::vector<size_t> selected;
+  for (size_t r = 0; r < t.rows.size(); ++r) {
+    if (SseRowMatches(t.rows[r].sse, groups)) selected.push_back(r);
+  }
+  return selected;
+}
+
+/// Content-addressed token identity: two JoinQueryTokens sides hold "the
+/// same token" iff their serialized G1 points agree. This is what keys the
+/// series digest cache -- a client that reuses a token (multi-way chain
+/// with a shared query key, repeated query) gets each row decrypted once.
+Digest32 TokenFingerprint(const SjToken& token) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(token.tk.size()));
+  for (const G1Affine& p : token.tk) WriteG1Point(&w, p);
+  return Sha256::Hash(w.bytes());
+}
+
+/// One (table, token) decryption unit of a series: the lazily filled digest
+/// vector, indexed by original row index.
+struct DecryptUnit {
+  const EncryptedTable* table = nullptr;
+  const SjToken* token = nullptr;
+  std::vector<std::optional<Digest32>> digests;
+};
+
+/// Digests of `sel` rows out of a fully computed unit, in selection order.
+std::vector<Digest32> GatherDigests(const DecryptUnit& unit,
+                                    const std::vector<size_t>& sel) {
+  std::vector<Digest32> out;
+  out.reserve(sel.size());
+  for (size_t r : sel) out.push_back(*unit.digests[r]);
+  return out;
+}
+
+}  // namespace
 
 Status EncryptedServer::StoreTable(EncryptedTable table) {
   if (tables_.count(table.name)) {
@@ -32,54 +85,18 @@ int EncryptedServer::TableIdFor(const std::string& name) {
   return id;
 }
 
-Result<EncryptedJoinResult> EncryptedServer::ExecuteJoin(
-    const JoinQueryTokens& query, const ServerExecOptions& opts) {
-  auto ta = GetTable(query.table_a);
-  SJOIN_RETURN_IF_ERROR(ta.status());
-  auto tb = GetTable(query.table_b);
-  SJOIN_RETURN_IF_ERROR(tb.status());
-  const EncryptedTable& a = **ta;
-  const EncryptedTable& b = **tb;
-
+EncryptedJoinResult EncryptedServer::MatchAndAccount(
+    const EncryptedTable& a, const EncryptedTable& b,
+    const std::vector<size_t>& sel_a, const std::vector<size_t>& sel_b,
+    const std::vector<Digest32>& da, const std::vector<Digest32>& db,
+    const ServerExecOptions& opts) {
   EncryptedJoinResult out;
   out.stats.rows_total_a = a.rows.size();
   out.stats.rows_total_b = b.rows.size();
-
-  // 1. SSE pre-filter (or all rows if disabled).
-  Stopwatch prefilter_watch;
-  auto select_rows = [&](const EncryptedTable& t,
-                         const std::vector<SseTokenGroup>& groups) {
-    if (!query.use_sse_prefilter || groups.empty()) {
-      std::vector<size_t> all(t.rows.size());
-      std::iota(all.begin(), all.end(), 0);
-      return all;
-    }
-    std::vector<SseRowTags> tags;
-    tags.reserve(t.rows.size());
-    for (const EncryptedRow& r : t.rows) tags.push_back(r.sse);
-    return SseSelectRows(tags, groups);
-  };
-  std::vector<size_t> sel_a = select_rows(a, query.sse_a);
-  std::vector<size_t> sel_b = select_rows(b, query.sse_b);
   out.stats.rows_selected_a = sel_a.size();
   out.stats.rows_selected_b = sel_b.size();
-  out.stats.prefilter_seconds = prefilter_watch.Seconds();
 
-  // 2. SJ.Dec on the selected rows of each table.
-  Stopwatch decrypt_watch;
-  auto decrypt_selected = [&](const EncryptedTable& t,
-                              const std::vector<size_t>& sel,
-                              const SjToken& token) {
-    std::vector<SjRowCiphertext> cts;
-    cts.reserve(sel.size());
-    for (size_t r : sel) cts.push_back(t.rows[r].sj);
-    return SecureJoin::DecryptRows(token, cts, opts.num_threads);
-  };
-  std::vector<Digest32> da = decrypt_selected(a, sel_a, query.token_a);
-  std::vector<Digest32> db = decrypt_selected(b, sel_b, query.token_b);
-  out.stats.decrypt_seconds = decrypt_watch.Seconds();
-
-  // 3. SJ.Match: join on digests.
+  // SJ.Match: join on digests.
   Stopwatch match_watch;
   std::vector<JoinedRowPair> pairs = opts.use_hash_join
                                          ? HashJoinDigests(da, db)
@@ -87,7 +104,7 @@ Result<EncryptedJoinResult> EncryptedServer::ExecuteJoin(
   out.stats.match_seconds = match_watch.Seconds();
   out.stats.result_pairs = pairs.size();
 
-  // 4. Leakage accounting: the adversary sees equality groups of D digests
+  // Leakage accounting: the adversary sees equality groups of D digests
   // across all decrypted rows of this query (both tables).
   {
     std::map<Digest32, std::vector<RowId>> groups;
@@ -104,7 +121,7 @@ Result<EncryptedJoinResult> EncryptedServer::ExecuteJoin(
     }
   }
 
-  // 5. Result payloads.
+  // Result payloads.
   out.row_pairs.reserve(pairs.size());
   out.matched_row_indices.reserve(pairs.size());
   for (const JoinedRowPair& p : pairs) {
@@ -112,6 +129,176 @@ Result<EncryptedJoinResult> EncryptedServer::ExecuteJoin(
                                b.rows[sel_b[p.row_b]].payload);
     out.matched_row_indices.push_back(
         JoinedRowPair{sel_a[p.row_a], sel_b[p.row_b]});
+  }
+  return out;
+}
+
+Result<EncryptedJoinResult> EncryptedServer::ExecuteJoin(
+    const JoinQueryTokens& query, const ServerExecOptions& opts) {
+  auto ta = GetTable(query.table_a);
+  SJOIN_RETURN_IF_ERROR(ta.status());
+  auto tb = GetTable(query.table_b);
+  SJOIN_RETURN_IF_ERROR(tb.status());
+  const EncryptedTable& a = **ta;
+  const EncryptedTable& b = **tb;
+
+  // 1. SSE pre-filter (or all rows if disabled).
+  Stopwatch prefilter_watch;
+  std::vector<size_t> sel_a = SelectRows(a, query.sse_a, query.use_sse_prefilter);
+  std::vector<size_t> sel_b = SelectRows(b, query.sse_b, query.use_sse_prefilter);
+  double prefilter_seconds = prefilter_watch.Seconds();
+
+  // 2. SJ.Dec on the selected rows of each table (shared thread pool).
+  Stopwatch decrypt_watch;
+  auto decrypt_selected = [&](const EncryptedTable& t,
+                              const std::vector<size_t>& sel,
+                              const SjToken& token) {
+    std::vector<SjRowCiphertext> cts;
+    cts.reserve(sel.size());
+    for (size_t r : sel) cts.push_back(t.rows[r].sj);
+    return SecureJoin::DecryptRows(token, cts, opts.num_threads);
+  };
+  std::vector<Digest32> da = decrypt_selected(a, sel_a, query.token_a);
+  std::vector<Digest32> db = decrypt_selected(b, sel_b, query.token_b);
+  double decrypt_seconds = decrypt_watch.Seconds();
+
+  // 3-5. SJ.Match, leakage accounting, payload assembly.
+  EncryptedJoinResult out = MatchAndAccount(a, b, sel_a, sel_b, da, db, opts);
+  out.stats.prefilter_seconds = prefilter_seconds;
+  out.stats.decrypt_seconds = decrypt_seconds;
+  return out;
+}
+
+Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeries(
+    const QuerySeriesTokens& series, const ServerExecOptions& opts) {
+  EncryptedSeriesResult out;
+  out.stats.queries = series.queries.size();
+
+  // 0. Resolve every table up front: a series fails before any crypto work
+  // rather than after a partial batch.
+  struct QueryPlan {
+    const EncryptedTable* a = nullptr;
+    const EncryptedTable* b = nullptr;
+    std::vector<size_t> sel_a, sel_b;
+    DecryptUnit* unit_a = nullptr;
+    DecryptUnit* unit_b = nullptr;
+  };
+  std::vector<QueryPlan> plans(series.queries.size());
+  for (size_t q = 0; q < series.queries.size(); ++q) {
+    auto ta = GetTable(series.queries[q].table_a);
+    SJOIN_RETURN_IF_ERROR(ta.status());
+    auto tb = GetTable(series.queries[q].table_b);
+    SJOIN_RETURN_IF_ERROR(tb.status());
+    plans[q].a = *ta;
+    plans[q].b = *tb;
+  }
+
+  // 1. SSE pre-filters for the whole batch.
+  Stopwatch prefilter_watch;
+  for (size_t q = 0; q < series.queries.size(); ++q) {
+    const JoinQueryTokens& query = series.queries[q];
+    plans[q].sel_a =
+        SelectRows(*plans[q].a, query.sse_a, query.use_sse_prefilter);
+    plans[q].sel_b =
+        SelectRows(*plans[q].b, query.sse_b, query.use_sse_prefilter);
+  }
+  out.stats.prefilter_seconds = prefilter_watch.Seconds();
+
+  // 2. Deduplicate SJ.Dec work through the per-(table, token) digest cache
+  // and collect the batch's pending decryptions.
+  std::map<std::pair<std::string, Digest32>, std::unique_ptr<DecryptUnit>>
+      cache;
+  std::vector<std::pair<DecryptUnit*, size_t>> pending;
+  auto unit_for = [&](const EncryptedTable& t,
+                      const SjToken& token) -> DecryptUnit* {
+    auto key = std::make_pair(t.name, TokenFingerprint(token));
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      auto unit = std::make_unique<DecryptUnit>();
+      unit->table = &t;
+      unit->token = &token;
+      unit->digests.resize(t.rows.size());
+      it = cache.emplace(std::move(key), std::move(unit)).first;
+    }
+    return it->second.get();
+  };
+  // Marks `sel` rows of a unit for decryption; already-marked rows are
+  // cache hits (the digest is computed once for the whole series).
+  std::map<const DecryptUnit*, std::vector<char>> scheduled;
+  auto request_rows = [&](DecryptUnit* unit, const std::vector<size_t>& sel) {
+    std::vector<char>& marks = scheduled[unit];
+    marks.resize(unit->digests.size());
+    for (size_t r : sel) {
+      ++out.stats.decrypts_requested;
+      if (marks[r]) {
+        ++out.stats.digest_cache_hits;
+        continue;
+      }
+      marks[r] = 1;
+      pending.emplace_back(unit, r);
+    }
+  };
+  for (size_t q = 0; q < series.queries.size(); ++q) {
+    plans[q].unit_a = unit_for(*plans[q].a, series.queries[q].token_a);
+    plans[q].unit_b = unit_for(*plans[q].b, series.queries[q].token_b);
+    request_rows(plans[q].unit_a, plans[q].sel_a);
+    request_rows(plans[q].unit_b, plans[q].sel_b);
+  }
+  out.stats.decrypts_performed = pending.size();
+
+  // 3. One batched SJ.Dec pass over every pending (unit, row) of the
+  // series on the shared pool -- the expensive pairings of all queries are
+  // scheduled together instead of query by query.
+  Stopwatch decrypt_watch;
+  ThreadPool::Shared().ParallelFor(
+      pending.size(), opts.num_threads, [&](size_t i) {
+        auto [unit, row] = pending[i];
+        unit->digests[row] =
+            SecureJoin::DecryptToDigest(*unit->token, unit->table->rows[row].sj);
+      });
+  out.stats.decrypt_seconds = decrypt_watch.Seconds();
+
+  // 4. Per-query SJ.Match, leakage accounting and payload assembly, in
+  // series order (leakage order matters for reproducibility, not for the
+  // transitive closure itself).
+  Stopwatch match_watch;
+  out.results.reserve(series.queries.size());
+  for (QueryPlan& plan : plans) {
+    std::vector<Digest32> da = GatherDigests(*plan.unit_a, plan.sel_a);
+    std::vector<Digest32> db = GatherDigests(*plan.unit_b, plan.sel_b);
+    out.results.push_back(MatchAndAccount(*plan.a, *plan.b, plan.sel_a,
+                                          plan.sel_b, da, db, opts));
+  }
+  out.stats.match_seconds = match_watch.Seconds();
+
+  // 5. Cross-query leakage: the adversary compares digests across the
+  // WHOLE series, not just within one query. With fresh per-query keys
+  // digests never collide across queries (this adds nothing beyond step
+  // 4); when a client opted into a shared-key chain, rows with equal join
+  // values collide across the chain's queries even without a connecting
+  // middle row, and that observation belongs in the tracker too. Note the
+  // pass cannot be skipped just because no unit is shared between
+  // queries: shared-key collisions also happen across DISTINCT units
+  // (e.g. a chain's end tables), and the server cannot see query keys.
+  // Its cost mirrors the per-query digest maps of step 4 and is dwarfed
+  // by the pairings of step 3.
+  if (series.queries.size() > 1) {
+    std::map<Digest32, std::vector<RowId>> groups;
+    for (const auto& [key, unit] : cache) {
+      int table_id = TableIdFor(unit->table->name);
+      for (size_t r = 0; r < unit->digests.size(); ++r) {
+        if (!unit->digests[r].has_value()) continue;
+        std::vector<RowId>& members = groups[*unit->digests[r]];
+        RowId id{table_id, r};
+        // Two same-key tokens over one table yield duplicate members.
+        if (std::find(members.begin(), members.end(), id) == members.end()) {
+          members.push_back(id);
+        }
+      }
+    }
+    for (const auto& [digest, members] : groups) {
+      if (members.size() >= 2) leakage_.ObserveEqualityGroup(members);
+    }
   }
   return out;
 }

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/leakage.h"
 #include "db/encrypted_table.h"
@@ -34,12 +35,33 @@ class EncryptedServer {
   Result<EncryptedJoinResult> ExecuteJoin(
       const JoinQueryTokens& query, const ServerExecOptions& opts = {});
 
+  /// Executes a batch of join queries as one pipeline: all SSE pre-filters
+  /// first, then every SJ.Dec of the batch scheduled together onto the
+  /// shared ThreadPool, with a per-(table, token) digest cache so a token
+  /// reused within the series (repeated queries, multi-way chains with a
+  /// shared query key) decrypts each row at most once. Results are
+  /// identical to executing the queries one by one; leakage accounting
+  /// feeds the same cross-query transitive closure.
+  Result<EncryptedSeriesResult> ExecuteJoinSeries(
+      const QuerySeriesTokens& series, const ServerExecOptions& opts = {});
+
   /// Everything the server has learned so far (equality of rows, closed
   /// transitively) -- the quantity the paper's security analysis bounds.
   LeakageTracker& leakage() { return leakage_; }
 
  private:
   int TableIdFor(const std::string& name);
+
+  /// SJ.Match + leakage accounting + payload assembly for one query whose
+  /// digests are already computed. Fills every stats field except the
+  /// timing of the phases the caller ran itself.
+  EncryptedJoinResult MatchAndAccount(const EncryptedTable& a,
+                                      const EncryptedTable& b,
+                                      const std::vector<size_t>& sel_a,
+                                      const std::vector<size_t>& sel_b,
+                                      const std::vector<Digest32>& da,
+                                      const std::vector<Digest32>& db,
+                                      const ServerExecOptions& opts);
 
   std::map<std::string, EncryptedTable> tables_;
   std::map<std::string, int> table_ids_;

@@ -43,26 +43,30 @@ bool SseTokenMatches(const SseToken& token, const SseSalt& salt,
   return std::memcmp(full.data(), tag.data(), tag.size()) == 0;
 }
 
+bool SseRowMatches(const SseRowTags& row,
+                   const std::vector<SseTokenGroup>& groups) {
+  for (const SseTokenGroup& group : groups) {
+    // column_index arrives over the wire unvalidated; an impossible
+    // predicate matches nothing rather than reading out of bounds.
+    if (group.column_index >= row.tags.size()) return false;
+    bool any = false;
+    const SseTag& tag = row.tags[group.column_index];
+    for (const SseToken& tok : group.tokens) {
+      if (SseTokenMatches(tok, row.salt, tag)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
 std::vector<size_t> SseSelectRows(const std::vector<SseRowTags>& rows,
                                   const std::vector<SseTokenGroup>& groups) {
   std::vector<size_t> selected;
   for (size_t r = 0; r < rows.size(); ++r) {
-    bool all = true;
-    for (const SseTokenGroup& group : groups) {
-      bool any = false;
-      const SseTag& tag = rows[r].tags[group.column_index];
-      for (const SseToken& tok : group.tokens) {
-        if (SseTokenMatches(tok, rows[r].salt, tag)) {
-          any = true;
-          break;
-        }
-      }
-      if (!any) {
-        all = false;
-        break;
-      }
-    }
-    if (all) selected.push_back(r);
+    if (SseRowMatches(rows[r], groups)) selected.push_back(r);
   }
   return selected;
 }

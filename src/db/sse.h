@@ -61,6 +61,10 @@ struct SseTokenGroup {
   std::vector<SseToken> tokens;
 };
 
+/// Does one row satisfy every token group (conjunction of INs)?
+bool SseRowMatches(const SseRowTags& row,
+                   const std::vector<SseTokenGroup>& groups);
+
 /// Rows satisfying every token group (conjunction of INs).
 std::vector<size_t> SseSelectRows(const std::vector<SseRowTags>& rows,
                                   const std::vector<SseTokenGroup>& groups);

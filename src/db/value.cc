@@ -1,19 +1,23 @@
 #include "db/value.h"
 
+#include <cstring>
+
 namespace sjoin {
 
 Bytes Value::ToBytes() const {
-  Bytes out;
-  out.push_back(static_cast<uint8_t>(kind()));
   if (is_int()) {
+    Bytes out(9);
+    out[0] = static_cast<uint8_t>(kind());
     uint64_t v = static_cast<uint64_t>(AsInt());
     for (int i = 0; i < 8; ++i) {
-      out.push_back(static_cast<uint8_t>(v >> (56 - 8 * i)));
+      out[1 + i] = static_cast<uint8_t>(v >> (56 - 8 * i));
     }
-  } else {
-    const std::string& s = AsString();
-    out.insert(out.end(), s.begin(), s.end());
+    return out;
   }
+  const std::string& s = AsString();
+  Bytes out(1 + s.size());
+  out[0] = static_cast<uint8_t>(kind());
+  if (!s.empty()) std::memcpy(out.data() + 1, s.data(), s.size());
   return out;
 }
 

@@ -9,9 +9,11 @@ namespace {
 constexpr uint8_t kWireVersion = 1;
 
 // Message type tags catch cross-wiring of messages.
-constexpr uint8_t kTagTable = 0x54;   // 'T'
-constexpr uint8_t kTagQuery = 0x51;   // 'Q'
-constexpr uint8_t kTagResult = 0x52;  // 'R'
+constexpr uint8_t kTagTable = 0x54;         // 'T'
+constexpr uint8_t kTagQuery = 0x51;         // 'Q'
+constexpr uint8_t kTagResult = 0x52;        // 'R'
+constexpr uint8_t kTagQuerySeries = 0x71;   // 'q'
+constexpr uint8_t kTagSeriesResult = 0x72;  // 'r'
 
 Status ExpectHeader(WireReader* r, uint8_t tag) {
   auto version = r->U8();
@@ -404,6 +406,79 @@ Result<EncryptedJoinResult> DeserializeJoinResult(const Bytes& wire) {
   SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.rows_selected_b));
   SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.result_pairs));
   if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes after result");
+  return out;
+}
+
+Bytes SerializeQuerySeries(const QuerySeriesTokens& series) {
+  WireWriter w;
+  WriteHeader(&w, kTagQuerySeries);
+  w.U32(static_cast<uint32_t>(series.queries.size()));
+  for (const JoinQueryTokens& q : series.queries) {
+    w.Blob(SerializeJoinQueryTokens(q));
+  }
+  return w.Take();
+}
+
+Result<QuerySeriesTokens> DeserializeQuerySeries(const Bytes& wire) {
+  WireReader r(wire);
+  SJOIN_RETURN_IF_ERROR(ExpectHeader(&r, kTagQuerySeries));
+  auto count = r.U32();
+  SJOIN_RETURN_IF_ERROR(count.status());
+  QuerySeriesTokens out;
+  // No reserve(*count): the count is untrusted wire input; growth stays
+  // bounded by the bytes actually present.
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto blob = r.Blob();
+    SJOIN_RETURN_IF_ERROR(blob.status());
+    auto q = DeserializeJoinQueryTokens(*blob);
+    SJOIN_RETURN_IF_ERROR(q.status());
+    out.queries.push_back(std::move(*q));
+  }
+  if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes after series");
+  return out;
+}
+
+Bytes SerializeSeriesResult(const EncryptedSeriesResult& result) {
+  WireWriter w;
+  WriteHeader(&w, kTagSeriesResult);
+  w.U32(static_cast<uint32_t>(result.results.size()));
+  for (const EncryptedJoinResult& res : result.results) {
+    w.Blob(SerializeJoinResult(res));
+  }
+  w.U64(result.stats.queries);
+  w.U64(result.stats.decrypts_requested);
+  w.U64(result.stats.decrypts_performed);
+  w.U64(result.stats.digest_cache_hits);
+  return w.Take();
+}
+
+Result<EncryptedSeriesResult> DeserializeSeriesResult(const Bytes& wire) {
+  WireReader r(wire);
+  SJOIN_RETURN_IF_ERROR(ExpectHeader(&r, kTagSeriesResult));
+  auto count = r.U32();
+  SJOIN_RETURN_IF_ERROR(count.status());
+  EncryptedSeriesResult out;
+  // No reserve(*count): untrusted count, same as DeserializeQuerySeries.
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto blob = r.Blob();
+    SJOIN_RETURN_IF_ERROR(blob.status());
+    auto res = DeserializeJoinResult(*blob);
+    SJOIN_RETURN_IF_ERROR(res.status());
+    out.results.push_back(std::move(*res));
+  }
+  auto read_u64 = [&](size_t* dst) -> Status {
+    auto v = r.U64();
+    SJOIN_RETURN_IF_ERROR(v.status());
+    *dst = static_cast<size_t>(*v);
+    return Status::OK();
+  };
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.queries));
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.decrypts_requested));
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.decrypts_performed));
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.digest_cache_hits));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after series result");
+  }
   return out;
 }
 

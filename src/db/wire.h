@@ -72,6 +72,16 @@ Result<JoinQueryTokens> DeserializeJoinQueryTokens(const Bytes& wire);
 Bytes SerializeJoinResult(const EncryptedJoinResult& result);
 Result<EncryptedJoinResult> DeserializeJoinResult(const Bytes& wire);
 
+/// Series query message: an ordered batch of join queries executed as one
+/// unit by EncryptedServer::ExecuteJoinSeries.
+Bytes SerializeQuerySeries(const QuerySeriesTokens& series);
+Result<QuerySeriesTokens> DeserializeQuerySeries(const Bytes& wire);
+
+/// Series response message: per-query results + batch accounting (timing
+/// fields are host-local measurements and do not cross the wire).
+Bytes SerializeSeriesResult(const EncryptedSeriesResult& result);
+Result<EncryptedSeriesResult> DeserializeSeriesResult(const Bytes& wire);
+
 }  // namespace sjoin
 
 #endif  // SJOIN_DB_WIRE_H_

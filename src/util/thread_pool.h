@@ -1,0 +1,59 @@
+// Reusable worker pool for CPU-bound crypto work (SJ.Dec pairings dominate
+// every server-side cost). One process-wide pool is created lazily and
+// shared by all queries of a series, replacing the per-call std::thread
+// spawning the server used to pay on every DecryptRows invocation.
+#ifndef SJOIN_UTIL_THREAD_POOL_H_
+#define SJOIN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sjoin {
+
+class ThreadPool {
+ public:
+  /// `num_workers` background threads (<= 0: hardware_concurrency - 1, so
+  /// that worker threads plus the submitting thread saturate the machine).
+  explicit ThreadPool(int num_workers = -1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide shared pool, created on first use.
+  static ThreadPool& Shared();
+
+  /// Maximum useful parallelism: background workers + the calling thread.
+  int concurrency() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Enqueues a task for any worker to run.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(0..n-1) with up to `parallelism` concurrent executors
+  /// (<= 0: concurrency()). The calling thread participates; the effective
+  /// width is clamped to both concurrency() and n, so small batches never
+  /// pay for idle executors. Blocks until every index has run.
+  void ParallelFor(size_t n, int parallelism,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Pops and runs one queued task if any; used by waiting ParallelFor
+  /// callers so nested invocations cannot deadlock the pool.
+  bool TryRunOneTask();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_UTIL_THREAD_POOL_H_
