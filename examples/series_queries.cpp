@@ -80,9 +80,10 @@ int main() {
 
   const SeriesExecStats& s = result->stats;
   std::printf(
-      "\nSJ.Dec accounting: %zu digests requested, %zu pairings computed, "
-      "%zu cache hits\n",
-      s.decrypts_requested, s.decrypts_performed, s.digest_cache_hits);
+      "\nSJ.Dec accounting: %zu digests requested, %zu computed "
+      "(%zu cold + %zu prepared), %zu cache hits\n",
+      s.decrypts_requested, s.decrypts_performed, s.pairings_computed,
+      s.prepared_pairings, s.digest_cache_hits);
   std::printf(
       "(the chain's shared Suppliers token is decrypted once; the repeated "
       "query under a\nfresh key shares nothing -- unlinkability is the "

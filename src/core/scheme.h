@@ -43,6 +43,22 @@ struct SjRowCiphertext {
   std::vector<G2Affine> c;
 };
 
+/// Prepared form of one row's SJ ciphertext: per-slot Miller-loop line
+/// tables (G2Prepared). Building one costs a single SJ.Dec's worth of G2
+/// arithmetic; every later SJ.Dec against the row -- under ANY token --
+/// then skips all G2 line derivation. Much larger than the ciphertext
+/// (~ScheduleLength() line triples per slot), hence the server's
+/// memory-bounded cache rather than unconditional preparation.
+struct SjPreparedRow {
+  std::vector<G2Prepared> c;
+
+  /// Heap + object footprint (cache accounting).
+  size_t MemoryBytes() const;
+  /// Footprint a prepared row of `dim` non-identity slots will have,
+  /// before paying for the preparation.
+  static size_t BytesForDim(size_t dim);
+};
+
 /// SJ token for one table within one query.
 struct SjToken {
   std::vector<G1Affine> tk;
@@ -92,6 +108,22 @@ class SecureJoin {
   /// Parallel bulk decryption (num_threads <= 0 means hardware concurrency).
   static std::vector<Digest32> DecryptRows(
       const SjToken& token, std::span<const SjRowCiphertext> rows,
+      int num_threads = 1);
+
+  /// Hoists the G2-side Miller-loop work of one row out of SJ.Dec (see
+  /// SjPreparedRow). Token-independent: one prepared row serves every
+  /// query of a series.
+  static SjPreparedRow PrepareRow(const SjRowCiphertext& ct);
+
+  /// SJ.Dec from a prepared row; same D as Decrypt on the source row.
+  static GT DecryptPrepared(const SjToken& token, const SjPreparedRow& row);
+  static Digest32 DecryptToDigestPrepared(const SjToken& token,
+                                          const SjPreparedRow& row);
+
+  /// Parallel bulk decryption over prepared rows; element-wise equal to
+  /// DecryptRows over the rows the preparations came from.
+  static std::vector<Digest32> DecryptRowsPrepared(
+      const SjToken& token, std::span<const SjPreparedRow> rows,
       int num_threads = 1);
 
   /// SJ.Match (server, query result).

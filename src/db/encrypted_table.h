@@ -72,16 +72,28 @@ struct EncryptedJoinResult {
 };
 
 /// Series-level accounting: how much SJ.Dec work the batch needed and how
-/// much the per-(table, token) digest cache saved. A multi-way chain whose
-/// queries share the middle-table token decrypts each shared row once;
-/// `digest_cache_hits` counts the decryptions avoided.
+/// much the two server-side caches saved. A multi-way chain whose queries
+/// share the middle-table token decrypts each shared row once;
+/// `digest_cache_hits` counts the decryptions avoided entirely. Of the
+/// decryptions that did run, the prepared-row cache distinguishes full
+/// pairings (G2 line derivation inline) from prepared ones (line
+/// evaluation only, the warm path).
+///
+/// Invariants, asserted by tests/series_test.cc:
+///   decrypts_requested == decrypts_performed + digest_cache_hits
+///   decrypts_performed == pairings_computed + prepared_pairings
+///   prepared_pairings  == prepared_rows_built + prepared_cache_hits
 struct SeriesExecStats {
   size_t queries = 0;
-  size_t decrypts_requested = 0;  // (table, token, row) digests needed
-  size_t decrypts_performed = 0;  // pairings actually computed
-  size_t digest_cache_hits = 0;   // requests served from the series cache
+  size_t decrypts_requested = 0;   // (table, token, row) digests needed
+  size_t decrypts_performed = 0;   // digests actually computed
+  size_t digest_cache_hits = 0;    // requests served from the series cache
+  size_t pairings_computed = 0;    // cold SJ.Dec: full Miller loops
+  size_t prepared_pairings = 0;    // SJ.Dec through a prepared row
+  size_t prepared_rows_built = 0;  // prepared rows built by this call
+  size_t prepared_cache_hits = 0;  // decrypts served from a warm prepared row
   double prefilter_seconds = 0;
-  double decrypt_seconds = 0;     // the one batched SJ.Dec pass
+  double decrypt_seconds = 0;      // the one batched SJ.Dec pass
   double match_seconds = 0;
 };
 

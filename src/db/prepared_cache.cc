@@ -1,0 +1,103 @@
+#include "db/prepared_cache.h"
+
+namespace sjoin {
+
+void PreparedRowCache::set_max_bytes(size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_bytes_ = max_bytes;
+  EvictFor(0);
+}
+
+size_t PreparedRowCache::max_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_bytes_;
+}
+
+void PreparedRowCache::EvictFor(size_t incoming) {
+  while (bytes_ + incoming > max_bytes_ && !lru_.empty()) {
+    auto it = entries_.find(lru_.back());
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++evicted_;
+  }
+}
+
+std::shared_ptr<const SjPreparedRow> PreparedRowCache::Get(
+    const std::string& table, size_t row, const SjRowCiphertext& ct,
+    bool* built) {
+  *built = false;
+  Key key{table, row};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      ++hits_;
+      return it->second.row;
+    }
+    // Size is known before building: refuse rows that could never fit so
+    // the expensive preparation is not wasted on a one-shot use.
+    if (SjPreparedRow::BytesForDim(ct.c.size()) > max_bytes_) {
+      ++rejected_;
+      return nullptr;
+    }
+  }
+
+  auto prepared =
+      std::make_shared<const SjPreparedRow>(SecureJoin::PrepareRow(ct));
+  size_t bytes = prepared->MemoryBytes();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {  // lost a build race; first insert wins
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    ++hits_;
+    return it->second.row;
+  }
+  if (bytes > max_bytes_) {  // estimate undershot; refuse rather than thrash
+    ++rejected_;
+    return nullptr;
+  }
+  EvictFor(bytes);
+  lru_.push_front(key);
+  entries_[key] = Entry{prepared, bytes, lru_.begin()};
+  bytes_ += bytes;
+  ++built_;
+  *built = true;
+  return prepared;
+}
+
+void PreparedRowCache::EraseTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.first == table) {
+      bytes_ -= it->second.bytes;
+      lru_.erase(it->second.lru_pos);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PreparedRowCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+PreparedRowCache::Stats PreparedRowCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  s.hits = hits_;
+  s.built = built_;
+  s.evicted = evicted_;
+  s.rejected = rejected_;
+  return s;
+}
+
+}  // namespace sjoin

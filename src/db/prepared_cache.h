@@ -1,0 +1,94 @@
+// Memory-bounded LRU cache of prepared SJ rows (SecureJoin::PrepareRow
+// output), keyed by (table name, row index).
+//
+// Prepared rows are token-independent, so one entry serves every query of
+// a series -- and every later series -- that decrypts the row. They are
+// also large (~ScheduleLength() line triples per vector slot), so the
+// cache enforces a byte budget: least-recently-touched entries are evicted
+// to admit new ones, and rows whose prepared form alone exceeds the budget
+// are rejected up front (never built). Entries are handed out as
+// shared_ptr so an eviction never invalidates a decryption in flight.
+//
+// Thread-safe. The expensive PrepareRow runs outside the lock; when two
+// threads race to prepare the same row, the first insert wins and the
+// loser's work is discarded.
+#ifndef SJOIN_DB_PREPARED_CACHE_H_
+#define SJOIN_DB_PREPARED_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "core/scheme.h"
+
+namespace sjoin {
+
+class PreparedRowCache {
+ public:
+  /// Default byte budget; ServerExecOptions::prepared_cache_bytes
+  /// overrides it per call.
+  static constexpr size_t kDefaultMaxBytes = size_t{256} << 20;  // 256 MiB
+
+  explicit PreparedRowCache(size_t max_bytes = kDefaultMaxBytes)
+      : max_bytes_(max_bytes) {}
+
+  /// The eviction knob: shrinking the budget evicts immediately.
+  void set_max_bytes(size_t max_bytes);
+  size_t max_bytes() const;
+
+  /// Returns the prepared form of row `row` of table `table`, building it
+  /// from `ct` on first touch. Returns nullptr when the row cannot be
+  /// admitted within the byte budget (the caller falls back to the
+  /// unprepared SJ.Dec path). `*built` reports whether this call built the
+  /// entry (false on a cache hit).
+  std::shared_ptr<const SjPreparedRow> Get(const std::string& table,
+                                           size_t row,
+                                           const SjRowCiphertext& ct,
+                                           bool* built);
+
+  /// Drops every entry of one table (e.g. when it is replaced).
+  void EraseTable(const std::string& table);
+  /// Drops everything.
+  void Clear();
+
+  struct Stats {
+    size_t entries = 0;   // rows currently cached
+    size_t bytes = 0;     // their accounted footprint
+    uint64_t hits = 0;    // Get calls served from the cache
+    uint64_t built = 0;   // Get calls that prepared a new row
+    uint64_t evicted = 0; // entries removed to make room / honor the knob
+    uint64_t rejected = 0;// Get calls refused for exceeding the budget
+  };
+  Stats stats() const;
+
+ private:
+  using Key = std::pair<std::string, size_t>;  // (table, row)
+  struct Entry {
+    std::shared_ptr<const SjPreparedRow> row;
+    size_t bytes = 0;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  /// Evicts LRU entries until `bytes_ + incoming <= max_bytes_`.
+  /// Caller holds mu_.
+  void EvictFor(size_t incoming);
+
+  mutable std::mutex mu_;
+  size_t max_bytes_;
+  size_t bytes_ = 0;
+  std::list<Key> lru_;  // front = most recently used
+  std::map<Key, Entry> entries_;
+  uint64_t hits_ = 0;
+  uint64_t built_ = 0;
+  uint64_t evicted_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_DB_PREPARED_CACHE_H_

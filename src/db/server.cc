@@ -1,6 +1,7 @@
 #include "db/server.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <numeric>
 #include <optional>
@@ -248,14 +249,43 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeries(
 
   // 3. One batched SJ.Dec pass over every pending (unit, row) of the
   // series on the shared pool -- the expensive pairings of all queries are
-  // scheduled together instead of query by query.
+  // scheduled together instead of query by query. Each decryption first
+  // consults the server's prepared-row cache: a row touched before (by an
+  // earlier query of this series under a different token, or by a previous
+  // series) decrypts via line evaluation alone, and a first-touch row is
+  // prepared so every later token gets the warm path. The cache bounds its
+  // memory (opts.prepared_cache_bytes); rows it cannot admit fall back to
+  // the cold full-pairing path.
   Stopwatch decrypt_watch;
+  if (opts.prepared_cache_bytes > 0) {
+    prepared_cache_.set_max_bytes(opts.prepared_cache_bytes);
+  }
+  std::atomic<size_t> pairings_cold{0};
+  std::atomic<size_t> prepared_built{0};
+  std::atomic<size_t> prepared_hits{0};
   ThreadPool::Shared().ParallelFor(
       pending.size(), opts.num_threads, [&](size_t i) {
         auto [unit, row] = pending[i];
-        unit->digests[row] =
-            SecureJoin::DecryptToDigest(*unit->token, unit->table->rows[row].sj);
+        const SjRowCiphertext& ct = unit->table->rows[row].sj;
+        std::shared_ptr<const SjPreparedRow> prep;
+        bool built = false;
+        if (opts.prepared_cache_bytes > 0) {
+          prep = prepared_cache_.Get(unit->table->name, row, ct, &built);
+        }
+        if (prep) {
+          unit->digests[row] =
+              SecureJoin::DecryptToDigestPrepared(*unit->token, *prep);
+          (built ? prepared_built : prepared_hits).fetch_add(1);
+        } else {
+          unit->digests[row] = SecureJoin::DecryptToDigest(*unit->token, ct);
+          pairings_cold.fetch_add(1);
+        }
       });
+  out.stats.pairings_computed = pairings_cold.load();
+  out.stats.prepared_rows_built = prepared_built.load();
+  out.stats.prepared_cache_hits = prepared_hits.load();
+  out.stats.prepared_pairings =
+      out.stats.prepared_rows_built + out.stats.prepared_cache_hits;
   out.stats.decrypt_seconds = decrypt_watch.Seconds();
 
   // 4. Per-query SJ.Match, leakage accounting and payload assembly, in

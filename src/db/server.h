@@ -10,6 +10,7 @@
 
 #include "core/leakage.h"
 #include "db/encrypted_table.h"
+#include "db/prepared_cache.h"
 
 namespace sjoin {
 
@@ -18,6 +19,11 @@ struct ServerExecOptions {
   int num_threads = 1;
   /// false switches SJ.Match to the O(n^2) nested-loop join (ablation A2).
   bool use_hash_join = true;
+  /// Byte budget for the server's prepared-row cache (the eviction knob;
+  /// 0 disables the prepared pipeline for this call). The cache itself is
+  /// per-server and persists across calls, so a series against a table a
+  /// previous series already touched starts warm.
+  size_t prepared_cache_bytes = PreparedRowCache::kDefaultMaxBytes;
 };
 
 class EncryptedServer {
@@ -49,6 +55,10 @@ class EncryptedServer {
   /// transitively) -- the quantity the paper's security analysis bounds.
   LeakageTracker& leakage() { return leakage_; }
 
+  /// The per-table prepared-row cache behind ExecuteJoinSeries (exposed
+  /// for tests and benchmarks; see ServerExecOptions::prepared_cache_bytes).
+  const PreparedRowCache& prepared_cache() const { return prepared_cache_; }
+
  private:
   int TableIdFor(const std::string& name);
 
@@ -66,6 +76,7 @@ class EncryptedServer {
   std::map<std::string, EncryptedTable> tables_;
   std::map<std::string, int> table_ids_;
   LeakageTracker leakage_;
+  PreparedRowCache prepared_cache_;
 };
 
 }  // namespace sjoin

@@ -5,8 +5,10 @@
 namespace sjoin {
 namespace {
 
-// Format version; bump on layout changes.
-constexpr uint8_t kWireVersion = 1;
+// Format version; bump on layout changes. v2: series-result stats gained
+// the prepared-pipeline counters (pairings computed / prepared, rows
+// built, prepared-cache hits).
+constexpr uint8_t kWireVersion = 2;
 
 // Message type tags catch cross-wiring of messages.
 constexpr uint8_t kTagTable = 0x54;         // 'T'
@@ -449,6 +451,10 @@ Bytes SerializeSeriesResult(const EncryptedSeriesResult& result) {
   w.U64(result.stats.decrypts_requested);
   w.U64(result.stats.decrypts_performed);
   w.U64(result.stats.digest_cache_hits);
+  w.U64(result.stats.pairings_computed);
+  w.U64(result.stats.prepared_pairings);
+  w.U64(result.stats.prepared_rows_built);
+  w.U64(result.stats.prepared_cache_hits);
   return w.Take();
 }
 
@@ -476,6 +482,10 @@ Result<EncryptedSeriesResult> DeserializeSeriesResult(const Bytes& wire) {
   SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.decrypts_requested));
   SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.decrypts_performed));
   SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.digest_cache_hits));
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.pairings_computed));
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.prepared_pairings));
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.prepared_rows_built));
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.prepared_cache_hits));
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after series result");
   }

@@ -107,4 +107,23 @@ GT ModifiedIpe::Decrypt(std::span<const G1Affine> token,
   return MultiPair(pairs);
 }
 
+std::vector<G2Prepared> ModifiedIpe::PrepareCiphertext(
+    std::span<const G2Affine> ct) {
+  std::vector<G2Prepared> out;
+  out.reserve(ct.size());
+  for (const G2Affine& c : ct) out.push_back(G2Prepared::Prepare(c));
+  return out;
+}
+
+GT ModifiedIpe::DecryptPrepared(std::span<const G1Affine> token,
+                                std::span<const G2Prepared> ct) {
+  SJOIN_CHECK(token.size() == ct.size());
+  std::vector<std::pair<G1Affine, const G2Prepared*>> pairs;
+  pairs.reserve(token.size());
+  for (size_t i = 0; i < token.size(); ++i) {
+    pairs.emplace_back(token[i], &ct[i]);
+  }
+  return MultiPairPrepared(pairs);
+}
+
 }  // namespace sjoin

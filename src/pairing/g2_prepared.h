@@ -1,0 +1,66 @@
+// Prepared G2 points: the G2-side work of the Miller loop, done once.
+//
+// Every Miller loop over a fixed Q walks the same NAF schedule of 6x+2 and
+// derives the same doubling/addition lines -- only the evaluation at the G1
+// point P differs. A G2Prepared caches those lines as coefficient triples
+//     l(P) = c0 * yP  +  (c1 * xP) w  +  c2 w^3,     c0, c1, c2 in Fp2,
+// in exactly the order MillerLoopPrepared consumes them (one per doubling
+// step, one per addition step, two for the optimal-ate tail). Consuming a
+// prepared point costs two Fp2-by-Fp scalings and one sparse Fp12
+// multiplication per step; all Jacobian G2 arithmetic and line derivation
+// (the majority of the per-pair Miller-loop work) is skipped.
+//
+// This is the server-side amortization lever for a series of queries: row
+// ciphertexts live in G2 and are fixed across queries, while tokens (G1)
+// are fresh per query, so preparing a row once pays off on every query
+// after the first.
+#ifndef SJOIN_PAIRING_G2_PREPARED_H_
+#define SJOIN_PAIRING_G2_PREPARED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ec/g2.h"
+
+namespace sjoin {
+
+/// One Miller-loop line with the G1 evaluation factored out (see above).
+struct LineCoeffs {
+  Fp2 c0;  // w^0 slot, scaled by yP at evaluation time
+  Fp2 c1;  // w^1 slot, scaled by xP at evaluation time
+  Fp2 c2;  // w^3 slot, independent of P
+};
+
+/// A G2 point with every Miller-loop line precomputed. Immutable after
+/// Prepare; safe to share across threads. Prepare costs one Miller loop's
+/// worth of G2 arithmetic (built in pairing.cc alongside the loop whose
+/// schedule it mirrors).
+class G2Prepared {
+ public:
+  /// Default-constructed: the prepared identity (empty line table).
+  G2Prepared() = default;
+
+  /// Derives the full line table of `q`.
+  static G2Prepared Prepare(const G2Affine& q);
+
+  /// Number of lines per non-identity point; every G2Prepared holds either
+  /// exactly this many coefficients or none (identity).
+  static size_t ScheduleLength();
+
+  bool infinity() const { return infinity_; }
+  const std::vector<LineCoeffs>& coeffs() const { return coeffs_; }
+
+  /// Heap + object footprint, used by the server's prepared-row cache to
+  /// enforce its memory bound.
+  size_t MemoryBytes() const {
+    return sizeof(*this) + coeffs_.capacity() * sizeof(LineCoeffs);
+  }
+
+ private:
+  bool infinity_ = true;
+  std::vector<LineCoeffs> coeffs_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_PAIRING_G2_PREPARED_H_

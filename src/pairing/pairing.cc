@@ -30,34 +30,33 @@ namespace {
 // Scaling the line by nonzero Fp2 constants is harmless: Fp2 lies inside
 // Fp6, whose elements are annihilated by the (p^6-1) easy part of the final
 // exponentiation.
+//
+// Both step functions factor the G1 point out of the line: they emit the
+// P-independent LineCoeffs triple of g2_prepared.h, and the loops multiply
+// in (xP, yP) at evaluation time. This keeps the plain and prepared Miller
+// loops on one set of formulas -- G2Prepared::Prepare records exactly the
+// triples the plain loop would derive inline.
 // ---------------------------------------------------------------------------
 
-struct LineEval {
-  Fp2 a0;  // w^0 slot
-  Fp2 b0;  // w^1 slot
-  Fp2 b1;  // w^3 slot
-};
-
 // Doubling step: consumes T (Jacobian on the twist), outputs 2T and the
-// tangent line at T evaluated at P.
-void DoublingStep(G2* t, const Fp& xp, const Fp& yp, LineEval* line) {
+// tangent-line coefficients at T.
+void DoublingStep(G2* t, LineCoeffs* line) {
   const Fp2 X = t->X(), Y = t->Y(), Z = t->Z();
   Fp2 XX = X.Square();
   Fp2 YY = Y.Square();
   Fp2 ZZ = Z.Square();
   Fp2 three_xx = XX.Double() + XX;
 
-  line->a0 = (Y * Z * ZZ).Double().MulByFp(yp);        // 2 Y Z^3 yP
-  line->b0 = -(three_xx * ZZ).MulByFp(xp);             // -3 X^2 Z^2 xP
-  line->b1 = three_xx * X - YY.Double();               // 3 X^3 - 2 Y^2
+  line->c0 = (Y * Z * ZZ).Double();        // 2 Y Z^3
+  line->c1 = -(three_xx * ZZ);             // -3 X^2 Z^2
+  line->c2 = three_xx * X - YY.Double();   // 3 X^3 - 2 Y^2
 
   *t = t->Double();
 }
 
-// Addition step: consumes T and affine Q, outputs T+Q and the chord line
-// through them evaluated at P.
-void AdditionStep(G2* t, const G2Affine& q, const Fp& xp, const Fp& yp,
-                  LineEval* line) {
+// Addition step: consumes T and affine Q, outputs T+Q and the chord-line
+// coefficients through them.
+void AdditionStep(G2* t, const G2Affine& q, LineCoeffs* line) {
   const Fp2 Z = t->Z();
   Fp2 ZZ = Z.Square();
   Fp2 rr = (q.y * Z * ZZ - t->Y()).Double();  // 2 (y2 Z^3 - Y)
@@ -65,9 +64,15 @@ void AdditionStep(G2* t, const G2Affine& q, const Fp& xp, const Fp& yp,
   *t = t->AddMixed(q);
   const Fp2& z3 = t->Z();  // 2 Z (x2 Z^2 - X)
 
-  line->a0 = z3.MulByFp(yp);
-  line->b0 = -rr.MulByFp(xp);
-  line->b1 = rr * q.x - z3 * q.y;
+  line->c0 = z3;
+  line->c1 = -rr;
+  line->c2 = rr * q.x - z3 * q.y;
+}
+
+// Evaluation at P folded into the sparse accumulator multiplication.
+Fp12 MulByEvaluatedLine(const Fp12& f, const LineCoeffs& line, const Fp& xp,
+                        const Fp& yp) {
+  return f.MulByLine(line.c0.MulByFp(yp), line.c1.MulByFp(xp), line.c2);
 }
 
 // NAF digits of 6x+2 (65 bits), most significant first.
@@ -94,6 +99,15 @@ const std::vector<int8_t>& AteLoopNaf() {
   return *kNaf;
 }
 
+// The ate tail points pi_p(Q) and -pi_{p^2}(Q) of the two closing additions.
+std::pair<G2Affine, G2Affine> TailPoints(const G2Affine& q) {
+  G2Affine q1 =
+      G2Affine::From(TwistFrobeniusX(q.x, 1), TwistFrobeniusY(q.y, 1));
+  G2Affine q2_neg =
+      G2Affine::From(TwistFrobeniusX(q.x, 2), -TwistFrobeniusY(q.y, 2));
+  return {q1, q2_neg};
+}
+
 struct PairState {
   Fp xp, yp;      // G1 point (affine)
   G2Affine q;     // G2 point (affine)
@@ -104,32 +118,29 @@ struct PairState {
 Fp12 MultiMillerLoopImpl(std::vector<PairState>* states) {
   const std::vector<int8_t>& naf = AteLoopNaf();
   Fp12 f = Fp12::One();
-  LineEval line;
+  LineCoeffs line;
   // Skip the leading digit (always 1): f starts at 1 and T at Q.
   for (size_t i = 1; i < naf.size(); ++i) {
     f = f.Square();
     for (PairState& s : *states) {
-      DoublingStep(&s.t, s.xp, s.yp, &line);
-      f = f.MulByLine(line.a0, line.b0, line.b1);
+      DoublingStep(&s.t, &line);
+      f = MulByEvaluatedLine(f, line, s.xp, s.yp);
     }
     int8_t d = naf[i];
     if (d != 0) {
       for (PairState& s : *states) {
-        AdditionStep(&s.t, d > 0 ? s.q : s.negq, s.xp, s.yp, &line);
-        f = f.MulByLine(line.a0, line.b0, line.b1);
+        AdditionStep(&s.t, d > 0 ? s.q : s.negq, &line);
+        f = MulByEvaluatedLine(f, line, s.xp, s.yp);
       }
     }
   }
   // Optimal ate tail: lines through pi_p(Q) and -pi_{p^2}(Q).
   for (PairState& s : *states) {
-    G2Affine q1 = G2Affine::From(TwistFrobeniusX(s.q.x, 1),
-                                 TwistFrobeniusY(s.q.y, 1));
-    G2Affine q2_neg = G2Affine::From(TwistFrobeniusX(s.q.x, 2),
-                                     -TwistFrobeniusY(s.q.y, 2));
-    AdditionStep(&s.t, q1, s.xp, s.yp, &line);
-    f = f.MulByLine(line.a0, line.b0, line.b1);
-    AdditionStep(&s.t, q2_neg, s.xp, s.yp, &line);
-    f = f.MulByLine(line.a0, line.b0, line.b1);
+    auto [q1, q2_neg] = TailPoints(s.q);
+    AdditionStep(&s.t, q1, &line);
+    f = MulByEvaluatedLine(f, line, s.xp, s.yp);
+    AdditionStep(&s.t, q2_neg, &line);
+    f = MulByEvaluatedLine(f, line, s.xp, s.yp);
   }
   return f;
 }
@@ -151,6 +162,39 @@ std::vector<PairState> BuildStates(
   return states;
 }
 
+struct PreparedPairState {
+  Fp xp, yp;  // G1 point (affine)
+  const std::vector<LineCoeffs>* coeffs;
+};
+
+// Same schedule as MultiMillerLoopImpl, with every line read from the
+// prepared tables instead of derived: `idx` advances once per step, and all
+// tables hold their step-idx line at position idx because Prepare records
+// them in loop order.
+Fp12 MultiMillerLoopPreparedImpl(const std::vector<PreparedPairState>& states) {
+  const std::vector<int8_t>& naf = AteLoopNaf();
+  Fp12 f = Fp12::One();
+  size_t idx = 0;
+  for (size_t i = 1; i < naf.size(); ++i) {
+    f = f.Square();
+    for (const PreparedPairState& s : states) {
+      f = MulByEvaluatedLine(f, (*s.coeffs)[idx], s.xp, s.yp);
+    }
+    ++idx;
+    if (naf[i] != 0) {
+      for (const PreparedPairState& s : states) {
+        f = MulByEvaluatedLine(f, (*s.coeffs)[idx], s.xp, s.yp);
+      }
+      ++idx;
+    }
+  }
+  for (const PreparedPairState& s : states) {
+    f = MulByEvaluatedLine(f, (*s.coeffs)[idx], s.xp, s.yp);
+    f = MulByEvaluatedLine(f, (*s.coeffs)[idx + 1], s.xp, s.yp);
+  }
+  return f;
+}
+
 // f^x for the BN parameter (64-bit, plain square-and-multiply; inputs are in
 // the cyclotomic subgroup but correctness does not depend on that).
 Fp12 PowX(const Fp12& f) {
@@ -159,6 +203,45 @@ Fp12 PowX(const Fp12& f) {
 }
 
 }  // namespace
+
+size_t G2Prepared::ScheduleLength() {
+  static const size_t kLength = [] {
+    const std::vector<int8_t>& naf = AteLoopNaf();
+    size_t n = naf.size() - 1;  // one doubling line per digit after the first
+    for (size_t i = 1; i < naf.size(); ++i) {
+      if (naf[i] != 0) ++n;  // one addition line per nonzero digit
+    }
+    return n + 2;  // ate tail: two closing addition lines
+  }();
+  return kLength;
+}
+
+G2Prepared G2Prepared::Prepare(const G2Affine& q) {
+  G2Prepared out;
+  if (q.infinity) return out;
+  out.infinity_ = false;
+  out.coeffs_.reserve(ScheduleLength());
+
+  const std::vector<int8_t>& naf = AteLoopNaf();
+  G2Affine negq = q.Negate();
+  G2 t = G2::FromAffine(q);
+  LineCoeffs line;
+  for (size_t i = 1; i < naf.size(); ++i) {
+    DoublingStep(&t, &line);
+    out.coeffs_.push_back(line);
+    if (naf[i] != 0) {
+      AdditionStep(&t, naf[i] > 0 ? q : negq, &line);
+      out.coeffs_.push_back(line);
+    }
+  }
+  auto [q1, q2_neg] = TailPoints(q);
+  AdditionStep(&t, q1, &line);
+  out.coeffs_.push_back(line);
+  AdditionStep(&t, q2_neg, &line);
+  out.coeffs_.push_back(line);
+  SJOIN_CHECK(out.coeffs_.size() == ScheduleLength());
+  return out;
+}
 
 Fp12 MillerLoop(const G1Affine& p, const G2Affine& q) {
   std::array<std::pair<G1Affine, G2Affine>, 1> one = {{{p, q}}};
@@ -169,6 +252,26 @@ Fp12 MultiMillerLoop(std::span<const std::pair<G1Affine, G2Affine>> pairs) {
   std::vector<PairState> states = BuildStates(pairs);
   if (states.empty()) return Fp12::One();
   return MultiMillerLoopImpl(&states);
+}
+
+Fp12 MillerLoopPrepared(const G1Affine& p, const G2Prepared& q) {
+  std::array<std::pair<G1Affine, const G2Prepared*>, 1> one = {{{p, &q}}};
+  return MultiMillerLoopPrepared(one);
+}
+
+Fp12 MultiMillerLoopPrepared(
+    std::span<const std::pair<G1Affine, const G2Prepared*>> pairs) {
+  std::vector<PreparedPairState> states;
+  states.reserve(pairs.size());
+  for (const auto& [p, q] : pairs) {
+    SJOIN_CHECK(q != nullptr);
+    if (p.infinity || q->infinity()) continue;  // contributes factor 1
+    // A non-identity table must match this loop's schedule exactly.
+    SJOIN_CHECK(q->coeffs().size() == G2Prepared::ScheduleLength());
+    states.push_back(PreparedPairState{p.x, p.y, &q->coeffs()});
+  }
+  if (states.empty()) return Fp12::One();
+  return MultiMillerLoopPreparedImpl(states);
 }
 
 Fp12 FinalExponentiation(const Fp12& f) {
@@ -221,6 +324,15 @@ GT Pair(const G1& p, const G2& q) {
 
 GT MultiPair(std::span<const std::pair<G1Affine, G2Affine>> pairs) {
   return GT(FinalExponentiation(MultiMillerLoop(pairs)));
+}
+
+GT PairPrepared(const G1Affine& p, const G2Prepared& q) {
+  return GT(FinalExponentiation(MillerLoopPrepared(p, q)));
+}
+
+GT MultiPairPrepared(
+    std::span<const std::pair<G1Affine, const G2Prepared*>> pairs) {
+  return GT(FinalExponentiation(MultiMillerLoopPrepared(pairs)));
 }
 
 }  // namespace sjoin

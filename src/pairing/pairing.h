@@ -7,10 +7,35 @@
 // are scaled by arbitrary nonzero Fp2 constants, which the final
 // exponentiation eliminates.
 //
-// MultiPairing computes prod_i e(P_i, Q_i) with a shared accumulator
-// (one squaring chain and one final exponentiation for the whole product) --
-// this is what makes SJ.Dec cost ~n sparse multiplications instead of n
-// full pairings for vector dimension n.
+// Cost model (what dominates, and what each entry point amortizes):
+//
+//   A full pairing e(P, Q) = FinalExponentiation(MillerLoop(P, Q)) splits
+//   into three cost classes:
+//
+//   1. Shared squaring chain: one Fp12 squaring per NAF digit (~65),
+//      independent of the number of pairs. MultiMillerLoop shares this
+//      chain across all pairs, so a product of n pairings costs one chain,
+//      not n -- this is what makes SJ.Dec cost ~n sparse multiplications
+//      instead of n full pairings for vector dimension n.
+//
+//   2. Per-pair, per-step work, two components:
+//        (a) G2 line derivation: a Jacobian doubling or mixed addition on
+//            the twist plus the line-coefficient formulas, ~10 Fp2
+//            multiplications per step. Depends only on Q.
+//        (b) Line evaluation + accumulation: two Fp2-by-Fp scalings (by
+//            xP, yP) and one sparse Fp12 multiplication (MulByLine, 15 Fp2
+//            multiplications vs ~27 for a generic product). Depends on P
+//            and the running accumulator.
+//      G2Prepared caches (a) once per Q; the *Prepared overloads then pay
+//      only (b). Since (a) is roughly half of the per-pair loop work, a
+//      warm prepared point saves close to half the Miller-loop cost of its
+//      pair -- and all of it is the part that grows with the number of
+//      queries touching the same ciphertext.
+//
+//   3. Final exponentiation: fixed ~(3 PowX + Frobenius/multiply chain)
+//      per *output*, shared by all pairs of a multi-pairing and unaffected
+//      by preparation. One multi-pairing therefore always beats a product
+//      of single pairings, prepared or not.
 #ifndef SJOIN_PAIRING_PAIRING_H_
 #define SJOIN_PAIRING_PAIRING_H_
 
@@ -20,6 +45,7 @@
 
 #include "ec/g1.h"
 #include "ec/g2.h"
+#include "pairing/g2_prepared.h"
 #include "pairing/gt.h"
 
 namespace sjoin {
@@ -29,6 +55,17 @@ Fp12 MillerLoop(const G1Affine& p, const G2Affine& q);
 
 /// Product of Miller loops with one shared squaring chain.
 Fp12 MultiMillerLoop(std::span<const std::pair<G1Affine, G2Affine>> pairs);
+
+/// Miller loop consuming a prepared Q: line evaluation + sparse
+/// multiplication only, no G2 arithmetic (cost class 2(b) above).
+/// Equal to MillerLoop(p, q) for prepared = G2Prepared::Prepare(q).
+Fp12 MillerLoopPrepared(const G1Affine& p, const G2Prepared& q);
+
+/// Prepared product with one shared squaring chain. The pointed-to
+/// G2Prepared values must outlive the call; pairs with an identity on
+/// either side contribute factor 1.
+Fp12 MultiMillerLoopPrepared(
+    std::span<const std::pair<G1Affine, const G2Prepared*>> pairs);
 
 /// Final exponentiation f^((p^12-1)/r): easy part + Beuchat et al. hard part.
 Fp12 FinalExponentiation(const Fp12& f);
@@ -44,6 +81,13 @@ GT Pair(const G1Affine& p, const G2Affine& q);
 
 /// prod_i e(P_i, Q_i) with a single final exponentiation.
 GT MultiPair(std::span<const std::pair<G1Affine, G2Affine>> pairs);
+
+/// e(P, Q) from a prepared Q.
+GT PairPrepared(const G1Affine& p, const G2Prepared& q);
+
+/// prod_i e(P_i, Q_i) from prepared Q_i with a single final exponentiation.
+GT MultiPairPrepared(
+    std::span<const std::pair<G1Affine, const G2Prepared*>> pairs);
 
 }  // namespace sjoin
 

@@ -1,0 +1,252 @@
+// Prepared-ciphertext pipeline: G2Prepared line tables must make the
+// Miller loop, the IPE decrypt, and SJ.Dec bit-identical to their
+// unprepared counterparts, and the server's prepared-row cache must honor
+// its byte budget with LRU eviction.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/scheme.h"
+#include "crypto/rng.h"
+#include "db/prepared_cache.h"
+#include "pairing/pairing.h"
+
+namespace sjoin {
+namespace {
+
+class TestRandom {
+ public:
+  explicit TestRandom(uint64_t seed) : gen_(seed) {}
+  Fr NextFr() {
+    std::array<uint8_t, 64> b;
+    for (auto& x : b) x = static_cast<uint8_t>(gen_());
+    return Fr::FromUniformBytes(b.data());
+  }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+// --- Pairing layer -------------------------------------------------------------
+
+TEST(G2PreparedTest, ScheduleLengthMatchesPreparedTable) {
+  G2Prepared prep = G2Prepared::Prepare(G2Generator().ToAffine());
+  EXPECT_FALSE(prep.infinity());
+  EXPECT_EQ(prep.coeffs().size(), G2Prepared::ScheduleLength());
+  EXPECT_GT(prep.MemoryBytes(),
+            G2Prepared::ScheduleLength() * sizeof(LineCoeffs));
+}
+
+TEST(G2PreparedTest, InfinityPreparesEmpty) {
+  G2Prepared prep = G2Prepared::Prepare(G2Affine::Infinity());
+  EXPECT_TRUE(prep.infinity());
+  EXPECT_TRUE(prep.coeffs().empty());
+  EXPECT_TRUE(PairPrepared(G1Generator().ToAffine(), prep).IsOne());
+}
+
+TEST(G2PreparedTest, MillerLoopPreparedMatchesUnprepared) {
+  TestRandom rng(60);
+  for (int i = 0; i < 8; ++i) {
+    G1Affine p = G1Generator().ScalarMul(rng.NextFr()).ToAffine();
+    G2Affine q = G2Generator().ScalarMul(rng.NextFr()).ToAffine();
+    G2Prepared prep = G2Prepared::Prepare(q);
+    EXPECT_EQ(MillerLoopPrepared(p, prep), MillerLoop(p, q)) << "trial " << i;
+  }
+}
+
+TEST(G2PreparedTest, PairPreparedMatchesPair) {
+  TestRandom rng(61);
+  G1Affine p = G1Generator().ScalarMul(rng.NextFr()).ToAffine();
+  G2Affine q = G2Generator().ScalarMul(rng.NextFr()).ToAffine();
+  EXPECT_EQ(PairPrepared(p, G2Prepared::Prepare(q)), Pair(p, q));
+}
+
+TEST(G2PreparedTest, MultiMillerLoopPreparedMatchesUnprepared) {
+  TestRandom rng(62);
+  std::vector<std::pair<G1Affine, G2Affine>> pairs;
+  std::vector<G2Prepared> prepared;
+  for (int i = 0; i < 5; ++i) {
+    pairs.emplace_back(G1Generator().ScalarMul(rng.NextFr()).ToAffine(),
+                       G2Generator().ScalarMul(rng.NextFr()).ToAffine());
+    prepared.push_back(G2Prepared::Prepare(pairs.back().second));
+  }
+  std::vector<std::pair<G1Affine, const G2Prepared*>> prepared_pairs;
+  for (int i = 0; i < 5; ++i) {
+    prepared_pairs.emplace_back(pairs[i].first, &prepared[i]);
+  }
+  EXPECT_EQ(MultiMillerLoopPrepared(prepared_pairs), MultiMillerLoop(pairs));
+  EXPECT_EQ(MultiPairPrepared(prepared_pairs), MultiPair(pairs));
+}
+
+TEST(G2PreparedTest, MultiPairPreparedSkipsIdentities) {
+  TestRandom rng(63);
+  G1Affine p = G1Generator().ScalarMul(rng.NextFr()).ToAffine();
+  G2Affine q = G2Generator().ScalarMul(rng.NextFr()).ToAffine();
+  G2Prepared prep_q = G2Prepared::Prepare(q);
+  G2Prepared prep_inf = G2Prepared::Prepare(G2Affine::Infinity());
+  std::vector<std::pair<G1Affine, const G2Prepared*>> pairs = {
+      {G1Affine::Infinity(), &prep_q},
+      {p, &prep_q},
+      {p, &prep_inf},
+  };
+  EXPECT_EQ(MultiPairPrepared(pairs), Pair(p, q));
+  EXPECT_TRUE(MultiPairPrepared({}).IsOne());
+}
+
+// --- IPE layer -----------------------------------------------------------------
+
+TEST(IpePreparedTest, DecryptPreparedMatchesDecrypt) {
+  Rng rng(6100);
+  IpeMasterKey msk = IpeMasterKey::Setup(4, &rng);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<Fr> v, w;
+    for (int i = 0; i < 4; ++i) {
+      v.push_back(rng.NextFr());
+      w.push_back(rng.NextFr());
+    }
+    auto token = ModifiedIpe::KeyGen(msk, v);
+    auto ct = ModifiedIpe::Encrypt(msk, w);
+    auto prepared = ModifiedIpe::PrepareCiphertext(ct);
+    EXPECT_EQ(ModifiedIpe::DecryptPrepared(token, prepared),
+              ModifiedIpe::Decrypt(token, ct))
+        << "trial " << trial;
+  }
+}
+
+// --- Secure Join layer ---------------------------------------------------------
+
+TEST(SjPreparedTest, DecryptRowsPreparedMatchesDecryptRows) {
+  Rng rng(6200);
+  auto msk = SecureJoin::Setup({.num_attrs = 2, .max_in_clause = 2}, &rng);
+  // Random table: 8 rows over 3 distinct join values and random attributes.
+  std::vector<Fr> join_hashes = {rng.NextFr(), rng.NextFr(), rng.NextFr()};
+  std::vector<SjRowCiphertext> rows;
+  std::vector<SjPreparedRow> prepared;
+  for (int r = 0; r < 8; ++r) {
+    std::vector<Fr> attrs = {rng.NextFr(), rng.NextFr()};
+    rows.push_back(
+        SecureJoin::EncryptRow(msk, join_hashes[r % 3], attrs, &rng));
+    prepared.push_back(SecureJoin::PrepareRow(rows.back()));
+  }
+  // Two independent tokens: the same prepared rows must serve both.
+  for (uint64_t seed : {1u, 2u}) {
+    Rng qrng(6300 + seed);
+    auto [ta, tb] = SecureJoin::GenTokenPair(msk, {{}, {}}, {{}, {}}, &qrng);
+    auto plain = SecureJoin::DecryptRows(ta, rows, 1);
+    EXPECT_EQ(SecureJoin::DecryptRowsPrepared(ta, prepared, 1), plain);
+    EXPECT_EQ(SecureJoin::DecryptRowsPrepared(ta, prepared, 4), plain);
+    EXPECT_EQ(SecureJoin::DecryptPrepared(tb, prepared[0]),
+              SecureJoin::Decrypt(tb, rows[0]));
+  }
+}
+
+TEST(SjPreparedTest, MemoryAccountingMatchesEstimate) {
+  Rng rng(6400);
+  auto msk = SecureJoin::Setup({.num_attrs = 1, .max_in_clause = 1}, &rng);
+  std::vector<Fr> attrs = {rng.NextFr()};
+  SjRowCiphertext ct = SecureJoin::EncryptRow(msk, rng.NextFr(), attrs, &rng);
+  SjPreparedRow row = SecureJoin::PrepareRow(ct);
+  EXPECT_EQ(row.c.size(), msk.params.Dimension());
+  // The pre-build estimate must not undershoot the real footprint (the
+  // cache rejects-before-building based on it).
+  EXPECT_GE(row.MemoryBytes(), SjPreparedRow::BytesForDim(ct.c.size()) -
+                                   sizeof(SjPreparedRow));
+}
+
+// --- Prepared-row cache --------------------------------------------------------
+
+class PreparedCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(6500);
+    msk_ = SecureJoin::Setup({.num_attrs = 1, .max_in_clause = 1}, rng_.get());
+    for (int i = 0; i < 4; ++i) {
+      std::vector<Fr> attrs = {rng_->NextFr()};
+      cts_.push_back(
+          SecureJoin::EncryptRow(msk_, rng_->NextFr(), attrs, rng_.get()));
+    }
+    row_bytes_ = SecureJoin::PrepareRow(cts_[0]).MemoryBytes();
+  }
+
+  std::unique_ptr<Rng> rng_;
+  SecureJoin::MasterKey msk_;
+  std::vector<SjRowCiphertext> cts_;
+  size_t row_bytes_ = 0;
+};
+
+TEST_F(PreparedCacheTest, BuildsOnceThenHits) {
+  PreparedRowCache cache(4 * row_bytes_);
+  bool built = false;
+  auto first = cache.Get("T", 0, cts_[0], &built);
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(built);
+  auto again = cache.Get("T", 0, cts_[0], &built);
+  EXPECT_FALSE(built);
+  EXPECT_EQ(first.get(), again.get());
+  auto s = cache.stats();
+  EXPECT_EQ(s.built, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, row_bytes_);
+}
+
+TEST_F(PreparedCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  // Room for two rows: inserting a third evicts the least recently used.
+  PreparedRowCache cache(2 * row_bytes_);
+  bool built;
+  cache.Get("T", 0, cts_[0], &built);
+  cache.Get("T", 1, cts_[1], &built);
+  cache.Get("T", 0, cts_[0], &built);  // touch row 0: row 1 is now LRU
+  cache.Get("T", 2, cts_[2], &built);  // evicts row 1
+  EXPECT_TRUE(built);
+  auto s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evicted, 1u);
+  EXPECT_LE(s.bytes, 2 * row_bytes_);
+  // Row 0 survived (hit); row 1 must be rebuilt.
+  cache.Get("T", 0, cts_[0], &built);
+  EXPECT_FALSE(built);
+  cache.Get("T", 1, cts_[1], &built);
+  EXPECT_TRUE(built);
+}
+
+TEST_F(PreparedCacheTest, RejectsRowsLargerThanBudget) {
+  PreparedRowCache cache(row_bytes_ / 2);
+  bool built = true;
+  EXPECT_EQ(cache.Get("T", 0, cts_[0], &built), nullptr);
+  EXPECT_FALSE(built);
+  auto s = cache.stats();
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.built, 0u);  // refused before building, not after
+}
+
+TEST_F(PreparedCacheTest, ShrinkingBudgetEvictsImmediately) {
+  PreparedRowCache cache(4 * row_bytes_);
+  bool built;
+  auto held = cache.Get("T", 0, cts_[0], &built);
+  cache.Get("T", 1, cts_[1], &built);
+  cache.set_max_bytes(row_bytes_);  // the knob: evicts down to one row
+  auto s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_LE(s.bytes, row_bytes_);
+  // The evicted entry stays valid for holders: shared ownership.
+  EXPECT_EQ(held->c.size(), msk_.params.Dimension());
+}
+
+TEST_F(PreparedCacheTest, EraseTableDropsOnlyThatTable) {
+  PreparedRowCache cache(4 * row_bytes_);
+  bool built;
+  cache.Get("A", 0, cts_[0], &built);
+  cache.Get("B", 0, cts_[1], &built);
+  cache.EraseTable("A");
+  EXPECT_EQ(cache.stats().entries, 1u);
+  cache.Get("B", 0, cts_[1], &built);
+  EXPECT_FALSE(built);  // B survived
+  cache.Get("A", 0, cts_[0], &built);
+  EXPECT_TRUE(built);  // A was dropped
+}
+
+}  // namespace
+}  // namespace sjoin

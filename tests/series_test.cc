@@ -350,6 +350,73 @@ TEST(SeriesChainTest, ChainDistinguishesSelectionsWithEmbeddedSeparators) {
   EXPECT_EQ(batched->results[1].stats.result_pairs, 2u);
 }
 
+// (b'') Stats reconcile: pairings computed vs cache hits are distinguished
+// and the counters add up (the digest-cache hit path must not count as a
+// performed decrypt, and every performed decrypt is either a cold pairing
+// or a prepared one).
+TEST_F(SeriesTest, StatsDistinguishPairingsFromCacheHits) {
+  auto series = client_->PrepareSeries({TeamsEmployeesSpec()}, Tables());
+  ASSERT_TRUE(series.ok());
+  series->queries.push_back(series->queries[0]);  // identical tokens replayed
+
+  auto batched =
+      series_server_.ExecuteJoinSeries(*series, {.num_threads = 1});
+  ASSERT_TRUE(batched.ok());
+  const SeriesExecStats& s = batched->stats;
+  EXPECT_EQ(s.decrypts_requested, s.decrypts_performed + s.digest_cache_hits);
+  EXPECT_EQ(s.decrypts_performed, s.pairings_computed + s.prepared_pairings);
+  EXPECT_EQ(s.prepared_pairings,
+            s.prepared_rows_built + s.prepared_cache_hits);
+  // 2 + 4 rows once; the replay is served by the digest cache and computes
+  // NO pairings of either kind.
+  EXPECT_EQ(s.decrypts_performed, 6u);
+  EXPECT_EQ(s.digest_cache_hits, 6u);
+  // First touch of every row: the prepared pipeline built each entry.
+  EXPECT_EQ(s.prepared_rows_built, 6u);
+  EXPECT_EQ(s.pairings_computed, 0u);
+}
+
+// Tentpole: a second series against warm tables skips all G2 line
+// derivation -- every decrypt is served from the prepared-row cache even
+// though its tokens are fresh.
+TEST_F(SeriesTest, SecondSeriesAgainstWarmTablesSkipsLineDerivation) {
+  auto first = client_->PrepareSeries({TeamsEmployeesSpec()}, Tables());
+  auto second = client_->PrepareSeries({TeamsEmployeesSpec()}, Tables());
+  ASSERT_TRUE(first.ok() && second.ok());
+
+  auto cold = series_server_.ExecuteJoinSeries(*first, {.num_threads = 1});
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->stats.prepared_rows_built, 6u);
+  EXPECT_EQ(cold->stats.prepared_cache_hits, 0u);
+
+  auto warm = series_server_.ExecuteJoinSeries(*second, {.num_threads = 1});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->stats.prepared_rows_built, 0u);
+  EXPECT_EQ(warm->stats.prepared_cache_hits, 6u);
+  EXPECT_EQ(warm->stats.pairings_computed, 0u);
+  EXPECT_EQ(series_server_.prepared_cache().stats().entries, 6u);
+
+  // Fresh tokens, same predicates: identical join results either way.
+  EXPECT_EQ(cold->results[0].matched_row_indices,
+            warm->results[0].matched_row_indices);
+}
+
+// Disabling the prepared pipeline (eviction knob at 0) falls back to cold
+// full pairings with identical results.
+TEST_F(SeriesTest, PreparedPipelineDisabledComputesColdPairings) {
+  auto series = client_->PrepareSeries({TeamsEmployeesSpec()}, Tables());
+  ASSERT_TRUE(series.ok());
+  auto batched = series_server_.ExecuteJoinSeries(
+      *series, {.num_threads = 1, .prepared_cache_bytes = 0});
+  ASSERT_TRUE(batched.ok());
+  const SeriesExecStats& s = batched->stats;
+  EXPECT_EQ(s.pairings_computed, s.decrypts_performed);
+  EXPECT_EQ(s.prepared_pairings, 0u);
+  EXPECT_EQ(s.prepared_rows_built, 0u);
+  EXPECT_EQ(series_server_.prepared_cache().stats().entries, 0u);
+  ExpectSameResults(batched->results, RunSequentially(*series));
+}
+
 // (c) Leakage over a series matches sequential semantics, including the
 // cross-query transitive closure (LeakageTest.TransitiveClosureAcrossQueries
 // at the engine level: two queries each reveal disjoint pair sets whose
@@ -440,6 +507,14 @@ TEST_F(SeriesTest, SeriesWireRoundTrip) {
             from_wire->stats.decrypts_performed);
   EXPECT_EQ(parsed_result->stats.digest_cache_hits,
             from_wire->stats.digest_cache_hits);
+  EXPECT_EQ(parsed_result->stats.pairings_computed,
+            from_wire->stats.pairings_computed);
+  EXPECT_EQ(parsed_result->stats.prepared_pairings,
+            from_wire->stats.prepared_pairings);
+  EXPECT_EQ(parsed_result->stats.prepared_rows_built,
+            from_wire->stats.prepared_rows_built);
+  EXPECT_EQ(parsed_result->stats.prepared_cache_hits,
+            from_wire->stats.prepared_cache_hits);
   for (size_t q = 0; q < from_wire->results.size(); ++q) {
     EXPECT_EQ(parsed_result->results[q].matched_row_indices,
               from_wire->results[q].matched_row_indices);
@@ -466,11 +541,11 @@ TEST(SeriesWireTest, OutOfRangeSseColumnIndexMatchesNothing) {
 }
 
 TEST(SeriesWireTest, HugeCountRejectedWithoutAllocation) {
-  // version 1, series tags, count = 0xFFFFFFFF, no payload: must come back
+  // version 2, series tags, count = 0xFFFFFFFF, no payload: must come back
   // as a Status (truncated read), not an attempted multi-GB allocation.
-  Bytes query_msg = {0x01, 0x71, 0xFF, 0xFF, 0xFF, 0xFF};
+  Bytes query_msg = {0x02, 0x71, 0xFF, 0xFF, 0xFF, 0xFF};
   EXPECT_FALSE(DeserializeQuerySeries(query_msg).ok());
-  Bytes result_msg = {0x01, 0x72, 0xFF, 0xFF, 0xFF, 0xFF};
+  Bytes result_msg = {0x02, 0x72, 0xFF, 0xFF, 0xFF, 0xFF};
   EXPECT_FALSE(DeserializeSeriesResult(result_msg).ok());
 }
 
