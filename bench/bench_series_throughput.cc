@@ -14,6 +14,12 @@
 // "cold" disables the prepared-row cache (every SJ.Dec derives its G2
 // Miller-loop lines inline); "warm" runs after a priming pass so every
 // decrypt reads its lines from the cache and pays evaluation only.
+//
+// The shard-count sweep (K in {1, 2, 4, 8}) runs the same warm series
+// through ExecuteJoinSeriesSharded: tables hash-partitioned K ways, one
+// prepared-row cache partition per shard, (shard x unit) work units on
+// the pool. K=1 must sit within noise of the unsharded engine (sharding
+// is pure routing), and the merged results are checked identical.
 #include <cstdio>
 #include <vector>
 
@@ -149,6 +155,46 @@ int main() {
   std::printf("\nSJ.Dec accounting per series execution:\n");
   print_stats("cold:", cold_stats);
   print_stats("warm:", warm_stats);
+
+  // Shard-count sweep. Every K is primed first (a K switch re-partitions
+  // the cache partitions), then measured warm -- steady state for a server
+  // that settled on that K. Result identity vs the unsharded engine is
+  // asserted on the first sweep point.
+  std::printf("\nshard-count sweep (sharded engine, warm, %d threads):\n", hw);
+  auto plain = server.ExecuteJoinSeries(series, {.num_threads = hw});
+  SJOIN_CHECK(plain.ok());
+  SeriesExecStats shard_stats_snapshot;
+  double shard_1_s = 0;
+  for (int k : {1, 2, 4, 8}) {
+    ServerExecOptions opts{.num_threads = hw, .num_shards = k};
+    auto primed = server.ExecuteJoinSeriesSharded(series, opts);
+    SJOIN_CHECK(primed.ok());
+    for (size_t q = 0; q < primed->results.size(); ++q) {
+      SJOIN_CHECK(primed->results[q].matched_row_indices ==
+                  plain->results[q].matched_row_indices);
+    }
+    double s = benchutil::TimePerCall(
+        [&] {
+          auto r = server.ExecuteJoinSeriesSharded(series, opts);
+          SJOIN_CHECK(r.ok());
+          stats = r->stats;
+        },
+        1, 0.2);
+    if (k == 1) shard_1_s = s;
+    shard_stats_snapshot = stats;
+    char label[64];
+    std::snprintf(label, sizeof(label), "sharded series, K=%d (%zu shards):",
+                  k, stats.shards);
+    report(label, s);
+  }
+  std::printf(
+      "K=1 vs unsharded warm at hw threads: %.2fx (1.0 = no overhead)\n",
+      warm_hw_s / shard_1_s);
+  std::printf("per-shard SJ.Dec split at K=8 (decrypts per shard):");
+  for (const ShardExecStats& s : shard_stats_snapshot.shard_stats) {
+    std::printf(" %zu", s.decrypts_performed);
+  }
+  std::printf("\n");
 
   std::printf(
       "\nheadline: warm tables decrypt %.2fx faster than cold at one\n"

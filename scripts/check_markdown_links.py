@@ -1,7 +1,11 @@
 #!/usr/bin/env python3
 """Checks that relative links and link targets in markdown files resolve.
 
-Usage: check_markdown_links.py FILE.md [FILE.md ...]
+Usage: check_markdown_links.py PATH [PATH ...]
+
+Each PATH is a markdown file or a directory; directories are walked
+recursively and every *.md below them is checked, so a docs/ tree stays
+covered as pages are added without touching the CI invocation.
 
 Verifies every inline link/image `[text](target)` whose target is not an
 external URL or pure fragment:
@@ -66,20 +70,36 @@ def check_file(md_path: str) -> list:
     return errors
 
 
+def expand_paths(paths: list) -> tuple:
+    """(markdown files, errors) for the given file-or-directory arguments."""
+    files, errors = [], []
+    for path in paths:
+        if os.path.isdir(path):
+            found = []
+            for root, _, names in os.walk(path):
+                found.extend(os.path.join(root, n) for n in sorted(names)
+                             if n.endswith(".md"))
+            if not found:
+                errors.append(f"{path}: directory contains no markdown files")
+            files.extend(sorted(found))
+        elif os.path.exists(path):
+            files.append(path)
+        else:
+            errors.append(f"{path}: file not found")
+    return files, errors
+
+
 def main(argv: list) -> int:
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    all_errors = []
-    for md in argv[1:]:
-        if not os.path.exists(md):
-            all_errors.append(f"{md}: file not found")
-            continue
+    files, all_errors = expand_paths(argv[1:])
+    for md in files:
         all_errors.extend(check_file(md))
     for err in all_errors:
         print(err)
     if not all_errors:
-        print(f"OK: {len(argv) - 1} file(s), all links resolve")
+        print(f"OK: {len(files)} file(s), all links resolve")
     return 1 if all_errors else 0
 
 

@@ -214,6 +214,15 @@ Result<QuerySeriesTokens> EncryptedClient::PrepareSeries(
   return out;
 }
 
+Result<QuerySeriesTokens> EncryptedClient::PrepareSeriesSharded(
+    const std::vector<JoinQuerySpec>& queries,
+    const std::vector<const EncryptedTable*>& tables, size_t num_shards) {
+  auto out = PrepareSeries(queries, tables);
+  SJOIN_RETURN_IF_ERROR(out.status());
+  out->requested_shards = static_cast<uint32_t>(num_shards);
+  return out;
+}
+
 Result<QuerySeriesTokens> EncryptedClient::PrepareChain(
     const std::vector<JoinQuerySpec>& chain,
     const std::vector<const EncryptedTable*>& tables) {

@@ -52,6 +52,18 @@ class EncryptedClient {
       const std::vector<JoinQuerySpec>& queries,
       const std::vector<const EncryptedTable*>& tables);
 
+  /// PrepareSeries plus shard routing metadata: tags the batch with the
+  /// shard count the server should execute it under
+  /// (EncryptedServer::ExecuteJoinSeriesSharded). Tokens are
+  /// shard-agnostic -- SJ.Dec of a row yields the same digest in every
+  /// shard -- so no cryptographic material changes; the tag only rides
+  /// the wire (v3) as QuerySeriesTokens::requested_shards. The server
+  /// clamps it to the largest referenced table. See docs/TUNING.md for
+  /// choosing K.
+  Result<QuerySeriesTokens> PrepareSeriesSharded(
+      const std::vector<JoinQuerySpec>& queries,
+      const std::vector<const EncryptedTable*>& tables, size_t num_shards);
+
   /// Multi-way chain T1 JOIN T2 JOIN ... JOIN Tk expressed as k-1 pairwise
   /// queries sharing ONE query key: the token of a table shared by two
   /// adjacent queries (same table, same selection) is literally reused, so

@@ -48,6 +48,11 @@ struct JoinQueryTokens {
 /// one shared thread pool and deduplicates per-(table, token) decryptions.
 struct QuerySeriesTokens {
   std::vector<JoinQueryTokens> queries;
+  /// Routing metadata only (wire v3): the shard count the client asks the
+  /// server to execute under. Tokens are shard-agnostic -- SJ.Dec of a row
+  /// is identical in every shard -- so this carries no cryptographic
+  /// material and 0 simply defers to ServerExecOptions::num_shards.
+  uint32_t requested_shards = 0;
 };
 
 /// Server-side execution accounting (reported with every result).
@@ -71,6 +76,24 @@ struct EncryptedJoinResult {
   JoinExecStats stats;
 };
 
+/// One shard's share of a sharded series execution (wire v3). The fields
+/// mirror the SJ.Dec counters of SeriesExecStats; the series-level totals
+/// are exactly the per-shard sums (asserted by tests/shard_test.cc):
+///
+///   sum over shard_stats of <field> == SeriesExecStats::<field>
+///
+/// for every field below. A skewed partition shows up here directly: one
+/// shard with most of the decrypts_performed is the warm-up bottleneck
+/// the shard count K is meant to split (see docs/TUNING.md).
+struct ShardExecStats {
+  size_t decrypts_performed = 0;   // digests computed by this shard
+  size_t pairings_computed = 0;    // of those, cold full Miller loops
+  size_t prepared_pairings = 0;    // of those, via a prepared row
+  size_t prepared_rows_built = 0;  // prepared rows built in this partition
+  size_t prepared_cache_hits = 0;  // served warm from this partition
+  bool operator==(const ShardExecStats&) const = default;
+};
+
 /// Series-level accounting: how much SJ.Dec work the batch needed and how
 /// much the two server-side caches saved. A multi-way chain whose queries
 /// share the middle-table token decrypts each shared row once;
@@ -92,6 +115,12 @@ struct SeriesExecStats {
   size_t prepared_pairings = 0;    // SJ.Dec through a prepared row
   size_t prepared_rows_built = 0;  // prepared rows built by this call
   size_t prepared_cache_hits = 0;  // decrypts served from a warm prepared row
+  /// Sharded execution only (wire v3): the effective shard count after
+  /// clamping to the largest referenced table (0 on the unsharded path),
+  /// and the per-shard breakdown, indexed by shard. The totals above are
+  /// the merged (summed) view of shard_stats.
+  size_t shards = 0;
+  std::vector<ShardExecStats> shard_stats;
   double prefilter_seconds = 0;
   double decrypt_seconds = 0;      // the one batched SJ.Dec pass
   double match_seconds = 0;

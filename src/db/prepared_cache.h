@@ -4,10 +4,34 @@
 // Prepared rows are token-independent, so one entry serves every query of
 // a series -- and every later series -- that decrypts the row. They are
 // also large (~ScheduleLength() line triples per vector slot), so the
-// cache enforces a byte budget: least-recently-touched entries are evicted
-// to admit new ones, and rows whose prepared form alone exceeds the budget
-// are rejected up front (never built). Entries are handed out as
-// shared_ptr so an eviction never invalidates a decryption in flight.
+// cache enforces a byte budget.
+//
+// Eviction / invalidation contract (what callers may rely on):
+//
+//   1. Lifetime: Get hands out shared_ptr<const SjPreparedRow>. Eviction
+//      drops only the cache's own reference -- a decryption holding the
+//      pointer completes against valid data no matter what the cache does
+//      concurrently. Eviction therefore NEVER invalidates work in flight;
+//      it only prevents future reuse. (This is why the server may run
+//      thousands of pool decryptions against a cache whose budget another
+//      call is simultaneously shrinking.)
+//
+//   2. Eviction policy: least-recently-touched entries are removed until
+//      the incoming entry fits; a row whose prepared form alone exceeds
+//      the whole budget is rejected up front (never built) and the caller
+//      falls back to the cold full-pairing path. Shrinking max_bytes via
+//      set_max_bytes evicts immediately, before the call returns.
+//
+//   3. Invalidation: entries derive from a row's SJ ciphertext, which is
+//      immutable once the table is stored, so entries are only ever
+//      invalidated explicitly -- EraseTable when a table is dropped or
+//      replaced, Clear for everything. There is no TTL and no implicit
+//      invalidation path.
+//
+//   4. Sharded use: EncryptedServer's sharded path runs one instance per
+//      shard (rows are routed by ShardedTable::shard_of), so LRU pressure
+//      in one partition cannot evict -- or lock out -- another partition's
+//      entries. The contract above holds per instance.
 //
 // Thread-safe. The expensive PrepareRow runs outside the lock; when two
 // threads race to prepare the same row, the first insert wins and the

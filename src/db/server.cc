@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <optional>
 #include <utility>
@@ -41,24 +42,33 @@ Digest32 TokenFingerprint(const SjToken& token) {
   return Sha256::Hash(w.bytes());
 }
 
-/// One (table, token) decryption unit of a series: the lazily filled digest
-/// vector, indexed by original row index.
-struct DecryptUnit {
-  const EncryptedTable* table = nullptr;
-  const SjToken* token = nullptr;
-  std::vector<std::optional<Digest32>> digests;
-};
-
-/// Digests of `sel` rows out of a fully computed unit, in selection order.
-std::vector<Digest32> GatherDigests(const DecryptUnit& unit,
-                                    const std::vector<size_t>& sel) {
-  std::vector<Digest32> out;
-  out.reserve(sel.size());
-  for (size_t r : sel) out.push_back(*unit.digests[r]);
-  return out;
-}
-
 }  // namespace
+
+/// Execution state shared by the unsharded and sharded series paths:
+/// resolved per-query plans and the deduplicated (table, token) decrypt
+/// units with their pending rows. Only the SJ.Dec pass (step 3) differs
+/// between the paths; everything before and after is common.
+struct EncryptedServer::SeriesPlanState {
+  /// One (table, token) decryption unit of a series: the lazily filled
+  /// digest vector, indexed by original row index.
+  struct Unit {
+    const EncryptedTable* table = nullptr;
+    const SjToken* token = nullptr;
+    std::vector<std::optional<Digest32>> digests;
+  };
+  struct QueryPlan {
+    const EncryptedTable* a = nullptr;
+    const EncryptedTable* b = nullptr;
+    std::vector<size_t> sel_a, sel_b;
+    Unit* unit_a = nullptr;
+    Unit* unit_b = nullptr;
+  };
+
+  std::vector<QueryPlan> plans;
+  std::map<std::pair<std::string, Digest32>, std::unique_ptr<Unit>> units;
+  /// Every (unit, original row) the batch must decrypt, dedup applied.
+  std::vector<std::pair<Unit*, size_t>> pending;
+};
 
 Status EncryptedServer::StoreTable(EncryptedTable table) {
   if (tables_.count(table.name)) {
@@ -170,82 +180,137 @@ Result<EncryptedJoinResult> EncryptedServer::ExecuteJoin(
   return out;
 }
 
-Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeries(
-    const QuerySeriesTokens& series, const ServerExecOptions& opts) {
-  EncryptedSeriesResult out;
-  out.stats.queries = series.queries.size();
-
+Status EncryptedServer::BuildSeriesPlan(const QuerySeriesTokens& series,
+                                        SeriesExecStats* stats,
+                                        SeriesPlanState* state) {
   // 0. Resolve every table up front: a series fails before any crypto work
   // rather than after a partial batch.
-  struct QueryPlan {
-    const EncryptedTable* a = nullptr;
-    const EncryptedTable* b = nullptr;
-    std::vector<size_t> sel_a, sel_b;
-    DecryptUnit* unit_a = nullptr;
-    DecryptUnit* unit_b = nullptr;
-  };
-  std::vector<QueryPlan> plans(series.queries.size());
+  state->plans.resize(series.queries.size());
   for (size_t q = 0; q < series.queries.size(); ++q) {
     auto ta = GetTable(series.queries[q].table_a);
     SJOIN_RETURN_IF_ERROR(ta.status());
     auto tb = GetTable(series.queries[q].table_b);
     SJOIN_RETURN_IF_ERROR(tb.status());
-    plans[q].a = *ta;
-    plans[q].b = *tb;
+    state->plans[q].a = *ta;
+    state->plans[q].b = *tb;
   }
 
   // 1. SSE pre-filters for the whole batch.
   Stopwatch prefilter_watch;
   for (size_t q = 0; q < series.queries.size(); ++q) {
     const JoinQueryTokens& query = series.queries[q];
-    plans[q].sel_a =
-        SelectRows(*plans[q].a, query.sse_a, query.use_sse_prefilter);
-    plans[q].sel_b =
-        SelectRows(*plans[q].b, query.sse_b, query.use_sse_prefilter);
+    state->plans[q].sel_a =
+        SelectRows(*state->plans[q].a, query.sse_a, query.use_sse_prefilter);
+    state->plans[q].sel_b =
+        SelectRows(*state->plans[q].b, query.sse_b, query.use_sse_prefilter);
   }
-  out.stats.prefilter_seconds = prefilter_watch.Seconds();
+  stats->prefilter_seconds = prefilter_watch.Seconds();
 
   // 2. Deduplicate SJ.Dec work through the per-(table, token) digest cache
   // and collect the batch's pending decryptions.
-  std::map<std::pair<std::string, Digest32>, std::unique_ptr<DecryptUnit>>
-      cache;
-  std::vector<std::pair<DecryptUnit*, size_t>> pending;
   auto unit_for = [&](const EncryptedTable& t,
-                      const SjToken& token) -> DecryptUnit* {
+                      const SjToken& token) -> SeriesPlanState::Unit* {
     auto key = std::make_pair(t.name, TokenFingerprint(token));
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-      auto unit = std::make_unique<DecryptUnit>();
+    auto it = state->units.find(key);
+    if (it == state->units.end()) {
+      auto unit = std::make_unique<SeriesPlanState::Unit>();
       unit->table = &t;
       unit->token = &token;
       unit->digests.resize(t.rows.size());
-      it = cache.emplace(std::move(key), std::move(unit)).first;
+      it = state->units.emplace(std::move(key), std::move(unit)).first;
     }
     return it->second.get();
   };
   // Marks `sel` rows of a unit for decryption; already-marked rows are
   // cache hits (the digest is computed once for the whole series).
-  std::map<const DecryptUnit*, std::vector<char>> scheduled;
-  auto request_rows = [&](DecryptUnit* unit, const std::vector<size_t>& sel) {
+  std::map<const SeriesPlanState::Unit*, std::vector<char>> scheduled;
+  auto request_rows = [&](SeriesPlanState::Unit* unit,
+                          const std::vector<size_t>& sel) {
     std::vector<char>& marks = scheduled[unit];
     marks.resize(unit->digests.size());
     for (size_t r : sel) {
-      ++out.stats.decrypts_requested;
+      ++stats->decrypts_requested;
       if (marks[r]) {
-        ++out.stats.digest_cache_hits;
+        ++stats->digest_cache_hits;
         continue;
       }
       marks[r] = 1;
-      pending.emplace_back(unit, r);
+      state->pending.emplace_back(unit, r);
     }
   };
   for (size_t q = 0; q < series.queries.size(); ++q) {
-    plans[q].unit_a = unit_for(*plans[q].a, series.queries[q].token_a);
-    plans[q].unit_b = unit_for(*plans[q].b, series.queries[q].token_b);
-    request_rows(plans[q].unit_a, plans[q].sel_a);
-    request_rows(plans[q].unit_b, plans[q].sel_b);
+    state->plans[q].unit_a = unit_for(*state->plans[q].a,
+                                      series.queries[q].token_a);
+    state->plans[q].unit_b = unit_for(*state->plans[q].b,
+                                      series.queries[q].token_b);
+    request_rows(state->plans[q].unit_a, state->plans[q].sel_a);
+    request_rows(state->plans[q].unit_b, state->plans[q].sel_b);
   }
-  out.stats.decrypts_performed = pending.size();
+  stats->decrypts_performed = state->pending.size();
+  return Status::OK();
+}
+
+void EncryptedServer::FinishSeries(SeriesPlanState& state,
+                                   const ServerExecOptions& opts,
+                                   EncryptedSeriesResult* out) {
+  // 4. Per-query SJ.Match, leakage accounting and payload assembly, in
+  // series order (leakage order matters for reproducibility, not for the
+  // transitive closure itself).
+  Stopwatch match_watch;
+  // Digests of `sel` rows out of a fully computed unit, in selection order.
+  auto gather = [](const SeriesPlanState::Unit& unit,
+                   const std::vector<size_t>& sel) {
+    std::vector<Digest32> digests;
+    digests.reserve(sel.size());
+    for (size_t r : sel) digests.push_back(*unit.digests[r]);
+    return digests;
+  };
+  out->results.reserve(state.plans.size());
+  for (SeriesPlanState::QueryPlan& plan : state.plans) {
+    std::vector<Digest32> da = gather(*plan.unit_a, plan.sel_a);
+    std::vector<Digest32> db = gather(*plan.unit_b, plan.sel_b);
+    out->results.push_back(MatchAndAccount(*plan.a, *plan.b, plan.sel_a,
+                                           plan.sel_b, da, db, opts));
+  }
+  out->stats.match_seconds = match_watch.Seconds();
+
+  // 5. Cross-query leakage: the adversary compares digests across the
+  // WHOLE series, not just within one query. With fresh per-query keys
+  // digests never collide across queries (this adds nothing beyond step
+  // 4); when a client opted into a shared-key chain, rows with equal join
+  // values collide across the chain's queries even without a connecting
+  // middle row, and that observation belongs in the tracker too. Note the
+  // pass cannot be skipped just because no unit is shared between
+  // queries: shared-key collisions also happen across DISTINCT units
+  // (e.g. a chain's end tables), and the server cannot see query keys.
+  // Its cost mirrors the per-query digest maps of step 4 and is dwarfed
+  // by the pairings of step 3.
+  if (state.plans.size() > 1) {
+    std::map<Digest32, std::vector<RowId>> groups;
+    for (const auto& [key, unit] : state.units) {
+      int table_id = TableIdFor(unit->table->name);
+      for (size_t r = 0; r < unit->digests.size(); ++r) {
+        if (!unit->digests[r].has_value()) continue;
+        std::vector<RowId>& members = groups[*unit->digests[r]];
+        RowId id{table_id, r};
+        // Two same-key tokens over one table yield duplicate members.
+        if (std::find(members.begin(), members.end(), id) == members.end()) {
+          members.push_back(id);
+        }
+      }
+    }
+    for (const auto& [digest, members] : groups) {
+      if (members.size() >= 2) leakage_.ObserveEqualityGroup(members);
+    }
+  }
+}
+
+Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeries(
+    const QuerySeriesTokens& series, const ServerExecOptions& opts) {
+  EncryptedSeriesResult out;
+  out.stats.queries = series.queries.size();
+  SeriesPlanState state;
+  SJOIN_RETURN_IF_ERROR(BuildSeriesPlan(series, &out.stats, &state));
 
   // 3. One batched SJ.Dec pass over every pending (unit, row) of the
   // series on the shared pool -- the expensive pairings of all queries are
@@ -264,8 +329,8 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeries(
   std::atomic<size_t> prepared_built{0};
   std::atomic<size_t> prepared_hits{0};
   ThreadPool::Shared().ParallelFor(
-      pending.size(), opts.num_threads, [&](size_t i) {
-        auto [unit, row] = pending[i];
+      state.pending.size(), opts.num_threads, [&](size_t i) {
+        auto [unit, row] = state.pending[i];
         const SjRowCiphertext& ct = unit->table->rows[row].sj;
         std::shared_ptr<const SjPreparedRow> prep;
         bool built = false;
@@ -288,48 +353,164 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeries(
       out.stats.prepared_rows_built + out.stats.prepared_cache_hits;
   out.stats.decrypt_seconds = decrypt_watch.Seconds();
 
-  // 4. Per-query SJ.Match, leakage accounting and payload assembly, in
-  // series order (leakage order matters for reproducibility, not for the
-  // transitive closure itself).
-  Stopwatch match_watch;
-  out.results.reserve(series.queries.size());
-  for (QueryPlan& plan : plans) {
-    std::vector<Digest32> da = GatherDigests(*plan.unit_a, plan.sel_a);
-    std::vector<Digest32> db = GatherDigests(*plan.unit_b, plan.sel_b);
-    out.results.push_back(MatchAndAccount(*plan.a, *plan.b, plan.sel_a,
-                                          plan.sel_b, da, db, opts));
-  }
-  out.stats.match_seconds = match_watch.Seconds();
+  FinishSeries(state, opts, &out);
+  return out;
+}
 
-  // 5. Cross-query leakage: the adversary compares digests across the
-  // WHOLE series, not just within one query. With fresh per-query keys
-  // digests never collide across queries (this adds nothing beyond step
-  // 4); when a client opted into a shared-key chain, rows with equal join
-  // values collide across the chain's queries even without a connecting
-  // middle row, and that observation belongs in the tracker too. Note the
-  // pass cannot be skipped just because no unit is shared between
-  // queries: shared-key collisions also happen across DISTINCT units
-  // (e.g. a chain's end tables), and the server cannot see query keys.
-  // Its cost mirrors the per-query digest maps of step 4 and is dwarfed
-  // by the pairings of step 3.
-  if (series.queries.size() > 1) {
-    std::map<Digest32, std::vector<RowId>> groups;
-    for (const auto& [key, unit] : cache) {
-      int table_id = TableIdFor(unit->table->name);
-      for (size_t r = 0; r < unit->digests.size(); ++r) {
-        if (!unit->digests[r].has_value()) continue;
-        std::vector<RowId>& members = groups[*unit->digests[r]];
-        RowId id{table_id, r};
-        // Two same-key tokens over one table yield duplicate members.
-        if (std::find(members.begin(), members.end(), id) == members.end()) {
-          members.push_back(id);
-        }
+const ShardedTable& EncryptedServer::ShardViewFor(const EncryptedTable& table,
+                                                  size_t k) {
+  size_t effective = ShardedTable::ClampShardCount(table.rows.size(), k);
+  auto it = shard_views_.find(table.name);
+  if (it == shard_views_.end() || it->second.num_shards() != effective ||
+      &it->second.table() != &table) {
+    it = shard_views_.insert_or_assign(table.name,
+                                       ShardedTable(&table, k)).first;
+  }
+  return it->second;
+}
+
+Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesSharded(
+    const QuerySeriesTokens& series, const ServerExecOptions& opts) {
+  EncryptedSeriesResult out;
+  out.stats.queries = series.queries.size();
+  SeriesPlanState state;
+  SJOIN_RETURN_IF_ERROR(BuildSeriesPlan(series, &out.stats, &state));
+
+  // Effective shard count: the client's routing request (wire v3) wins
+  // over the server-side option; both are clamped to the largest
+  // referenced table so an empty shard never allocates a cache partition
+  // or schedules a pool task (see ShardedTable::ClampShardCount).
+  size_t requested =
+      series.requested_shards > 0
+          ? series.requested_shards
+          : static_cast<size_t>(std::max(opts.num_shards, 1));
+  size_t max_rows = 0;
+  for (const auto& [key, unit] : state.units) {
+    max_rows = std::max(max_rows, unit->table->rows.size());
+  }
+  // An empty series has no shards at all; otherwise at least one, even if
+  // every referenced table is empty (there is still a merge to report).
+  size_t k = series.queries.empty()
+                 ? 0
+                 : ShardedTable::ClampShardCount(std::max<size_t>(max_rows, 1),
+                                                 requested);
+  out.stats.shards = k;
+  out.stats.shard_stats.assign(k, ShardExecStats{});
+
+  // 3 (sharded). Group the pending decryptions into (shard x unit) work
+  // units: rows of one unit that hash to one shard. Tables smaller than K
+  // are partitioned ClampShardCount(rows, K) ways, so their work lands on
+  // the low shard ids only. Each work unit decrypts through its shard's
+  // own prepared-row cache partition -- two hot shards never contend on
+  // one LRU lock, and a scan evicting one partition cannot cool the
+  // others. Large work units are then subdivided into row chunks before
+  // scheduling, so pool parallelism stays bounded by pending rows rather
+  // than by K x units (a K=1 series over one big table must still use
+  // every thread); a chunk stays within one shard, so cache routing and
+  // stats attribution are unchanged.
+  Stopwatch decrypt_watch;
+  struct WorkUnit {
+    SeriesPlanState::Unit* unit = nullptr;
+    size_t shard = 0;
+    std::vector<size_t> rows;
+  };
+  std::vector<WorkUnit> groups;
+  {
+    std::map<std::pair<const SeriesPlanState::Unit*, size_t>, size_t> index;
+    for (const auto& [unit, row] : state.pending) {
+      const ShardedTable& view = ShardViewFor(*unit->table, k);
+      size_t shard = view.shard_of(row);
+      auto key = std::make_pair(static_cast<const SeriesPlanState::Unit*>(unit),
+                                shard);
+      auto it = index.find(key);
+      if (it == index.end()) {
+        it = index.emplace(key, groups.size()).first;
+        groups.push_back(WorkUnit{unit, shard, {}});
       }
-    }
-    for (const auto& [digest, members] : groups) {
-      if (members.size() >= 2) leakage_.ObserveEqualityGroup(members);
+      groups[it->second].rows.push_back(row);
     }
   }
+  // ~8 pairings (tens of ms) per task: coarse enough that task overhead
+  // is noise, fine enough that stragglers cannot idle the pool.
+  constexpr size_t kRowsPerTask = 8;
+  std::vector<WorkUnit> work;
+  for (WorkUnit& group : groups) {
+    for (size_t off = 0; off < group.rows.size(); off += kRowsPerTask) {
+      WorkUnit chunk;
+      chunk.unit = group.unit;
+      chunk.shard = group.shard;
+      chunk.rows.assign(
+          group.rows.begin() + off,
+          group.rows.begin() +
+              std::min(off + kRowsPerTask, group.rows.size()));
+      work.push_back(std::move(chunk));
+    }
+  }
+
+  // Per-shard cache partitions, each with an even split of the byte
+  // budget. A different K than last time rebuilds the partitions (row ->
+  // shard placement changed, so the old entries would be misfiled); the
+  // unsharded prepared_cache_ is untouched either way.
+  const bool use_prepared = opts.prepared_cache_bytes > 0 && !work.empty();
+  if (use_prepared) {
+    size_t per_shard = opts.prepared_cache_bytes / k;
+    if (shard_caches_.size() != k) {
+      shard_caches_.clear();
+      for (size_t s = 0; s < k; ++s) {
+        shard_caches_.push_back(std::make_unique<PreparedRowCache>(per_shard));
+      }
+    } else {
+      for (auto& cache : shard_caches_) cache->set_max_bytes(per_shard);
+    }
+  }
+
+  std::mutex stats_mu;
+  ThreadPool::Shared().ParallelFor(
+      work.size(), opts.num_threads, [&](size_t wi) {
+        WorkUnit& wu = work[wi];
+        PreparedRowCache* cache =
+            use_prepared ? shard_caches_[wu.shard].get() : nullptr;
+        ShardExecStats local;
+        for (size_t row : wu.rows) {
+          const SjRowCiphertext& ct = wu.unit->table->rows[row].sj;
+          std::shared_ptr<const SjPreparedRow> prep;
+          bool built = false;
+          if (cache) {
+            prep = cache->Get(wu.unit->table->name, row, ct, &built);
+          }
+          if (prep) {
+            wu.unit->digests[row] =
+                SecureJoin::DecryptToDigestPrepared(*wu.unit->token, *prep);
+            ++(built ? local.prepared_rows_built : local.prepared_cache_hits);
+          } else {
+            wu.unit->digests[row] =
+                SecureJoin::DecryptToDigest(*wu.unit->token, ct);
+            ++local.pairings_computed;
+          }
+          ++local.decrypts_performed;
+        }
+        local.prepared_pairings =
+            local.prepared_rows_built + local.prepared_cache_hits;
+        std::lock_guard<std::mutex> lock(stats_mu);
+        ShardExecStats& merged = out.stats.shard_stats[wu.shard];
+        merged.decrypts_performed += local.decrypts_performed;
+        merged.pairings_computed += local.pairings_computed;
+        merged.prepared_pairings += local.prepared_pairings;
+        merged.prepared_rows_built += local.prepared_rows_built;
+        merged.prepared_cache_hits += local.prepared_cache_hits;
+      });
+  // Merge the per-shard counters into the series totals the existing wire
+  // fields carry; the invariant "totals == per-shard sums" is asserted by
+  // tests/shard_test.cc.
+  for (const ShardExecStats& s : out.stats.shard_stats) {
+    out.stats.pairings_computed += s.pairings_computed;
+    out.stats.prepared_pairings += s.prepared_pairings;
+    out.stats.prepared_rows_built += s.prepared_rows_built;
+    out.stats.prepared_cache_hits += s.prepared_cache_hits;
+  }
+  out.stats.decrypt_seconds = decrypt_watch.Seconds();
+
+  FinishSeries(state, opts, &out);
   return out;
 }
 

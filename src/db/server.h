@@ -5,12 +5,14 @@
 #define SJOIN_DB_SERVER_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/leakage.h"
 #include "db/encrypted_table.h"
 #include "db/prepared_cache.h"
+#include "db/sharded_table.h"
 
 namespace sjoin {
 
@@ -22,8 +24,16 @@ struct ServerExecOptions {
   /// Byte budget for the server's prepared-row cache (the eviction knob;
   /// 0 disables the prepared pipeline for this call). The cache itself is
   /// per-server and persists across calls, so a series against a table a
-  /// previous series already touched starts warm.
+  /// previous series already touched starts warm. On the sharded path the
+  /// budget is split evenly across the K cache partitions.
   size_t prepared_cache_bytes = PreparedRowCache::kDefaultMaxBytes;
+  /// Shard count K for ExecuteJoinSeriesSharded (<= 0: 1). Overridden by
+  /// QuerySeriesTokens::requested_shards when the client set one; either
+  /// source is clamped to the largest referenced table (no empty shard
+  /// ever gets a cache partition or a pool task) and to
+  /// ShardedTable::kMaxShards (the request is untrusted wire input).
+  /// See docs/TUNING.md for sizing.
+  int num_shards = 1;
 };
 
 class EncryptedServer {
@@ -51,15 +61,53 @@ class EncryptedServer {
   Result<EncryptedSeriesResult> ExecuteJoinSeries(
       const QuerySeriesTokens& series, const ServerExecOptions& opts = {});
 
+  /// ExecuteJoinSeries over hash-partitioned tables: every referenced
+  /// table is split into K shards by row-digest hash (ShardedTable), the
+  /// batched SJ.Dec pass is scheduled as (shard x decrypt-unit) work
+  /// units (row-chunked, so parallelism is bounded by pending rows, not
+  /// by K) on the shared ThreadPool, and each shard decrypts through its
+  /// own prepared-row cache partition -- so eviction pressure and warm-up
+  /// progress on one hot shard never stall the others. Digests are merged
+  /// back by original row index before SJ.Match, which makes the results
+  /// bit-identical to the unsharded path (asserted by tests/shard_test.cc
+  /// and tests/series_test.cc); only the stats gain a per-shard breakdown
+  /// (SeriesExecStats::shards / shard_stats, wire v3).
+  Result<EncryptedSeriesResult> ExecuteJoinSeriesSharded(
+      const QuerySeriesTokens& series, const ServerExecOptions& opts = {});
+
   /// Everything the server has learned so far (equality of rows, closed
   /// transitively) -- the quantity the paper's security analysis bounds.
   LeakageTracker& leakage() { return leakage_; }
 
   /// The per-table prepared-row cache behind ExecuteJoinSeries (exposed
   /// for tests and benchmarks; see ServerExecOptions::prepared_cache_bytes).
+  ///
+  /// Eviction / invalidation contract (all PreparedRowCache instances,
+  /// including the shard partitions below):
+  ///  - Entries are handed out as shared_ptr<const SjPreparedRow>; an
+  ///    eviction only drops the cache's reference, so a decryption holding
+  ///    the pointer finishes safely -- eviction NEVER invalidates work in
+  ///    flight, it only stops future reuse.
+  ///  - Entries are keyed by (table, row) and derived from the row's
+  ///    ciphertext alone; they are invalidated explicitly (EraseTable /
+  ///    Clear), never implicitly, because stored ciphertexts are
+  ///    immutable after StoreTable.
+  ///  - Shrinking the byte budget evicts immediately; a row whose
+  ///    prepared form alone exceeds the budget is rejected up front and
+  ///    the caller falls back to the cold full-pairing path.
   const PreparedRowCache& prepared_cache() const { return prepared_cache_; }
 
+  /// Shard cache partitions currently allocated (0 until the first
+  /// sharded series ran; resized -- and re-warmed from scratch -- when a
+  /// later call uses a different effective K).
+  size_t shard_partition_count() const { return shard_caches_.size(); }
+  const PreparedRowCache& shard_cache(size_t shard) const {
+    return *shard_caches_[shard];
+  }
+
  private:
+  struct SeriesPlanState;  // defined in server.cc
+
   int TableIdFor(const std::string& name);
 
   /// SJ.Match + leakage accounting + payload assembly for one query whose
@@ -73,10 +121,29 @@ class EncryptedServer {
                                       const std::vector<Digest32>& db,
                                       const ServerExecOptions& opts);
 
+  /// Steps shared by both series paths: table resolution (all-or-nothing),
+  /// SSE pre-filters, and digest-cache deduplication into pending
+  /// (unit, row) decryptions. Fills the request/dedup counters of *stats.
+  Status BuildSeriesPlan(const QuerySeriesTokens& series,
+                         SeriesExecStats* stats, SeriesPlanState* state);
+  /// Steps shared by both series paths after the digests exist: per-query
+  /// SJ.Match + leakage + payloads, then the cross-query digest groups.
+  void FinishSeries(SeriesPlanState& state, const ServerExecOptions& opts,
+                    EncryptedSeriesResult* out);
+
+  /// The K-way partition view of `table`, rebuilt only when the effective
+  /// shard count for this table changes (partitioning is deterministic,
+  /// so a rebuild never changes row placement for the same K).
+  const ShardedTable& ShardViewFor(const EncryptedTable& table, size_t k);
+
   std::map<std::string, EncryptedTable> tables_;
   std::map<std::string, int> table_ids_;
   LeakageTracker leakage_;
   PreparedRowCache prepared_cache_;
+  /// Sharded-path state: partition views per table and one prepared-row
+  /// cache per shard (so LRU pressure is isolated per partition).
+  std::map<std::string, ShardedTable> shard_views_;
+  std::vector<std::unique_ptr<PreparedRowCache>> shard_caches_;
 };
 
 }  // namespace sjoin

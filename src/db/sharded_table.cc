@@ -1,0 +1,53 @@
+#include "db/sharded_table.h"
+
+#include <algorithm>
+
+#include "db/wire.h"
+
+namespace sjoin {
+
+size_t ShardedTable::ClampShardCount(size_t rows, size_t requested) {
+  if (rows == 0) return 0;
+  if (requested == 0) requested = 1;
+  return std::min(std::min(requested, kMaxShards), rows);
+}
+
+Digest32 ShardedTable::RowDigest(const EncryptedRow& row) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(row.sj.c.size()));
+  for (const G2Affine& p : row.sj.c) WriteG2Point(&w, p);
+  return Sha256::Hash(w.bytes());
+}
+
+size_t ShardedTable::ShardOfDigest(const Digest32& digest, size_t num_shards) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(digest[i]) << (8 * i);
+  }
+  return static_cast<size_t>(v % num_shards);
+}
+
+ShardedTable::ShardedTable(const EncryptedTable* table, size_t requested_shards)
+    : table_(table) {
+  size_t k = ClampShardCount(table->rows.size(), requested_shards);
+  rows_.resize(k);
+  shard_of_.reserve(table->rows.size());
+  for (size_t r = 0; r < table->rows.size(); ++r) {
+    size_t s = ShardOfDigest(RowDigest(table->rows[r]), k);
+    shard_of_.push_back(s);
+    rows_[s].push_back(r);
+  }
+}
+
+EncryptedTable ShardedTable::MaterializeShard(size_t shard) const {
+  EncryptedTable out;
+  out.name = table_->name + "/shard" + std::to_string(shard);
+  out.schema = table_->schema;
+  out.join_column = table_->join_column;
+  out.attr_columns = table_->attr_columns;
+  out.rows.reserve(rows_[shard].size());
+  for (size_t r : rows_[shard]) out.rows.push_back(table_->rows[r]);
+  return out;
+}
+
+}  // namespace sjoin

@@ -7,8 +7,12 @@ namespace {
 
 // Format version; bump on layout changes. v2: series-result stats gained
 // the prepared-pipeline counters (pairings computed / prepared, rows
-// built, prepared-cache hits).
-constexpr uint8_t kWireVersion = 2;
+// built, prepared-cache hits). v3: query series carry the client's shard
+// routing request, series-result stats carry the per-shard breakdown.
+// Readers stay backward compatible down to kMinWireVersion: a v2 payload
+// decodes with the v3-only fields at their defaults.
+constexpr uint8_t kWireVersion = 3;
+constexpr uint8_t kMinWireVersion = 2;
 
 // Message type tags catch cross-wiring of messages.
 constexpr uint8_t kTagTable = 0x54;         // 'T'
@@ -17,19 +21,23 @@ constexpr uint8_t kTagResult = 0x52;        // 'R'
 constexpr uint8_t kTagQuerySeries = 0x71;   // 'q'
 constexpr uint8_t kTagSeriesResult = 0x72;  // 'r'
 
-Status ExpectHeader(WireReader* r, uint8_t tag) {
+/// Validates the version/tag header; returns the (supported) version so
+/// message codecs can branch on layout differences.
+Result<uint8_t> ExpectHeader(WireReader* r, uint8_t tag) {
   auto version = r->U8();
   SJOIN_RETURN_IF_ERROR(version.status());
-  if (*version != kWireVersion) {
-    return Status::InvalidArgument("unsupported wire version " +
-                                   std::to_string(*version));
+  if (*version < kMinWireVersion || *version > kWireVersion) {
+    return Status::InvalidArgument(
+        "unsupported wire version " + std::to_string(*version) +
+        " (supported: " + std::to_string(kMinWireVersion) + ".." +
+        std::to_string(kWireVersion) + ")");
   }
   auto got = r->U8();
   SJOIN_RETURN_IF_ERROR(got.status());
   if (*got != tag) {
     return Status::InvalidArgument("wrong message type tag");
   }
-  return Status::OK();
+  return *version;
 }
 
 void WriteHeader(WireWriter* w, uint8_t tag) {
@@ -248,7 +256,7 @@ Bytes SerializeEncryptedTable(const EncryptedTable& table) {
 
 Result<EncryptedTable> DeserializeEncryptedTable(const Bytes& wire) {
   WireReader r(wire);
-  SJOIN_RETURN_IF_ERROR(ExpectHeader(&r, kTagTable));
+  SJOIN_RETURN_IF_ERROR(ExpectHeader(&r, kTagTable).status());
   EncryptedTable t;
   auto name = r.Str();
   SJOIN_RETURN_IF_ERROR(name.status());
@@ -322,7 +330,7 @@ Bytes SerializeJoinQueryTokens(const JoinQueryTokens& tokens) {
 
 Result<JoinQueryTokens> DeserializeJoinQueryTokens(const Bytes& wire) {
   WireReader r(wire);
-  SJOIN_RETURN_IF_ERROR(ExpectHeader(&r, kTagQuery));
+  SJOIN_RETURN_IF_ERROR(ExpectHeader(&r, kTagQuery).status());
   JoinQueryTokens out;
   auto ta = r.Str();
   SJOIN_RETURN_IF_ERROR(ta.status());
@@ -375,7 +383,7 @@ Bytes SerializeJoinResult(const EncryptedJoinResult& result) {
 
 Result<EncryptedJoinResult> DeserializeJoinResult(const Bytes& wire) {
   WireReader r(wire);
-  SJOIN_RETURN_IF_ERROR(ExpectHeader(&r, kTagResult));
+  SJOIN_RETURN_IF_ERROR(ExpectHeader(&r, kTagResult).status());
   EncryptedJoinResult out;
   auto npairs = r.U32();
   SJOIN_RETURN_IF_ERROR(npairs.status());
@@ -418,12 +426,14 @@ Bytes SerializeQuerySeries(const QuerySeriesTokens& series) {
   for (const JoinQueryTokens& q : series.queries) {
     w.Blob(SerializeJoinQueryTokens(q));
   }
+  w.U32(series.requested_shards);  // v3 shard routing request
   return w.Take();
 }
 
 Result<QuerySeriesTokens> DeserializeQuerySeries(const Bytes& wire) {
   WireReader r(wire);
-  SJOIN_RETURN_IF_ERROR(ExpectHeader(&r, kTagQuerySeries));
+  auto version = ExpectHeader(&r, kTagQuerySeries);
+  SJOIN_RETURN_IF_ERROR(version.status());
   auto count = r.U32();
   SJOIN_RETURN_IF_ERROR(count.status());
   QuerySeriesTokens out;
@@ -436,6 +446,11 @@ Result<QuerySeriesTokens> DeserializeQuerySeries(const Bytes& wire) {
     SJOIN_RETURN_IF_ERROR(q.status());
     out.queries.push_back(std::move(*q));
   }
+  if (*version >= 3) {
+    auto shards = r.U32();
+    SJOIN_RETURN_IF_ERROR(shards.status());
+    out.requested_shards = *shards;
+  }  // v2: no routing field; requested_shards stays 0 (server decides).
   if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes after series");
   return out;
 }
@@ -455,12 +470,24 @@ Bytes SerializeSeriesResult(const EncryptedSeriesResult& result) {
   w.U64(result.stats.prepared_pairings);
   w.U64(result.stats.prepared_rows_built);
   w.U64(result.stats.prepared_cache_hits);
+  // v3: sharded-execution breakdown (0 shards / empty list on the
+  // unsharded path).
+  w.U64(result.stats.shards);
+  w.U32(static_cast<uint32_t>(result.stats.shard_stats.size()));
+  for (const ShardExecStats& s : result.stats.shard_stats) {
+    w.U64(s.decrypts_performed);
+    w.U64(s.pairings_computed);
+    w.U64(s.prepared_pairings);
+    w.U64(s.prepared_rows_built);
+    w.U64(s.prepared_cache_hits);
+  }
   return w.Take();
 }
 
 Result<EncryptedSeriesResult> DeserializeSeriesResult(const Bytes& wire) {
   WireReader r(wire);
-  SJOIN_RETURN_IF_ERROR(ExpectHeader(&r, kTagSeriesResult));
+  auto version = ExpectHeader(&r, kTagSeriesResult);
+  SJOIN_RETURN_IF_ERROR(version.status());
   auto count = r.U32();
   SJOIN_RETURN_IF_ERROR(count.status());
   EncryptedSeriesResult out;
@@ -486,6 +513,21 @@ Result<EncryptedSeriesResult> DeserializeSeriesResult(const Bytes& wire) {
   SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.prepared_pairings));
   SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.prepared_rows_built));
   SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.prepared_cache_hits));
+  if (*version >= 3) {
+    SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.shards));
+    auto nshards = r.U32();
+    SJOIN_RETURN_IF_ERROR(nshards.status());
+    // No reserve(*nshards): untrusted count, same as the results above.
+    for (uint32_t i = 0; i < *nshards; ++i) {
+      ShardExecStats s;
+      SJOIN_RETURN_IF_ERROR(read_u64(&s.decrypts_performed));
+      SJOIN_RETURN_IF_ERROR(read_u64(&s.pairings_computed));
+      SJOIN_RETURN_IF_ERROR(read_u64(&s.prepared_pairings));
+      SJOIN_RETURN_IF_ERROR(read_u64(&s.prepared_rows_built));
+      SJOIN_RETURN_IF_ERROR(read_u64(&s.prepared_cache_hits));
+      out.stats.shard_stats.push_back(s);
+    }
+  }  // v2: counters end after prepared_cache_hits; shard fields default.
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after series result");
   }

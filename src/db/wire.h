@@ -2,6 +2,12 @@
 // boundary: encrypted tables (upload), query tokens (per query), and join
 // results (response). Length-prefixed little-endian framing; elliptic-curve
 // points are serialized uncompressed and validated on-curve when read.
+//
+// Writers emit the current version (v3); readers accept a version window
+// (v2..v3) and decode older payloads with the newer fields at their
+// defaults -- v3 added the shard routing request on query series and the
+// per-shard stats breakdown on series results. Versions outside the
+// window are rejected with a versioned InvalidArgument error.
 #ifndef SJOIN_DB_WIRE_H_
 #define SJOIN_DB_WIRE_H_
 

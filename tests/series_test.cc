@@ -526,6 +526,82 @@ TEST_F(SeriesTest, SeriesWireRoundTrip) {
           .ok());
 }
 
+// --- Sharded execution ---------------------------------------------------------
+
+// The sharded engine must be an implementation detail: same results (down
+// to the payload bytes the client decrypts), same leakage, only the stats
+// gain a per-shard breakdown.
+TEST_F(SeriesTest, ShardedSeriesBitIdenticalToUnsharded) {
+  JoinQuerySpec unrestricted = TeamsEmployeesSpec();
+  JoinQuerySpec testers = TeamsEmployeesSpec();
+  testers.selection_b.predicates = {{"role", {Value("Tester")}}};
+  auto series = client_->PrepareSeries({unrestricted, testers}, Tables());
+  ASSERT_TRUE(series.ok());
+
+  auto sharded = series_server_.ExecuteJoinSeriesSharded(
+      *series, {.num_shards = 3});
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  auto plain = sequential_server_.ExecuteJoinSeries(*series);
+  ASSERT_TRUE(plain.ok());
+
+  ASSERT_EQ(sharded->results.size(), plain->results.size());
+  for (size_t q = 0; q < plain->results.size(); ++q) {
+    EXPECT_EQ(sharded->results[q].matched_row_indices,
+              plain->results[q].matched_row_indices);
+    ASSERT_EQ(sharded->results[q].row_pairs.size(),
+              plain->results[q].row_pairs.size());
+    for (size_t i = 0; i < plain->results[q].row_pairs.size(); ++i) {
+      EXPECT_EQ(sharded->results[q].row_pairs[i].first.body,
+                plain->results[q].row_pairs[i].first.body);
+      EXPECT_EQ(sharded->results[q].row_pairs[i].second.body,
+                plain->results[q].row_pairs[i].second.body);
+    }
+  }
+  // Identical leakage: the partition never changes what the server sees.
+  auto sharded_classes = series_server_.leakage().EqualityClasses();
+  auto plain_classes = sequential_server_.leakage().EqualityClasses();
+  ASSERT_EQ(sharded_classes.size(), plain_classes.size());
+  for (size_t i = 0; i < sharded_classes.size(); ++i) {
+    EXPECT_EQ(sharded_classes[i], plain_classes[i]);
+  }
+}
+
+// K far beyond the row count: the effective shard count clamps to the
+// largest referenced table (Employees, 4 rows), so no empty shard ever
+// allocates a cache partition or schedules a pool task.
+TEST_F(SeriesTest, ShardCountClampedToRowCount) {
+  auto series = client_->PrepareSeries({TeamsEmployeesSpec()}, Tables());
+  ASSERT_TRUE(series.ok());
+  auto r = series_server_.ExecuteJoinSeriesSharded(*series,
+                                                   {.num_shards = 64});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.shards, 4u);  // max(2 Teams rows, 4 Employees rows)
+  EXPECT_EQ(r->stats.shard_stats.size(), 4u);
+  EXPECT_EQ(series_server_.shard_partition_count(), 4u);  // not 64
+  // All 6 decrypts happened, distributed over the real shards only.
+  size_t sum = 0;
+  for (const ShardExecStats& s : r->stats.shard_stats) {
+    sum += s.decrypts_performed;
+  }
+  EXPECT_EQ(sum, 6u);
+  EXPECT_EQ(r->stats.decrypts_performed, 6u);
+
+  // Results still match the unsharded twin.
+  auto plain = sequential_server_.ExecuteJoinSeries(*series);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(r->results[0].matched_row_indices,
+            plain->results[0].matched_row_indices);
+}
+
+// An empty series must not allocate shard partitions at all.
+TEST_F(SeriesTest, EmptyShardedSeriesAllocatesNothing) {
+  auto r = series_server_.ExecuteJoinSeriesSharded(QuerySeriesTokens{},
+                                                   {.num_shards = 8});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->results.empty());
+  EXPECT_EQ(series_server_.shard_partition_count(), 0u);
+}
+
 TEST(SeriesWireTest, OutOfRangeSseColumnIndexMatchesNothing) {
   // column_index is wire-controlled; an index past the row's tag vector
   // must select nothing instead of reading out of bounds.
