@@ -64,30 +64,84 @@ Result<EncryptedTable> EncryptedClient::EncryptTable(
 
   out.rows.reserve(table.NumRows());
   for (size_t r = 0; r < table.NumRows(); ++r) {
-    EncryptedRow row;
-    // SJ vector inputs: hashed join value + embedded attributes, padded to m.
-    Fr join_hash = EmbedJoinValue(table.At(r, join_idx));
-    std::vector<Fr> attrs(options_.num_attrs);
-    row.sse.salt = SseKey::RandomSalt(&rng_);
-    size_t a = 0;
-    for (size_t c = 0; c < table.schema().NumColumns(); ++c) {
-      if (c == join_idx) continue;
-      const std::string& col_name = table.schema().column(c).name;
-      attrs[a] = EmbedAttrValue(col_name, table.At(r, c));
-      row.sse.tags.push_back(sse_key_.TagFor(table.name(), col_name,
-                                             table.At(r, c), row.sse.salt));
-      ++a;
-    }
-    row.sj = SecureJoin::EncryptRow(msk_, join_hash, attrs, &rng_);
-    // Payload: the full row, AEAD-protected.
-    Bytes payload;
-    for (size_t c = 0; c < table.schema().NumColumns(); ++c) {
-      table.At(r, c).SerializeTo(&payload);
-    }
-    row.payload = payload_key_.Encrypt(payload, &rng_);
-    out.rows.push_back(std::move(row));
+    out.rows.push_back(EncryptRowFor(table.name(), table, r, join_idx));
   }
   return out;
+}
+
+EncryptedRow EncryptedClient::EncryptRowFor(const std::string& table_name,
+                                            const Table& table, size_t r,
+                                            size_t join_idx) {
+  EncryptedRow row;
+  // SJ vector inputs: hashed join value + embedded attributes, padded to m.
+  Fr join_hash = EmbedJoinValue(table.At(r, join_idx));
+  std::vector<Fr> attrs(options_.num_attrs);
+  row.sse.salt = SseKey::RandomSalt(&rng_);
+  size_t a = 0;
+  for (size_t c = 0; c < table.schema().NumColumns(); ++c) {
+    if (c == join_idx) continue;
+    const std::string& col_name = table.schema().column(c).name;
+    attrs[a] = EmbedAttrValue(col_name, table.At(r, c));
+    row.sse.tags.push_back(sse_key_.TagFor(table_name, col_name,
+                                           table.At(r, c), row.sse.salt));
+    ++a;
+  }
+  row.sj = SecureJoin::EncryptRow(msk_, join_hash, attrs, &rng_);
+  // Payload: the full row, AEAD-protected.
+  Bytes payload;
+  for (size_t c = 0; c < table.schema().NumColumns(); ++c) {
+    table.At(r, c).SerializeTo(&payload);
+  }
+  row.payload = payload_key_.Encrypt(payload, &rng_);
+  return row;
+}
+
+Result<TableMutation> EncryptedClient::PrepareInsert(const EncryptedTable& enc,
+                                                     const Table& rows) {
+  if (rows.NumRows() == 0) {
+    return Status::InvalidArgument("insert batch for '" + enc.name +
+                                   "' is empty");
+  }
+  // The batch must carry the encrypted table's exact schema: the SJ/SSE
+  // encodings are column-name-sensitive, so a silent mismatch would
+  // produce rows that never match any token.
+  if (rows.schema().NumColumns() != enc.schema.NumColumns()) {
+    return Status::InvalidArgument(
+        "insert batch for '" + enc.name + "' has " +
+        std::to_string(rows.schema().NumColumns()) + " columns, table has " +
+        std::to_string(enc.schema.NumColumns()));
+  }
+  for (size_t c = 0; c < enc.schema.NumColumns(); ++c) {
+    if (rows.schema().column(c).name != enc.schema.column(c).name ||
+        rows.schema().column(c).kind != enc.schema.column(c).kind) {
+      return Status::InvalidArgument(
+          "insert batch for '" + enc.name + "' disagrees on column " +
+          std::to_string(c) + " ('" + rows.schema().column(c).name +
+          "' vs '" + enc.schema.column(c).name + "')");
+    }
+  }
+  auto join_idx = enc.schema.ColumnIndex(enc.join_column);
+  SJOIN_RETURN_IF_ERROR(join_idx.status());
+
+  TableMutation m;
+  m.table = enc.name;
+  m.inserts.reserve(rows.NumRows());
+  for (size_t r = 0; r < rows.NumRows(); ++r) {
+    m.inserts.push_back(EncryptRowFor(enc.name, rows, r, *join_idx));
+  }
+  return m;
+}
+
+Result<TableMutation> EncryptedClient::PrepareDelete(
+    const std::string& table, std::vector<StableRowId> row_ids) {
+  if (row_ids.empty()) {
+    return Status::InvalidArgument("delete batch for '" + table +
+                                   "' is empty");
+  }
+  TableMutation m;
+  m.table = table;
+  m.deletes = std::move(row_ids);
+  return m;
 }
 
 Status EncryptedClient::BuildSide(const TableSelection& sel,

@@ -9,6 +9,7 @@
 
 #include "db/encrypted_table.h"
 #include "db/query.h"
+#include "db/table_store.h"
 
 namespace sjoin {
 
@@ -36,6 +37,27 @@ class EncryptedClient {
   /// options.num_attrs of them).
   Result<EncryptedTable> EncryptTable(const Table& table,
                                       const std::string& join_column);
+
+  /// Client-side delta preparation (wire v4): encrypts `rows` (a plaintext
+  /// table whose schema must equal the encrypted table's, column for
+  /// column) into a mutation batch appending them to `enc`. The rows go
+  /// through the exact SJ.Enc / SSE-tag / AEAD pipeline of EncryptTable
+  /// under the same keys, so the server cannot tell an inserted row from
+  /// an originally uploaded one -- and every existing token keeps working
+  /// against them (tokens are table-level, not row-level). Apply with
+  /// EncryptedServer::ApplyMutation; the returned MutationResult carries
+  /// the stable ids the server assigned.
+  Result<TableMutation> PrepareInsert(const EncryptedTable& enc,
+                                      const Table& rows);
+
+  /// Mutation batch deleting `row_ids` (stable ids: 0..n-1 for the
+  /// original upload, MutationResult::inserted_ids afterwards) from
+  /// `table`. No cryptographic material is involved -- deletion is pure
+  /// bookkeeping -- but the batch rides the same wire v4 message, and the
+  /// two halves can be merged (one TableMutation holds both lists;
+  /// deletes apply before inserts).
+  Result<TableMutation> PrepareDelete(const std::string& table,
+                                      std::vector<StableRowId> row_ids);
 
   /// SJ.TokenGen for both tables with a fresh shared query key, plus SSE
   /// tokens for the IN predicates.
@@ -97,6 +119,12 @@ class EncryptedClient {
   Fr EmbedAttrValue(const std::string& column, const Value& v) const;
 
  private:
+  /// SJ.Enc + SSE tags + AEAD payload for row `r` of `table`, tagged for
+  /// `table_name` (the server-side name: EncryptTable and PrepareInsert
+  /// both route here, so inserted rows are indistinguishable from
+  /// originally uploaded ones).
+  EncryptedRow EncryptRowFor(const std::string& table_name,
+                             const Table& table, size_t r, size_t join_idx);
   /// Predicate roots + SSE token groups for one side of one query.
   Status BuildSide(const TableSelection& sel, const EncryptedTable& enc,
                    SjPredicates* preds, std::vector<SseTokenGroup>* sse);

@@ -24,10 +24,10 @@ void PreparedRowCache::EvictFor(size_t incoming) {
 }
 
 std::shared_ptr<const SjPreparedRow> PreparedRowCache::Get(
-    const std::string& table, size_t row, const SjRowCiphertext& ct,
+    const std::string& table, uint64_t row_id, const SjRowCiphertext& ct,
     bool* built) {
   *built = false;
-  Key key{table, row};
+  Key key{table, row_id};
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
@@ -66,6 +66,15 @@ std::shared_ptr<const SjPreparedRow> PreparedRowCache::Get(
   ++built_;
   *built = true;
   return prepared;
+}
+
+void PreparedRowCache::EraseRow(const std::string& table, uint64_t row_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(Key{table, row_id});
+  if (it == entries_.end()) return;
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
 }
 
 void PreparedRowCache::EraseTable(const std::string& table) {

@@ -1,5 +1,5 @@
 // Memory-bounded LRU cache of prepared SJ rows (SecureJoin::PrepareRow
-// output), keyed by (table name, row index).
+// output), keyed by (table name, StableRowId).
 //
 // Prepared rows are token-independent, so one entry serves every query of
 // a series -- and every later series -- that decrypts the row. They are
@@ -22,11 +22,15 @@
 //      falls back to the cold full-pairing path. Shrinking max_bytes via
 //      set_max_bytes evicts immediately, before the call returns.
 //
-//   3. Invalidation: entries derive from a row's SJ ciphertext, which is
-//      immutable once the table is stored, so entries are only ever
-//      invalidated explicitly -- EraseTable when a table is dropped or
-//      replaced, Clear for everything. There is no TTL and no implicit
-//      invalidation path.
+//   3. Invalidation is row-granular. Entries derive from a row's SJ
+//      ciphertext, and the key is the row's STABLE id (TableStore), which
+//      never changes and is never reused within a table -- so an entry
+//      can only go stale when its exact row is deleted, and EraseRow on
+//      the deleted ids is a complete invalidation. A mutation batch
+//      therefore costs the warm state exactly its deleted rows; inserts
+//      (fresh ids, never cached) cost nothing. EraseTable drops a whole
+//      table (drop/replace workflows), Clear everything. There is no TTL
+//      and no implicit invalidation path.
 //
 //   4. Sharded use: EncryptedServer's sharded path runs one instance per
 //      shard (rows are routed by ShardedTable::shard_of), so LRU pressure
@@ -65,17 +69,20 @@ class PreparedRowCache {
   void set_max_bytes(size_t max_bytes);
   size_t max_bytes() const;
 
-  /// Returns the prepared form of row `row` of table `table`, building it
-  /// from `ct` on first touch. Returns nullptr when the row cannot be
-  /// admitted within the byte budget (the caller falls back to the
-  /// unprepared SJ.Dec path). `*built` reports whether this call built the
-  /// entry (false on a cache hit).
+  /// Returns the prepared form of the row with stable id `row_id` of
+  /// table `table`, building it from `ct` on first touch. Returns nullptr
+  /// when the row cannot be admitted within the byte budget (the caller
+  /// falls back to the unprepared SJ.Dec path). `*built` reports whether
+  /// this call built the entry (false on a cache hit).
   std::shared_ptr<const SjPreparedRow> Get(const std::string& table,
-                                           size_t row,
+                                           uint64_t row_id,
                                            const SjRowCiphertext& ct,
                                            bool* built);
 
-  /// Drops every entry of one table (e.g. when it is replaced).
+  /// Drops the entry of one deleted row; no-op when it is not cached.
+  /// The per-row half of the mutation invalidation contract (point 3).
+  void EraseRow(const std::string& table, uint64_t row_id);
+  /// Drops every entry of one table (e.g. when it is dropped).
   void EraseTable(const std::string& table);
   /// Drops everything.
   void Clear();
@@ -91,7 +98,7 @@ class PreparedRowCache {
   Stats stats() const;
 
  private:
-  using Key = std::pair<std::string, size_t>;  // (table, row)
+  using Key = std::pair<std::string, uint64_t>;  // (table, stable row id)
   struct Entry {
     std::shared_ptr<const SjPreparedRow> row;
     size_t bytes = 0;

@@ -48,44 +48,93 @@ Digest32 TokenFingerprint(const SjToken& token) {
 /// resolved per-query plans and the deduplicated (table, token) decrypt
 /// units with their pending rows. Only the SJ.Dec pass (step 3) differs
 /// between the paths; everything before and after is common.
+///
+/// Snapshot consistency: step 0 resolves at most ONE TableStore snapshot
+/// per referenced table name, and every plan/unit points into it -- the
+/// whole batch observes one generation per table, and the held shared_ptrs
+/// keep that generation alive even across a concurrent-looking mutation
+/// (the store never mutates a published snapshot). Positions are
+/// therefore stable for the duration of the call; stable ids translate
+/// them into mutation-proof cache keys and leakage identities.
 struct EncryptedServer::SeriesPlanState {
   /// One (table, token) decryption unit of a series: the lazily filled
-  /// digest vector, indexed by original row index.
+  /// digest vector, indexed by row position within the snapshot.
   struct Unit {
     const EncryptedTable* table = nullptr;
+    const std::vector<StableRowId>* row_ids = nullptr;
     const SjToken* token = nullptr;
     std::vector<std::optional<Digest32>> digests;
   };
   struct QueryPlan {
     const EncryptedTable* a = nullptr;
     const EncryptedTable* b = nullptr;
+    const std::vector<StableRowId>* ids_a = nullptr;
+    const std::vector<StableRowId>* ids_b = nullptr;
     std::vector<size_t> sel_a, sel_b;
     Unit* unit_a = nullptr;
     Unit* unit_b = nullptr;
   };
 
+  /// One generation per table name for the whole batch.
+  std::map<std::string, TableStore::Snapshot> snapshots;
   std::vector<QueryPlan> plans;
   std::map<std::pair<std::string, Digest32>, std::unique_ptr<Unit>> units;
-  /// Every (unit, original row) the batch must decrypt, dedup applied.
+  /// Every (unit, row position) the batch must decrypt, dedup applied.
   std::vector<std::pair<Unit*, size_t>> pending;
 };
 
 Status EncryptedServer::StoreTable(EncryptedTable table) {
-  if (tables_.count(table.name)) {
-    return Status::AlreadyExists("table '" + table.name + "' already stored");
-  }
   TableIdFor(table.name);
-  tables_.emplace(table.name, std::move(table));
-  return Status::OK();
+  return store_.Store(std::move(table));
 }
 
 Result<const EncryptedTable*> EncryptedServer::GetTable(
     const std::string& name) const {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
-    return Status::NotFound("table '" + name + "' not stored");
+  auto snap = store_.Get(name);
+  SJOIN_RETURN_IF_ERROR(snap.status());
+  return snap->table.get();
+}
+
+Result<MutationResult> EncryptedServer::ApplyMutation(
+    const TableMutation& mutation) {
+  auto applied = store_.Apply(mutation);
+  SJOIN_RETURN_IF_ERROR(applied.status());
+
+  // Row-granular cache invalidation: exactly the deleted rows' prepared
+  // entries drop -- surviving rows stay warm (inserts have fresh ids and
+  // were never cached). Every partition is asked; EraseRow is a cheap
+  // no-op where the row was never cached or routed.
+  for (StableRowId id : applied->removed_ids) {
+    prepared_cache_.EraseRow(mutation.table, id);
+    for (auto& cache : shard_caches_) cache->EraseRow(mutation.table, id);
   }
-  return &it->second;
+
+  // Bring an existing shard view forward incrementally: surviving rows
+  // keep their digest-hash shard, so only position bookkeeping and the
+  // inserted tail's hashes are computed. When the mutation invalidates
+  // the view's own shard count (the table shrank below its K, or
+  // emptied), drop the view and let the next sharded call rebuild.
+  // Growth is NOT detectable here -- the view's K already is
+  // min(old rows, requested), so more rows never change it; a later call
+  // whose requested K now clamps higher rebuilds via ShardViewFor's
+  // effective-count check instead.
+  auto view = shard_views_.find(mutation.table);
+  if (view != shard_views_.end()) {
+    const EncryptedTable* next = applied->snapshot.table.get();
+    size_t k = view->second.num_shards();
+    if (k == 0 || ShardedTable::ClampShardCount(next->rows.size(), k) != k) {
+      shard_views_.erase(view);
+    } else {
+      view->second.RemoveRows(next, applied->removed_positions);
+      view->second.AddRows(next, applied->first_inserted_position);
+    }
+  }
+
+  // Leakage: nothing to do, by design. The tracker's RowIds are stable
+  // ids, so the deleted rows' equality groups remain in the transitive
+  // closure -- observations already made cannot be unlearned, and no
+  // future row can collide with them (ids are never reused).
+  return std::move(applied->result);
 }
 
 int EncryptedServer::TableIdFor(const std::string& name) {
@@ -98,6 +147,7 @@ int EncryptedServer::TableIdFor(const std::string& name) {
 
 EncryptedJoinResult EncryptedServer::MatchAndAccount(
     const EncryptedTable& a, const EncryptedTable& b,
+    const std::vector<StableRowId>& ids_a, const std::vector<StableRowId>& ids_b,
     const std::vector<size_t>& sel_a, const std::vector<size_t>& sel_b,
     const std::vector<Digest32>& da, const std::vector<Digest32>& db,
     const ServerExecOptions& opts) {
@@ -116,16 +166,20 @@ EncryptedJoinResult EncryptedServer::MatchAndAccount(
   out.stats.result_pairs = pairs.size();
 
   // Leakage accounting: the adversary sees equality groups of D digests
-  // across all decrypted rows of this query (both tables).
+  // across all decrypted rows of this query (both tables). Rows enter the
+  // tracker under their STABLE ids, so the observation survives any later
+  // delete without aliasing onto a row that reuses the position.
   {
     std::map<Digest32, std::vector<RowId>> groups;
     int id_a = TableIdFor(a.name);
     int id_b = TableIdFor(b.name);
     for (size_t i = 0; i < sel_a.size(); ++i) {
-      groups[da[i]].push_back(RowId{id_a, sel_a[i]});
+      groups[da[i]].push_back(
+          RowId{id_a, static_cast<size_t>(ids_a[sel_a[i]])});
     }
     for (size_t j = 0; j < sel_b.size(); ++j) {
-      groups[db[j]].push_back(RowId{id_b, sel_b[j]});
+      groups[db[j]].push_back(
+          RowId{id_b, static_cast<size_t>(ids_b[sel_b[j]])});
     }
     for (const auto& [digest, members] : groups) {
       if (members.size() >= 2) leakage_.ObserveEqualityGroup(members);
@@ -146,12 +200,12 @@ EncryptedJoinResult EncryptedServer::MatchAndAccount(
 
 Result<EncryptedJoinResult> EncryptedServer::ExecuteJoin(
     const JoinQueryTokens& query, const ServerExecOptions& opts) {
-  auto ta = GetTable(query.table_a);
-  SJOIN_RETURN_IF_ERROR(ta.status());
-  auto tb = GetTable(query.table_b);
-  SJOIN_RETURN_IF_ERROR(tb.status());
-  const EncryptedTable& a = **ta;
-  const EncryptedTable& b = **tb;
+  auto sa = store_.Get(query.table_a);
+  SJOIN_RETURN_IF_ERROR(sa.status());
+  auto sb = store_.Get(query.table_b);
+  SJOIN_RETURN_IF_ERROR(sb.status());
+  const EncryptedTable& a = *sa->table;
+  const EncryptedTable& b = *sb->table;
 
   // 1. SSE pre-filter (or all rows if disabled).
   Stopwatch prefilter_watch;
@@ -174,7 +228,8 @@ Result<EncryptedJoinResult> EncryptedServer::ExecuteJoin(
   double decrypt_seconds = decrypt_watch.Seconds();
 
   // 3-5. SJ.Match, leakage accounting, payload assembly.
-  EncryptedJoinResult out = MatchAndAccount(a, b, sel_a, sel_b, da, db, opts);
+  EncryptedJoinResult out = MatchAndAccount(a, b, *sa->row_ids, *sb->row_ids,
+                                            sel_a, sel_b, da, db, opts);
   out.stats.prefilter_seconds = prefilter_seconds;
   out.stats.decrypt_seconds = decrypt_seconds;
   return out;
@@ -183,16 +238,29 @@ Result<EncryptedJoinResult> EncryptedServer::ExecuteJoin(
 Status EncryptedServer::BuildSeriesPlan(const QuerySeriesTokens& series,
                                         SeriesExecStats* stats,
                                         SeriesPlanState* state) {
-  // 0. Resolve every table up front: a series fails before any crypto work
-  // rather than after a partial batch.
+  // 0. Resolve every table up front -- a series fails before any crypto
+  // work rather than after a partial batch -- and pin ONE snapshot per
+  // table name: every query of the batch reads the same generation.
+  auto resolve = [&](const std::string& name)
+      -> Result<const TableStore::Snapshot*> {
+    auto it = state->snapshots.find(name);
+    if (it == state->snapshots.end()) {
+      auto snap = store_.Get(name);
+      SJOIN_RETURN_IF_ERROR(snap.status());
+      it = state->snapshots.emplace(name, std::move(*snap)).first;
+    }
+    return &it->second;
+  };
   state->plans.resize(series.queries.size());
   for (size_t q = 0; q < series.queries.size(); ++q) {
-    auto ta = GetTable(series.queries[q].table_a);
-    SJOIN_RETURN_IF_ERROR(ta.status());
-    auto tb = GetTable(series.queries[q].table_b);
-    SJOIN_RETURN_IF_ERROR(tb.status());
-    state->plans[q].a = *ta;
-    state->plans[q].b = *tb;
+    auto sa = resolve(series.queries[q].table_a);
+    SJOIN_RETURN_IF_ERROR(sa.status());
+    auto sb = resolve(series.queries[q].table_b);
+    SJOIN_RETURN_IF_ERROR(sb.status());
+    state->plans[q].a = (*sa)->table.get();
+    state->plans[q].b = (*sb)->table.get();
+    state->plans[q].ids_a = (*sa)->row_ids.get();
+    state->plans[q].ids_b = (*sb)->row_ids.get();
   }
 
   // 1. SSE pre-filters for the whole batch.
@@ -207,14 +275,18 @@ Status EncryptedServer::BuildSeriesPlan(const QuerySeriesTokens& series,
   stats->prefilter_seconds = prefilter_watch.Seconds();
 
   // 2. Deduplicate SJ.Dec work through the per-(table, token) digest cache
-  // and collect the batch's pending decryptions.
-  auto unit_for = [&](const EncryptedTable& t,
+  // and collect the batch's pending decryptions. The cache lives for this
+  // call only and its units point into the step-0 snapshots, so its row
+  // positions can never mix generations.
+  auto unit_for = [&](const SeriesPlanState::QueryPlan& plan, bool side_a,
                       const SjToken& token) -> SeriesPlanState::Unit* {
+    const EncryptedTable& t = side_a ? *plan.a : *plan.b;
     auto key = std::make_pair(t.name, TokenFingerprint(token));
     auto it = state->units.find(key);
     if (it == state->units.end()) {
       auto unit = std::make_unique<SeriesPlanState::Unit>();
       unit->table = &t;
+      unit->row_ids = side_a ? plan.ids_a : plan.ids_b;
       unit->token = &token;
       unit->digests.resize(t.rows.size());
       it = state->units.emplace(std::move(key), std::move(unit)).first;
@@ -239,10 +311,10 @@ Status EncryptedServer::BuildSeriesPlan(const QuerySeriesTokens& series,
     }
   };
   for (size_t q = 0; q < series.queries.size(); ++q) {
-    state->plans[q].unit_a = unit_for(*state->plans[q].a,
-                                      series.queries[q].token_a);
-    state->plans[q].unit_b = unit_for(*state->plans[q].b,
-                                      series.queries[q].token_b);
+    state->plans[q].unit_a =
+        unit_for(state->plans[q], true, series.queries[q].token_a);
+    state->plans[q].unit_b =
+        unit_for(state->plans[q], false, series.queries[q].token_b);
     request_rows(state->plans[q].unit_a, state->plans[q].sel_a);
     request_rows(state->plans[q].unit_b, state->plans[q].sel_b);
   }
@@ -269,7 +341,8 @@ void EncryptedServer::FinishSeries(SeriesPlanState& state,
   for (SeriesPlanState::QueryPlan& plan : state.plans) {
     std::vector<Digest32> da = gather(*plan.unit_a, plan.sel_a);
     std::vector<Digest32> db = gather(*plan.unit_b, plan.sel_b);
-    out->results.push_back(MatchAndAccount(*plan.a, *plan.b, plan.sel_a,
+    out->results.push_back(MatchAndAccount(*plan.a, *plan.b, *plan.ids_a,
+                                           *plan.ids_b, plan.sel_a,
                                            plan.sel_b, da, db, opts));
   }
   out->stats.match_seconds = match_watch.Seconds();
@@ -292,7 +365,7 @@ void EncryptedServer::FinishSeries(SeriesPlanState& state,
       for (size_t r = 0; r < unit->digests.size(); ++r) {
         if (!unit->digests[r].has_value()) continue;
         std::vector<RowId>& members = groups[*unit->digests[r]];
-        RowId id{table_id, r};
+        RowId id{table_id, static_cast<size_t>((*unit->row_ids)[r])};
         // Two same-key tokens over one table yield duplicate members.
         if (std::find(members.begin(), members.end(), id) == members.end()) {
           members.push_back(id);
@@ -320,7 +393,9 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeries(
   // series) decrypts via line evaluation alone, and a first-touch row is
   // prepared so every later token gets the warm path. The cache bounds its
   // memory (opts.prepared_cache_bytes); rows it cannot admit fall back to
-  // the cold full-pairing path.
+  // the cold full-pairing path. Cache keys are STABLE row ids, so entries
+  // written by one generation stay valid for every later generation the
+  // row survives into.
   Stopwatch decrypt_watch;
   if (opts.prepared_cache_bytes > 0) {
     prepared_cache_.set_max_bytes(opts.prepared_cache_bytes);
@@ -335,7 +410,8 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeries(
         std::shared_ptr<const SjPreparedRow> prep;
         bool built = false;
         if (opts.prepared_cache_bytes > 0) {
-          prep = prepared_cache_.Get(unit->table->name, row, ct, &built);
+          prep = prepared_cache_.Get(unit->table->name,
+                                     (*unit->row_ids)[row], ct, &built);
         }
         if (prep) {
           unit->digests[row] =
@@ -476,7 +552,8 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesSharded(
           std::shared_ptr<const SjPreparedRow> prep;
           bool built = false;
           if (cache) {
-            prep = cache->Get(wu.unit->table->name, row, ct, &built);
+            prep = cache->Get(wu.unit->table->name,
+                              (*wu.unit->row_ids)[row], ct, &built);
           }
           if (prep) {
             wu.unit->digests[row] =

@@ -1,6 +1,7 @@
-// The semi-honest DBMS server: stores encrypted tables, executes join
-// queries from tokens alone, and (for the evaluation) records exactly what
-// it learned in a LeakageTracker.
+// The semi-honest DBMS server: stores encrypted tables (generational,
+// mutable -- see db/table_store.h), executes join queries from tokens
+// alone, applies client-prepared mutation batches, and (for the
+// evaluation) records exactly what it learned in a LeakageTracker.
 #ifndef SJOIN_DB_SERVER_H_
 #define SJOIN_DB_SERVER_H_
 
@@ -13,6 +14,7 @@
 #include "db/encrypted_table.h"
 #include "db/prepared_cache.h"
 #include "db/sharded_table.h"
+#include "db/table_store.h"
 
 namespace sjoin {
 
@@ -38,12 +40,27 @@ struct ServerExecOptions {
 
 class EncryptedServer {
  public:
-  /// Registers a table; AlreadyExists if the name is taken.
+  /// Registers a table; AlreadyExists if the name is taken. Rows get
+  /// stable ids 0..n-1 and the table starts at generation 1.
   Status StoreTable(EncryptedTable table);
 
-  bool HasTable(const std::string& name) const {
-    return tables_.count(name) > 0;
-  }
+  /// Applies one client-prepared mutation batch (wire v4): deletes by
+  /// stable id (stable-order compaction), then inserted rows appended.
+  /// Cache maintenance is row-granular -- exactly the deleted rows'
+  /// prepared entries are dropped (from the unsharded cache and every
+  /// shard partition), and an existing shard view is brought forward
+  /// incrementally (surviving rows are never rehashed). Leakage
+  /// accounting is deliberately NOT touched: the tracker keys rows by
+  /// stable id, so a deleted row's past equality observations stay in the
+  /// transitive closure -- the adversary cannot unlearn what it already
+  /// saw, and a freshly inserted row (new id) can never alias them.
+  Result<MutationResult> ApplyMutation(const TableMutation& mutation);
+
+  bool HasTable(const std::string& name) const { return store_.Has(name); }
+  /// Current-generation row data; the pointer stays valid until the next
+  /// ApplyMutation on that table (hold a TableStore::Snapshot via
+  /// table_store().Get() to pin a generation across mutations). NotFound
+  /// carries the store's canonical "table '<name>' not stored" message.
   Result<const EncryptedTable*> GetTable(const std::string& name) const;
 
   /// Executes one join query: SSE pre-filter, SJ.Dec on the selected rows,
@@ -57,7 +74,9 @@ class EncryptedServer {
   /// reused within the series (repeated queries, multi-way chains with a
   /// shared query key) decrypts each row at most once. Results are
   /// identical to executing the queries one by one; leakage accounting
-  /// feeds the same cross-query transitive closure.
+  /// feeds the same cross-query transitive closure. The series resolves
+  /// one TableStore snapshot per referenced table up front, so every
+  /// query of the batch observes exactly one generation.
   Result<EncryptedSeriesResult> ExecuteJoinSeries(
       const QuerySeriesTokens& series, const ServerExecOptions& opts = {});
 
@@ -71,38 +90,40 @@ class EncryptedServer {
   /// back by original row index before SJ.Match, which makes the results
   /// bit-identical to the unsharded path (asserted by tests/shard_test.cc
   /// and tests/series_test.cc); only the stats gain a per-shard breakdown
-  /// (SeriesExecStats::shards / shard_stats, wire v3).
+  /// (SeriesExecStats::shards / shard_stats, wire v3). Reads the same
+  /// generation-consistent snapshots as the unsharded path.
   Result<EncryptedSeriesResult> ExecuteJoinSeriesSharded(
       const QuerySeriesTokens& series, const ServerExecOptions& opts = {});
 
   /// Everything the server has learned so far (equality of rows, closed
   /// transitively) -- the quantity the paper's security analysis bounds.
+  /// RowId::row is the row's STABLE id, so observations survive deletes
+  /// without ever aliasing onto later inserts.
   LeakageTracker& leakage() { return leakage_; }
+
+  /// The generational store behind the server (exposed for tests and
+  /// monitoring: snapshots, generations).
+  const TableStore& table_store() const { return store_; }
 
   /// The per-table prepared-row cache behind ExecuteJoinSeries (exposed
   /// for tests and benchmarks; see ServerExecOptions::prepared_cache_bytes).
-  ///
-  /// Eviction / invalidation contract (all PreparedRowCache instances,
-  /// including the shard partitions below):
-  ///  - Entries are handed out as shared_ptr<const SjPreparedRow>; an
-  ///    eviction only drops the cache's reference, so a decryption holding
-  ///    the pointer finishes safely -- eviction NEVER invalidates work in
-  ///    flight, it only stops future reuse.
-  ///  - Entries are keyed by (table, row) and derived from the row's
-  ///    ciphertext alone; they are invalidated explicitly (EraseTable /
-  ///    Clear), never implicitly, because stored ciphertexts are
-  ///    immutable after StoreTable.
-  ///  - Shrinking the byte budget evicts immediately; a row whose
-  ///    prepared form alone exceeds the budget is rejected up front and
-  ///    the caller falls back to the cold full-pairing path.
+  /// The eviction / invalidation contract lives at the top of
+  /// db/prepared_cache.h and applies to every instance, including the
+  /// shard partitions below; the short version: entries are shared_ptr
+  /// (eviction never invalidates work in flight), keyed by
+  /// (table, stable row id) and invalidated per-row by ApplyMutation.
   const PreparedRowCache& prepared_cache() const { return prepared_cache_; }
 
   /// Shard cache partitions currently allocated (0 until the first
   /// sharded series ran; resized -- and re-warmed from scratch -- when a
   /// later call uses a different effective K).
   size_t shard_partition_count() const { return shard_caches_.size(); }
-  const PreparedRowCache& shard_cache(size_t shard) const {
-    return *shard_caches_[shard];
+  /// Bounds-checked partition access: nullptr when `shard` is out of
+  /// range (fewer partitions may exist than a caller's requested K --
+  /// the effective K clamps to table sizes).
+  const PreparedRowCache* shard_cache(size_t shard) const {
+    return shard < shard_caches_.size() ? shard_caches_[shard].get()
+                                        : nullptr;
   }
 
  private:
@@ -111,19 +132,23 @@ class EncryptedServer {
   int TableIdFor(const std::string& name);
 
   /// SJ.Match + leakage accounting + payload assembly for one query whose
-  /// digests are already computed. Fills every stats field except the
-  /// timing of the phases the caller ran itself.
+  /// digests are already computed. `ids_*` map row positions to stable
+  /// ids (leakage identities). Fills every stats field except the timing
+  /// of the phases the caller ran itself.
   EncryptedJoinResult MatchAndAccount(const EncryptedTable& a,
                                       const EncryptedTable& b,
+                                      const std::vector<StableRowId>& ids_a,
+                                      const std::vector<StableRowId>& ids_b,
                                       const std::vector<size_t>& sel_a,
                                       const std::vector<size_t>& sel_b,
                                       const std::vector<Digest32>& da,
                                       const std::vector<Digest32>& db,
                                       const ServerExecOptions& opts);
 
-  /// Steps shared by both series paths: table resolution (all-or-nothing),
-  /// SSE pre-filters, and digest-cache deduplication into pending
-  /// (unit, row) decryptions. Fills the request/dedup counters of *stats.
+  /// Steps shared by both series paths: snapshot resolution
+  /// (all-or-nothing, one generation per table for the whole batch), SSE
+  /// pre-filters, and digest-cache deduplication into pending (unit, row)
+  /// decryptions. Fills the request/dedup counters of *stats.
   Status BuildSeriesPlan(const QuerySeriesTokens& series,
                          SeriesExecStats* stats, SeriesPlanState* state);
   /// Steps shared by both series paths after the digests exist: per-query
@@ -133,10 +158,11 @@ class EncryptedServer {
 
   /// The K-way partition view of `table`, rebuilt only when the effective
   /// shard count for this table changes (partitioning is deterministic,
-  /// so a rebuild never changes row placement for the same K).
+  /// so a rebuild never changes row placement for the same K; a mutation
+  /// updates an existing view incrementally via ApplyMutation).
   const ShardedTable& ShardViewFor(const EncryptedTable& table, size_t k);
 
-  std::map<std::string, EncryptedTable> tables_;
+  TableStore store_;
   std::map<std::string, int> table_ids_;
   LeakageTracker leakage_;
   PreparedRowCache prepared_cache_;

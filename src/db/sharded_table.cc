@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "db/table_store.h"
 #include "db/wire.h"
 
 namespace sjoin {
@@ -36,6 +37,36 @@ ShardedTable::ShardedTable(const EncryptedTable* table, size_t requested_shards)
     size_t s = ShardOfDigest(RowDigest(table->rows[r]), k);
     shard_of_.push_back(s);
     rows_[s].push_back(r);
+  }
+}
+
+void ShardedTable::RemoveRows(const EncryptedTable* table,
+                              const std::vector<size_t>& positions) {
+  table_ = table;
+  if (positions.empty()) return;
+  // Compact shard_of_ through the SAME stable-order loop TableStore::
+  // Apply runs on the snapshot (ForEachSurvivingPosition), then rebuild
+  // the per-shard position lists from it. Integer bookkeeping only --
+  // the expensive part of partitioning, hashing row ciphertexts, is
+  // untouched because surviving rows keep their content and shard.
+  std::vector<size_t> next_shard_of;
+  next_shard_of.reserve(shard_of_.size() - positions.size());
+  ForEachSurvivingPosition(shard_of_.size(), positions, [&](size_t p) {
+    next_shard_of.push_back(shard_of_[p]);
+  });
+  shard_of_ = std::move(next_shard_of);
+  for (auto& shard : rows_) shard.clear();
+  for (size_t p = 0; p < shard_of_.size(); ++p) {
+    rows_[shard_of_[p]].push_back(p);
+  }
+}
+
+void ShardedTable::AddRows(const EncryptedTable* table, size_t first_new_row) {
+  table_ = table;
+  for (size_t p = first_new_row; p < table->rows.size(); ++p) {
+    size_t s = ShardOfDigest(RowDigest(table->rows[p]), rows_.size());
+    shard_of_.push_back(s);
+    rows_[s].push_back(p);  // appended positions ascend: table order holds
   }
 }
 

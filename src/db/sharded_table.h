@@ -73,6 +73,29 @@ class ShardedTable {
   /// engine never materializes.
   EncryptedTable MaterializeShard(size_t shard) const;
 
+  // --- Incremental maintenance (mutation pipeline) ------------------------
+  //
+  // A TableStore mutation publishes a new table version (deletes applied
+  // as stable-order compaction, inserts appended). The two calls below
+  // bring an existing view to that version WITHOUT rehashing unchanged
+  // rows: routing is content-addressed (RowDigest of the SJ ciphertext),
+  // so surviving rows keep their shard and only position bookkeeping
+  // moves. Call RemoveRows first (positions are pre-mutation), then
+  // AddRows for the appended tail; the shard count K is preserved -- when
+  // the mutation changes ClampShardCount's answer, rebuild from scratch
+  // instead (EncryptedServer does exactly that on the next sharded call).
+
+  /// Re-points the view at `table` (the post-mutation version) and drops
+  /// the rows at `positions` (PRE-mutation positions, ascending, as
+  /// reported by TableStore::Applied::removed_positions). Surviving rows
+  /// are renumbered; no digest is recomputed.
+  void RemoveRows(const EncryptedTable* table,
+                  const std::vector<size_t>& positions);
+  /// Routes the appended rows [first_new_row, table->rows.size()) to
+  /// shards by digest -- O(inserted rows), not O(table). Must not be
+  /// called on a 0-shard (empty) view; rebuild instead.
+  void AddRows(const EncryptedTable* table, size_t first_new_row);
+
  private:
   const EncryptedTable* table_ = nullptr;
   std::vector<size_t> shard_of_;            // row -> shard

@@ -1,0 +1,167 @@
+// Generational mutable table storage: the layer that turns the frozen
+// StoreTable-once model into dynamic encrypted tables.
+//
+// Every stored row carries a StableRowId that never changes and is never
+// reused within a table: the initial upload gets ids 0..n-1, every later
+// insert draws fresh ids from a per-table counter. Every mutation batch
+// (TableMutation: deletes by id + inserts of client-encrypted rows) bumps
+// the table's generation by one. Both properties are what the caches and
+// the leakage accounting key on:
+//
+//  - The prepared-row cache is keyed by (table, StableRowId), so a
+//    mutation invalidates exactly the deleted rows' entries -- a 1% churn
+//    batch costs ~1% of the warm state instead of a full re-upload.
+//  - LeakageTracker rows are identified by StableRowId, so a deleted
+//    row's past equality observations stay in the transitive closure
+//    (the adversary cannot unlearn them) and can never be aliased onto
+//    an unrelated row that later occupies the same position.
+//
+// Reads hand out Snapshots: shared_ptr views of one generation's row
+// vector and id vector. Apply never mutates a published snapshot -- it
+// builds the next generation's vectors and swaps them in -- so a series
+// that resolved its snapshots keeps executing against exactly one
+// consistent generation no matter what mutations land afterwards.
+//
+// Mutation semantics (Apply): deletes are applied first, compacting the
+// row vector in stable order (surviving rows keep their relative order);
+// inserts are then appended in batch order. A scratch re-encryption of
+// the same plaintext edits therefore produces the same row layout, which
+// is what tests/mutation_test.cc's equivalence suite asserts.
+//
+// Not internally synchronized (same contract as EncryptedServer): callers
+// serialize Apply/Store against concurrent Get/Apply externally. The
+// snapshot model means a *held* Snapshot stays valid regardless.
+#ifndef SJOIN_DB_TABLE_STORE_H_
+#define SJOIN_DB_TABLE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/encrypted_table.h"
+#include "util/status.h"
+
+namespace sjoin {
+
+/// Stable identity of one stored row, unique per table for the table's
+/// whole lifetime (never reused after a delete).
+using StableRowId = uint64_t;
+
+/// Client -> server: one mutation batch against a stored table (wire v4,
+/// SerializeTableMutation). Built by EncryptedClient::PrepareInsert /
+/// PrepareDelete; the two halves may be merged into one batch.
+struct TableMutation {
+  std::string table;
+  /// Optimistic concurrency guard: when nonzero, Apply fails with
+  /// FailedPrecondition unless it equals the table's current generation.
+  /// 0 applies unconditionally.
+  uint64_t base_generation = 0;
+  /// Rows to remove, by stable id. Unknown ids fail the whole batch.
+  std::vector<StableRowId> deletes;
+  /// Rows to append, encrypted by the client under the table's existing
+  /// SJ/SSE/AEAD keys (EncryptedClient::PrepareInsert).
+  std::vector<EncryptedRow> inserts;
+};
+
+/// Server -> client: acknowledgement of one applied mutation (wire v4,
+/// SerializeMutationResult).
+struct MutationResult {
+  /// The table's generation after the batch.
+  uint64_t generation = 0;
+  /// Stable ids assigned to the inserted rows, in insert order (the
+  /// client needs them to delete those rows later).
+  std::vector<StableRowId> inserted_ids;
+};
+
+/// Calls `keep(p)` for every position in [0, size) not listed in
+/// `removed` (which must be ascending), in order -- the one stable-order
+/// compaction that TableStore::Apply (rows + ids), the incremental shard
+/// view (ShardedTable::RemoveRows) and any future consumer must agree
+/// on. Sharing the loop is what keeps a view's positions synchronized
+/// with the snapshot it mirrors.
+template <typename Fn>
+void ForEachSurvivingPosition(size_t size, const std::vector<size_t>& removed,
+                              Fn&& keep) {
+  size_t next_removed = 0;
+  for (size_t p = 0; p < size; ++p) {
+    if (next_removed < removed.size() && removed[next_removed] == p) {
+      ++next_removed;
+      continue;
+    }
+    keep(p);
+  }
+}
+
+class TableStore {
+ public:
+  /// One generation's consistent view of a table. `table` and `row_ids`
+  /// are parallel (row_ids->at(p) identifies table->rows[p]) and
+  /// immutable; holding the shared_ptrs keeps the generation alive across
+  /// later mutations.
+  struct Snapshot {
+    std::shared_ptr<const EncryptedTable> table;
+    std::shared_ptr<const std::vector<StableRowId>> row_ids;
+    uint64_t generation = 0;
+  };
+
+  /// Everything EncryptedServer needs to maintain its derived state
+  /// (caches, shard views) incrementally after one Apply.
+  struct Applied {
+    MutationResult result;
+    /// Ids the batch removed (echo of TableMutation::deletes).
+    std::vector<StableRowId> removed_ids;
+    /// Positions of the removed rows in the PRE-mutation snapshot,
+    /// ascending (what ShardedTable::RemoveRows consumes).
+    std::vector<size_t> removed_positions;
+    /// First position of the appended rows in the post-mutation snapshot
+    /// (== post-mutation row count minus the insert count).
+    size_t first_inserted_position = 0;
+    /// The post-mutation snapshot.
+    Snapshot snapshot;
+  };
+
+  /// Registers a table under generation 1 with row ids 0..n-1;
+  /// AlreadyExists if the name is taken.
+  Status Store(EncryptedTable table);
+
+  bool Has(const std::string& name) const { return tables_.count(name) > 0; }
+  size_t size() const { return tables_.size(); }
+
+  /// Current-generation snapshot; NotFound ("table '<name>' not stored",
+  /// the one message every lookup path uses) for unknown names.
+  Result<Snapshot> Get(const std::string& name) const;
+
+  /// Applies one mutation batch: deletes (stable-order compaction), then
+  /// inserts (appended). All-or-nothing -- any invalid id, a duplicate
+  /// delete, an insert whose SJ dimension disagrees with the table's
+  /// (remembered from the first rows ever seen, so emptying a table does
+  /// not reopen it to foreign rows), a stale base_generation, or an
+  /// empty batch fails before anything changes. Published snapshots are
+  /// never touched.
+  ///
+  /// Cost: O(surviving rows) -- copy-on-write snapshotting copies the row
+  /// vector into the next generation. That is deliberate: row copies are
+  /// memcpy-scale while everything the caches protect is pairing-scale
+  /// (~ms per row), so batching deltas (docs/TUNING.md, "churn") keeps
+  /// mutation cost negligible; a chunked/persistent row representation
+  /// is the obvious follow-up if profile data ever disagrees.
+  Result<Applied> Apply(const TableMutation& mutation);
+
+ private:
+  struct Stored {
+    Snapshot snap;
+    uint64_t next_row_id = 0;
+    /// SJ ciphertext dimension of this table's rows; 0 until the first
+    /// row is seen (empty upload), then fixed for the table's lifetime.
+    size_t sj_dim = 0;
+    std::map<StableRowId, size_t> id_to_pos;  // current generation only
+  };
+
+  std::map<std::string, Stored> tables_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_DB_TABLE_STORE_H_

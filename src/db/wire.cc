@@ -9,17 +9,23 @@ namespace {
 // the prepared-pipeline counters (pairings computed / prepared, rows
 // built, prepared-cache hits). v3: query series carry the client's shard
 // routing request, series-result stats carry the per-shard breakdown.
-// Readers stay backward compatible down to kMinWireVersion: a v2 payload
-// decodes with the v3-only fields at their defaults.
-constexpr uint8_t kWireVersion = 3;
+// v4: the table-mutation request/acknowledgement message pair exists; no
+// pre-existing layout changed. Readers stay backward compatible down to
+// kMinWireVersion: a v2/v3 payload decodes with the newer fields at
+// their defaults (mutation messages are the exception -- the type is new
+// in v4, so older versions are rejected).
+constexpr uint8_t kWireVersion = 4;
 constexpr uint8_t kMinWireVersion = 2;
+constexpr uint8_t kMutationMinVersion = 4;
 
 // Message type tags catch cross-wiring of messages.
-constexpr uint8_t kTagTable = 0x54;         // 'T'
-constexpr uint8_t kTagQuery = 0x51;         // 'Q'
-constexpr uint8_t kTagResult = 0x52;        // 'R'
-constexpr uint8_t kTagQuerySeries = 0x71;   // 'q'
-constexpr uint8_t kTagSeriesResult = 0x72;  // 'r'
+constexpr uint8_t kTagTable = 0x54;           // 'T'
+constexpr uint8_t kTagQuery = 0x51;           // 'Q'
+constexpr uint8_t kTagResult = 0x52;          // 'R'
+constexpr uint8_t kTagQuerySeries = 0x71;     // 'q'
+constexpr uint8_t kTagSeriesResult = 0x72;    // 'r'
+constexpr uint8_t kTagMutation = 0x4D;        // 'M'
+constexpr uint8_t kTagMutationResult = 0x6D;  // 'm'
 
 /// Validates the version/tag header; returns the (supported) version so
 /// message codecs can branch on layout differences.
@@ -80,6 +86,39 @@ void WriteSseGroups(WireWriter* w, const std::vector<SseTokenGroup>& groups) {
     w->U32(static_cast<uint32_t>(g.tokens.size()));
     for (const SseToken& t : g.tokens) w->Raw(t.data(), t.size());
   }
+}
+
+// Row codec shared by the table upload and the mutation insert list.
+void WriteEncryptedRow(WireWriter* w, const EncryptedRow& row) {
+  w->U32(static_cast<uint32_t>(row.sj.c.size()));
+  for (const G2Affine& p : row.sj.c) WriteG2Point(w, p);
+  w->Raw(row.sse.salt.data(), row.sse.salt.size());
+  w->U32(static_cast<uint32_t>(row.sse.tags.size()));
+  for (const SseTag& t : row.sse.tags) w->Raw(t.data(), t.size());
+  WriteAead(w, row.payload);
+}
+
+Result<EncryptedRow> ReadEncryptedRow(WireReader* r) {
+  EncryptedRow row;
+  auto dim = r->U32();
+  SJOIN_RETURN_IF_ERROR(dim.status());
+  for (uint32_t j = 0; j < *dim; ++j) {
+    auto p = ReadG2Point(r);
+    SJOIN_RETURN_IF_ERROR(p.status());
+    row.sj.c.push_back(*p);
+  }
+  SJOIN_RETURN_IF_ERROR(r->Raw(row.sse.salt.data(), row.sse.salt.size()));
+  auto ntags = r->U32();
+  SJOIN_RETURN_IF_ERROR(ntags.status());
+  for (uint32_t j = 0; j < *ntags; ++j) {
+    SseTag tag;
+    SJOIN_RETURN_IF_ERROR(r->Raw(tag.data(), tag.size()));
+    row.sse.tags.push_back(tag);
+  }
+  auto payload = ReadAead(r);
+  SJOIN_RETURN_IF_ERROR(payload.status());
+  row.payload = std::move(*payload);
+  return row;
 }
 
 Result<std::vector<SseTokenGroup>> ReadSseGroups(WireReader* r) {
@@ -243,14 +282,7 @@ Bytes SerializeEncryptedTable(const EncryptedTable& table) {
   w.U32(static_cast<uint32_t>(table.attr_columns.size()));
   for (const std::string& c : table.attr_columns) w.Str(c);
   w.U32(static_cast<uint32_t>(table.rows.size()));
-  for (const EncryptedRow& row : table.rows) {
-    w.U32(static_cast<uint32_t>(row.sj.c.size()));
-    for (const G2Affine& p : row.sj.c) WriteG2Point(&w, p);
-    w.Raw(row.sse.salt.data(), row.sse.salt.size());
-    w.U32(static_cast<uint32_t>(row.sse.tags.size()));
-    for (const SseTag& t : row.sse.tags) w.Raw(t.data(), t.size());
-    WriteAead(&w, row.payload);
-  }
+  for (const EncryptedRow& row : table.rows) WriteEncryptedRow(&w, row);
   return w.Take();
 }
 
@@ -288,26 +320,9 @@ Result<EncryptedTable> DeserializeEncryptedTable(const Bytes& wire) {
   auto nrows = r.U32();
   SJOIN_RETURN_IF_ERROR(nrows.status());
   for (uint32_t i = 0; i < *nrows; ++i) {
-    EncryptedRow row;
-    auto dim = r.U32();
-    SJOIN_RETURN_IF_ERROR(dim.status());
-    for (uint32_t j = 0; j < *dim; ++j) {
-      auto p = ReadG2Point(&r);
-      SJOIN_RETURN_IF_ERROR(p.status());
-      row.sj.c.push_back(*p);
-    }
-    SJOIN_RETURN_IF_ERROR(r.Raw(row.sse.salt.data(), row.sse.salt.size()));
-    auto ntags = r.U32();
-    SJOIN_RETURN_IF_ERROR(ntags.status());
-    for (uint32_t j = 0; j < *ntags; ++j) {
-      SseTag tag;
-      SJOIN_RETURN_IF_ERROR(r.Raw(tag.data(), tag.size()));
-      row.sse.tags.push_back(tag);
-    }
-    auto payload = ReadAead(&r);
-    SJOIN_RETURN_IF_ERROR(payload.status());
-    row.payload = std::move(*payload);
-    t.rows.push_back(std::move(row));
+    auto row = ReadEncryptedRow(&r);
+    SJOIN_RETURN_IF_ERROR(row.status());
+    t.rows.push_back(std::move(*row));
   }
   if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes after table");
   return t;
@@ -530,6 +545,94 @@ Result<EncryptedSeriesResult> DeserializeSeriesResult(const Bytes& wire) {
   }  // v2: counters end after prepared_cache_hits; shard fields default.
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after series result");
+  }
+  return out;
+}
+
+Bytes SerializeTableMutation(const TableMutation& mutation) {
+  WireWriter w;
+  WriteHeader(&w, kTagMutation);
+  w.Str(mutation.table);
+  w.U64(mutation.base_generation);
+  w.U32(static_cast<uint32_t>(mutation.deletes.size()));
+  for (StableRowId id : mutation.deletes) w.U64(id);
+  w.U32(static_cast<uint32_t>(mutation.inserts.size()));
+  for (const EncryptedRow& row : mutation.inserts) WriteEncryptedRow(&w, row);
+  return w.Take();
+}
+
+Result<TableMutation> DeserializeTableMutation(const Bytes& wire) {
+  WireReader r(wire);
+  auto version = ExpectHeader(&r, kTagMutation);
+  SJOIN_RETURN_IF_ERROR(version.status());
+  if (*version < kMutationMinVersion) {
+    // The message type is new in v4; a lower version here means a
+    // mis-labeled or forged frame, not an old peer.
+    return Status::InvalidArgument(
+        "mutation messages require wire version " +
+        std::to_string(kMutationMinVersion) + ", got " +
+        std::to_string(*version));
+  }
+  TableMutation out;
+  auto name = r.Str();
+  SJOIN_RETURN_IF_ERROR(name.status());
+  out.table = *name;
+  auto base = r.U64();
+  SJOIN_RETURN_IF_ERROR(base.status());
+  out.base_generation = *base;
+  auto ndel = r.U32();
+  SJOIN_RETURN_IF_ERROR(ndel.status());
+  // No reserve(*ndel): untrusted count, same as DeserializeQuerySeries.
+  for (uint32_t i = 0; i < *ndel; ++i) {
+    auto id = r.U64();
+    SJOIN_RETURN_IF_ERROR(id.status());
+    out.deletes.push_back(*id);
+  }
+  auto nins = r.U32();
+  SJOIN_RETURN_IF_ERROR(nins.status());
+  for (uint32_t i = 0; i < *nins; ++i) {
+    auto row = ReadEncryptedRow(&r);
+    SJOIN_RETURN_IF_ERROR(row.status());
+    out.inserts.push_back(std::move(*row));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after mutation");
+  }
+  return out;
+}
+
+Bytes SerializeMutationResult(const MutationResult& result) {
+  WireWriter w;
+  WriteHeader(&w, kTagMutationResult);
+  w.U64(result.generation);
+  w.U32(static_cast<uint32_t>(result.inserted_ids.size()));
+  for (StableRowId id : result.inserted_ids) w.U64(id);
+  return w.Take();
+}
+
+Result<MutationResult> DeserializeMutationResult(const Bytes& wire) {
+  WireReader r(wire);
+  auto version = ExpectHeader(&r, kTagMutationResult);
+  SJOIN_RETURN_IF_ERROR(version.status());
+  if (*version < kMutationMinVersion) {
+    return Status::InvalidArgument(
+        "mutation messages require wire version " +
+        std::to_string(kMutationMinVersion) + ", got " +
+        std::to_string(*version));
+  }
+  MutationResult out;
+  auto gen = r.U64();
+  SJOIN_RETURN_IF_ERROR(gen.status());
+  out.generation = *gen;
+  auto count = r.U32();
+  SJOIN_RETURN_IF_ERROR(count.status());
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto id = r.U64();
+    SJOIN_RETURN_IF_ERROR(id.status());
+    out.inserted_ids.push_back(*id);
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after mutation result");
   }
   return out;
 }

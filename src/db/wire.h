@@ -1,13 +1,18 @@
 // Versioned wire format for everything that crosses the client/server
-// boundary: encrypted tables (upload), query tokens (per query), and join
-// results (response). Length-prefixed little-endian framing; elliptic-curve
-// points are serialized uncompressed and validated on-curve when read.
+// boundary: encrypted tables (upload), query tokens (per query), join
+// results (response), and table mutations (delta upload). Length-prefixed
+// little-endian framing; elliptic-curve points are serialized uncompressed
+// and validated on-curve when read.
 //
-// Writers emit the current version (v3); readers accept a version window
-// (v2..v3) and decode older payloads with the newer fields at their
+// Writers emit the current version (v4); readers accept a version window
+// (v2..v4) and decode older payloads with the newer fields at their
 // defaults -- v3 added the shard routing request on query series and the
-// per-shard stats breakdown on series results. Versions outside the
-// window are rejected with a versioned InvalidArgument error.
+// per-shard stats breakdown on series results; v4 added the two mutation
+// messages (TableMutation request, MutationResult acknowledgement) and
+// changed no existing layout, so v2/v3 tables, queries, series and
+// results keep decoding unchanged. Mutation messages themselves require
+// v4 (the type did not exist before). Versions outside the window are
+// rejected with a versioned InvalidArgument error.
 #ifndef SJOIN_DB_WIRE_H_
 #define SJOIN_DB_WIRE_H_
 
@@ -15,6 +20,7 @@
 #include <string>
 
 #include "db/encrypted_table.h"
+#include "db/table_store.h"
 #include "util/hex.h"
 #include "util/status.h"
 
@@ -87,6 +93,18 @@ Result<QuerySeriesTokens> DeserializeQuerySeries(const Bytes& wire);
 /// fields are host-local measurements and do not cross the wire).
 Bytes SerializeSeriesResult(const EncryptedSeriesResult& result);
 Result<EncryptedSeriesResult> DeserializeSeriesResult(const Bytes& wire);
+
+/// Mutation request message (v4): delete ids + client-encrypted insert
+/// rows for one table (EncryptedClient::PrepareInsert / PrepareDelete ->
+/// EncryptedServer::ApplyMutation). Insert rows use the same row codec as
+/// the table upload, on-curve validation included.
+Bytes SerializeTableMutation(const TableMutation& mutation);
+Result<TableMutation> DeserializeTableMutation(const Bytes& wire);
+
+/// Mutation acknowledgement message (v4): the table's new generation and
+/// the stable ids assigned to the inserted rows.
+Bytes SerializeMutationResult(const MutationResult& result);
+Result<MutationResult> DeserializeMutationResult(const Bytes& wire);
 
 }  // namespace sjoin
 

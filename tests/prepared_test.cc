@@ -248,5 +248,103 @@ TEST_F(PreparedCacheTest, EraseTableDropsOnlyThatTable) {
   EXPECT_TRUE(built);  // A was dropped
 }
 
+TEST_F(PreparedCacheTest, EraseTableOnInterleavedTablesKeepsLruConsistent) {
+  // Entries of the erased table sit between other tables' entries in both
+  // the key map and the LRU list; the erase must excise exactly them and
+  // leave the survivors' bytes, LRU order and hit behavior intact.
+  PreparedRowCache cache(8 * row_bytes_);
+  bool built;
+  cache.Get("A", 0, cts_[0], &built);
+  cache.Get("B", 0, cts_[1], &built);
+  cache.Get("A", 1, cts_[2], &built);
+  cache.Get("C", 0, cts_[3], &built);
+  cache.Get("B", 1, cts_[0], &built);
+  ASSERT_EQ(cache.stats().entries, 5u);
+
+  cache.EraseTable("B");
+  auto s = cache.stats();
+  EXPECT_EQ(s.entries, 3u);
+  EXPECT_EQ(s.bytes, 3 * row_bytes_);
+  // Survivors hit; the erased table's rows rebuild.
+  cache.Get("A", 0, cts_[0], &built);
+  EXPECT_FALSE(built);
+  cache.Get("A", 1, cts_[2], &built);
+  EXPECT_FALSE(built);
+  cache.Get("C", 0, cts_[3], &built);
+  EXPECT_FALSE(built);
+  cache.Get("B", 0, cts_[1], &built);
+  EXPECT_TRUE(built);
+  // The LRU list survived the mid-list excision: filling to the budget
+  // still evicts cleanly (a dangling iterator would crash or corrupt).
+  for (size_t i = 0; i < 8; ++i) {
+    cache.Get("D", i, cts_[i % cts_.size()], &built);
+  }
+  EXPECT_LE(cache.stats().bytes, 8 * row_bytes_);
+}
+
+TEST_F(PreparedCacheTest, EraseRowDropsExactlyOneEntry) {
+  PreparedRowCache cache(4 * row_bytes_);
+  bool built;
+  cache.Get("T", 7, cts_[0], &built);
+  cache.Get("T", 8, cts_[1], &built);
+  cache.EraseRow("T", 7);
+  cache.EraseRow("T", 99);  // never cached: no-op
+  cache.EraseRow("U", 8);   // other table: no-op
+  auto s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, row_bytes_);
+  cache.Get("T", 8, cts_[1], &built);
+  EXPECT_FALSE(built);  // survivor still warm
+  cache.Get("T", 7, cts_[0], &built);
+  EXPECT_TRUE(built);  // erased row rebuilds
+}
+
+TEST_F(PreparedCacheTest, ZeroByteBudgetRejectsWithoutBuilding) {
+  // The tentpole's "0 disables the pipeline" path at the cache level: a
+  // zero budget must refuse every row up front -- no build, no entry, no
+  // crash -- so the caller falls back to cold pairings deterministically.
+  PreparedRowCache cache(0);
+  bool built = true;
+  EXPECT_EQ(cache.Get("T", 0, cts_[0], &built), nullptr);
+  EXPECT_FALSE(built);
+  auto s = cache.stats();
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.built, 0u);
+  EXPECT_EQ(s.entries, 0u);
+}
+
+TEST_F(PreparedCacheTest, BudgetShrinkMidSeriesKeepsServingCorrectly) {
+  // A budget shrink landing between decryptions of one series: entries
+  // already handed out stay valid (shared_ptr), the cache honors the new
+  // budget immediately, and later Gets keep working -- first rebuilding,
+  // then hitting -- inside the smaller budget.
+  PreparedRowCache cache(4 * row_bytes_);
+  bool built;
+  auto held0 = cache.Get("T", 0, cts_[0], &built);
+  auto held1 = cache.Get("T", 1, cts_[1], &built);
+  cache.Get("T", 2, cts_[2], &built);
+  ASSERT_EQ(cache.stats().entries, 3u);
+
+  cache.set_max_bytes(row_bytes_);  // mid-series shrink: down to one row
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_LE(cache.stats().bytes, row_bytes_);
+  // In-flight holders still decrypt against valid data.
+  EXPECT_EQ(held0->c.size(), msk_.params.Dimension());
+  EXPECT_EQ(held1->c.size(), msk_.params.Dimension());
+
+  // The series continues: row 2 survived as the most recent entry, a
+  // re-touch of row 0 rebuilds and evicts it (budget of one).
+  cache.Get("T", 2, cts_[2], &built);
+  EXPECT_FALSE(built);
+  cache.Get("T", 0, cts_[0], &built);
+  EXPECT_TRUE(built);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  // Shrinking to zero mid-series empties the cache and turns every later
+  // Get into a clean rejection.
+  cache.set_max_bytes(0);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.Get("T", 1, cts_[1], &built), nullptr);
+}
+
 }  // namespace
 }  // namespace sjoin
