@@ -47,12 +47,14 @@ std::vector<std::vector<RowId>> UnionFind::Components() {
 }
 
 void LeakageTracker::ObserveEqualityGroup(std::span<const RowId> group) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 1; i < group.size(); ++i) {
     uf_.Union(group[0], group[i]);
   }
 }
 
 size_t LeakageTracker::RevealedPairCount() {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t pairs = 0;
   for (const auto& component : uf_.Components()) {
     pairs += component.size() * (component.size() - 1) / 2;
@@ -61,10 +63,12 @@ size_t LeakageTracker::RevealedPairCount() {
 }
 
 bool LeakageTracker::Linked(const RowId& a, const RowId& b) {
+  std::lock_guard<std::mutex> lock(mu_);
   return uf_.Connected(a, b);
 }
 
 std::vector<std::vector<RowId>> LeakageTracker::EqualityClasses() {
+  std::lock_guard<std::mutex> lock(mu_);
   return uf_.Components();
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -47,6 +48,11 @@ class UnionFind {
 
 /// Accumulates per-query equality observations and reports the transitive
 /// closure the adversary can compute.
+///
+/// Thread-safe: concurrent sessions all feed the one tracker behind an
+/// internal mutex (observations commute -- the closure is the same in any
+/// interleaving). The underlying UnionFind stays unsynchronized; it is
+/// never exposed.
 class LeakageTracker {
  public:
   /// Records that one query revealed this set of rows as mutually equal.
@@ -60,6 +66,7 @@ class LeakageTracker {
   std::vector<std::vector<RowId>> EqualityClasses();
 
  private:
+  std::mutex mu_;
   UnionFind uf_;
 };
 

@@ -125,6 +125,7 @@ Result<TableMutation> EncryptedClient::PrepareInsert(const EncryptedTable& enc,
 
   TableMutation m;
   m.table = enc.name;
+  m.session_id = session_id_;
   m.inserts.reserve(rows.NumRows());
   for (size_t r = 0; r < rows.NumRows(); ++r) {
     m.inserts.push_back(EncryptRowFor(enc.name, rows, r, *join_idx));
@@ -140,6 +141,7 @@ Result<TableMutation> EncryptedClient::PrepareDelete(
   }
   TableMutation m;
   m.table = table;
+  m.session_id = session_id_;
   m.deletes = std::move(row_ids);
   return m;
 }
@@ -255,6 +257,7 @@ Result<QuerySeriesTokens> EncryptedClient::PrepareSeries(
     const std::vector<JoinQuerySpec>& queries,
     const std::vector<const EncryptedTable*>& tables) {
   QuerySeriesTokens out;
+  out.session_id = session_id_;
   out.queries.reserve(queries.size());
   for (const JoinQuerySpec& spec : queries) {
     auto enc_a = FindTable(tables, spec.table_a);
@@ -304,6 +307,7 @@ Result<QuerySeriesTokens> EncryptedClient::PrepareChain(
   };
 
   QuerySeriesTokens out;
+  out.session_id = session_id_;
   out.queries.reserve(chain.size());
   for (const JoinQuerySpec& spec : chain) {
     auto enc_a = FindTable(tables, spec.table_a);

@@ -32,6 +32,15 @@ class EncryptedClient {
   explicit EncryptedClient(const ClientOptions& options);
   static EncryptedClient WithSystemEntropy(ClientOptions options);
 
+  /// Binds this client to a server session (EncryptedServer::OpenSession).
+  /// Every later PrepareSeries*/PrepareChain/PrepareInsert/PrepareDelete
+  /// batch is stamped with the id (wire v5), which the server's
+  /// RequestScheduler uses for per-session FIFO ordering and admission
+  /// control. 0 (the default) is the implicit always-open session; no
+  /// cryptographic material depends on the binding.
+  void BindSession(uint64_t session_id) { session_id_ = session_id; }
+  uint64_t session_id() const { return session_id_; }
+
   /// SJ.Setup + SJ.Enc of every row; builds SSE tags and AEAD payloads.
   /// Every non-join column becomes a filterable attribute (at most
   /// options.num_attrs of them).
@@ -137,6 +146,7 @@ class EncryptedClient {
   SecureJoin::MasterKey msk_;
   AeadKey payload_key_;
   SseKey sse_key_;
+  uint64_t session_id_ = 0;  // stamped into series/mutation batches
 };
 
 }  // namespace sjoin

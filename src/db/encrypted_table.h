@@ -53,6 +53,11 @@ struct QuerySeriesTokens {
   /// is identical in every shard -- so this carries no cryptographic
   /// material and 0 simply defers to ServerExecOptions::num_shards.
   uint32_t requested_shards = 0;
+  /// Session issuing the batch (wire v5; 0 = the implicit default
+  /// session). Routing metadata for the server's RequestScheduler --
+  /// per-session FIFO and admission control key on it; the crypto is
+  /// session-agnostic. Pre-v5 payloads decode with 0.
+  uint64_t session_id = 0;
 };
 
 /// Server-side execution accounting (reported with every result).
@@ -130,6 +135,12 @@ struct SeriesExecStats {
 struct EncryptedSeriesResult {
   std::vector<EncryptedJoinResult> results;
   SeriesExecStats stats;
+  /// Generation each referenced table was pinned at for the whole batch
+  /// (snapshot isolation: every query of the series read exactly these).
+  /// Host-local like the timing fields -- not serialized; the concurrency
+  /// harness replays a series against these generations and asserts the
+  /// concurrent results bit-identical.
+  std::vector<std::pair<std::string, uint64_t>> pinned_generations;
 };
 
 }  // namespace sjoin

@@ -1,25 +1,54 @@
 #include "db/prepared_cache.h"
 
+#include <functional>
+
 namespace sjoin {
 
+PreparedRowCache::PreparedRowCache(size_t max_bytes, size_t lock_shards)
+    : max_bytes_(max_bytes) {
+  if (lock_shards < 1) lock_shards = 1;
+  shards_.reserve(lock_shards);
+  for (size_t s = 0; s < lock_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  ApplyBudget();
+}
+
+PreparedRowCache::Shard& PreparedRowCache::ShardFor(const Key& key) {
+  if (shards_.size() == 1) return *shards_[0];
+  size_t h = std::hash<std::string>{}(key.first) ^
+             (key.second * 0x9e3779b97f4a7c15ull);
+  return *shards_[h % shards_.size()];
+}
+
+void PreparedRowCache::ApplyBudget() {
+  size_t total = max_bytes_.load();
+  size_t per_shard = total / shards_.size();
+  size_t remainder = total % shards_.size();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.max_bytes = per_shard + (s == 0 ? remainder : 0);
+    EvictFor(shard, 0);
+  }
+}
+
 void PreparedRowCache::set_max_bytes(size_t max_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
-  max_bytes_ = max_bytes;
-  EvictFor(0);
+  // The server applies the knob on every series call; skip the all-stripe
+  // sweep when nothing changed (the common warm path).
+  if (max_bytes_.exchange(max_bytes) == max_bytes) return;
+  ApplyBudget();
 }
 
-size_t PreparedRowCache::max_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return max_bytes_;
-}
-
-void PreparedRowCache::EvictFor(size_t incoming) {
-  while (bytes_ + incoming > max_bytes_ && !lru_.empty()) {
-    auto it = entries_.find(lru_.back());
-    bytes_ -= it->second.bytes;
-    entries_.erase(it);
-    lru_.pop_back();
-    ++evicted_;
+void PreparedRowCache::EvictFor(Shard& shard, size_t incoming) {
+  while (shard.bytes + incoming > shard.max_bytes && !shard.lru.empty()) {
+    auto it = shard.entries.find(shard.lru.back());
+    shard.bytes -= it->second.bytes;
+    bytes_.fetch_sub(it->second.bytes);
+    entries_.fetch_sub(1);
+    shard.entries.erase(it);
+    shard.lru.pop_back();
+    evicted_.fetch_add(1);
   }
 }
 
@@ -28,18 +57,19 @@ std::shared_ptr<const SjPreparedRow> PreparedRowCache::Get(
     bool* built) {
   *built = false;
   Key key{table, row_id};
+  Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      ++hits_;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+      hits_.fetch_add(1);
       return it->second.row;
     }
     // Size is known before building: refuse rows that could never fit so
     // the expensive preparation is not wasted on a one-shot use.
-    if (SjPreparedRow::BytesForDim(ct.c.size()) > max_bytes_) {
-      ++rejected_;
+    if (SjPreparedRow::BytesForDim(ct.c.size()) > shard.max_bytes) {
+      rejected_.fetch_add(1);
       return nullptr;
     }
   }
@@ -48,64 +78,80 @@ std::shared_ptr<const SjPreparedRow> PreparedRowCache::Get(
       std::make_shared<const SjPreparedRow>(SecureJoin::PrepareRow(ct));
   size_t bytes = prepared->MemoryBytes();
 
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {  // lost a build race; first insert wins
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    ++hits_;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {  // lost a build race; first insert wins
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    hits_.fetch_add(1);
     return it->second.row;
   }
-  if (bytes > max_bytes_) {  // estimate undershot; refuse rather than thrash
-    ++rejected_;
+  if (bytes > shard.max_bytes) {  // estimate undershot; refuse, don't thrash
+    rejected_.fetch_add(1);
     return nullptr;
   }
-  EvictFor(bytes);
-  lru_.push_front(key);
-  entries_[key] = Entry{prepared, bytes, lru_.begin()};
-  bytes_ += bytes;
-  ++built_;
+  EvictFor(shard, bytes);
+  shard.lru.push_front(key);
+  shard.entries[key] = Entry{prepared, bytes, shard.lru.begin()};
+  shard.bytes += bytes;
+  bytes_.fetch_add(bytes);
+  entries_.fetch_add(1);
+  built_.fetch_add(1);
   *built = true;
   return prepared;
 }
 
 void PreparedRowCache::EraseRow(const std::string& table, uint64_t row_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(Key{table, row_id});
-  if (it == entries_.end()) return;
-  bytes_ -= it->second.bytes;
-  lru_.erase(it->second.lru_pos);
-  entries_.erase(it);
+  Key key{table, row_id};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return;
+  shard.bytes -= it->second.bytes;
+  bytes_.fetch_sub(it->second.bytes);
+  entries_.fetch_sub(1);
+  shard.lru.erase(it->second.lru_pos);
+  shard.entries.erase(it);
 }
 
 void PreparedRowCache::EraseTable(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->first.first == table) {
-      bytes_ -= it->second.bytes;
-      lru_.erase(it->second.lru_pos);
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  // A table's keys hash across every stripe; sweep them all.
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (it->first.first == table) {
+        shard.bytes -= it->second.bytes;
+        bytes_.fetch_sub(it->second.bytes);
+        entries_.fetch_sub(1);
+        shard.lru.erase(it->second.lru_pos);
+        it = shard.entries.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
 void PreparedRowCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-  lru_.clear();
-  bytes_ = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    bytes_.fetch_sub(shard.bytes);
+    entries_.fetch_sub(shard.entries.size());
+    shard.entries.clear();
+    shard.lru.clear();
+    shard.bytes = 0;
+  }
 }
 
 PreparedRowCache::Stats PreparedRowCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   Stats s;
-  s.entries = entries_.size();
-  s.bytes = bytes_;
-  s.hits = hits_;
-  s.built = built_;
-  s.evicted = evicted_;
-  s.rejected = rejected_;
+  s.entries = entries_.load();
+  s.bytes = bytes_.load();
+  s.hits = hits_.load();
+  s.built = built_.load();
+  s.evicted = evicted_.load();
+  s.rejected = rejected_.load();
   return s;
 }
 

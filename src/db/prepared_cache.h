@@ -37,12 +37,20 @@
 //      in one partition cannot evict -- or lock out -- another partition's
 //      entries. The contract above holds per instance.
 //
-// Thread-safe. The expensive PrepareRow runs outside the lock; when two
-// threads race to prepare the same row, the first insert wins and the
+// Thread-safe, and built for many-session contention: the key space is
+// hash-split across `lock_shards` internal stripes, each with its own
+// mutex, LRU list and byte budget (an even split of max_bytes), so
+// concurrent decrypt pools rarely contend on one lock; the stat counters
+// and the total byte footprint are atomics read without any lock. The
+// default of one stripe preserves the exact global-LRU semantics the
+// eviction tests pin down; the server's shared cache uses several (see
+// EncryptedServer). The expensive PrepareRow runs outside all locks; when
+// two threads race to prepare the same row, the first insert wins and the
 // loser's work is discarded.
 #ifndef SJOIN_DB_PREPARED_CACHE_H_
 #define SJOIN_DB_PREPARED_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -51,6 +59,7 @@
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/scheme.h"
 
@@ -62,12 +71,16 @@ class PreparedRowCache {
   /// overrides it per call.
   static constexpr size_t kDefaultMaxBytes = size_t{256} << 20;  // 256 MiB
 
-  explicit PreparedRowCache(size_t max_bytes = kDefaultMaxBytes)
-      : max_bytes_(max_bytes) {}
+  /// `lock_shards` internal lock stripes (clamped to >= 1). One stripe ==
+  /// one global LRU over the whole budget; N stripes split the budget N
+  /// ways by key hash and eliminate cross-stripe lock contention.
+  explicit PreparedRowCache(size_t max_bytes = kDefaultMaxBytes,
+                            size_t lock_shards = 1);
 
   /// The eviction knob: shrinking the budget evicts immediately.
   void set_max_bytes(size_t max_bytes);
-  size_t max_bytes() const;
+  size_t max_bytes() const { return max_bytes_.load(); }
+  size_t lock_shard_count() const { return shards_.size(); }
 
   /// Returns the prepared form of the row with stable id `row_id` of
   /// table `table`, building it from `ct` on first touch. Returns nullptr
@@ -95,6 +108,8 @@ class PreparedRowCache {
     uint64_t evicted = 0; // entries removed to make room / honor the knob
     uint64_t rejected = 0;// Get calls refused for exceeding the budget
   };
+  /// Lock-free: every field is an atomic counter. Under concurrent
+  /// mutation the fields are individually -- not mutually -- consistent.
   Stats stats() const;
 
  private:
@@ -104,20 +119,32 @@ class PreparedRowCache {
     size_t bytes = 0;
     std::list<Key>::iterator lru_pos;
   };
+  /// One lock stripe: an independent LRU over its slice of the budget.
+  struct Shard {
+    mutable std::mutex mu;
+    size_t max_bytes = 0;
+    size_t bytes = 0;
+    std::list<Key> lru;  // front = most recently used
+    std::map<Key, Entry> entries;
+  };
 
-  /// Evicts LRU entries until `bytes_ + incoming <= max_bytes_`.
-  /// Caller holds mu_.
-  void EvictFor(size_t incoming);
+  Shard& ShardFor(const Key& key);
+  /// Evicts LRU entries of `shard` until `bytes + incoming <= max_bytes`.
+  /// Caller holds shard.mu.
+  void EvictFor(Shard& shard, size_t incoming);
+  /// Re-splits max_bytes_ across stripes and evicts; caller must NOT hold
+  /// any shard lock.
+  void ApplyBudget();
 
-  mutable std::mutex mu_;
-  size_t max_bytes_;
-  size_t bytes_ = 0;
-  std::list<Key> lru_;  // front = most recently used
-  std::map<Key, Entry> entries_;
-  uint64_t hits_ = 0;
-  uint64_t built_ = 0;
-  uint64_t evicted_ = 0;
-  uint64_t rejected_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;  // fixed size after ctor
+  std::atomic<size_t> max_bytes_;
+  // Atomic accounting: totals readable without touching any stripe lock.
+  std::atomic<size_t> bytes_{0};
+  std::atomic<size_t> entries_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> built_{0};
+  std::atomic<uint64_t> evicted_{0};
+  std::atomic<uint64_t> rejected_{0};
 };
 
 }  // namespace sjoin

@@ -1,0 +1,138 @@
+#include "db/scheduler.h"
+
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace sjoin {
+
+RequestScheduler::RequestScheduler(SessionManager* sessions,
+                                   SchedulerOptions opts)
+    : sessions_(sessions), opts_(opts) {}
+
+RequestScheduler::~RequestScheduler() { Drain(); }
+
+Status RequestScheduler::Enqueue(SessionId session, Kind kind,
+                                 std::string table,
+                                 std::function<void()> fn) {
+  if (!sessions_->IsOpen(session)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rejected_;
+    return Status::NotFound("session " + std::to_string(session) +
+                            " is not open");
+  }
+  std::vector<std::function<void()>> launch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SessionQueue& q = queues_[session];
+    if (q.waiting.size() >= opts_.max_queued_per_session) {
+      ++rejected_;
+      return Status::FailedPrecondition(
+          "session " + std::to_string(session) + " already has " +
+          std::to_string(q.waiting.size()) +
+          " queued requests (max_queued_per_session)");
+    }
+    q.waiting.push_back(Request{kind, std::move(table), std::move(fn)});
+    ++queued_;
+    ++admitted_;
+    DispatchLocked();
+  }
+  return Status::OK();
+}
+
+void RequestScheduler::DispatchLocked() {
+  // Round-robin over session ids: start strictly after the session served
+  // last, wrap once. A runnable head is a read, or a mutation whose table
+  // no in-flight mutation holds; per-session FIFO means a blocked head
+  // also blocks the session's later requests (by design -- order within a
+  // session is the one ordering guarantee the server gives).
+  int cap = opts_.max_in_flight < 1 ? 1 : opts_.max_in_flight;
+  while (in_flight_ < cap && queued_ > 0) {
+    SessionQueue* picked = nullptr;
+    SessionId picked_id = 0;
+    auto runnable = [&](std::pair<const SessionId, SessionQueue>& e) {
+      SessionQueue& q = e.second;
+      if (q.active || q.waiting.empty()) return false;
+      const Request& head = q.waiting.front();
+      return head.kind == Kind::kRead ||
+             mutating_tables_.count(head.table) == 0;
+    };
+    for (auto it = queues_.upper_bound(rr_cursor_);
+         it != queues_.end() && picked == nullptr; ++it) {
+      if (runnable(*it)) picked = &it->second, picked_id = it->first;
+    }
+    for (auto it = queues_.begin();
+         it != queues_.end() && it->first <= rr_cursor_ && picked == nullptr;
+         ++it) {
+      if (runnable(*it)) picked = &it->second, picked_id = it->first;
+    }
+    if (picked == nullptr) return;  // every head is blocked or queues empty
+
+    Request req = std::move(picked->waiting.front());
+    picked->waiting.pop_front();
+    picked->active = true;
+    --queued_;
+    ++in_flight_;
+    rr_cursor_ = picked_id;
+    if (req.kind == Kind::kMutation) mutating_tables_.insert(req.table);
+
+    SessionId session = picked_id;
+    Kind kind = req.kind;
+    std::string table = req.table;
+    auto fn = std::make_shared<std::function<void()>>(std::move(req.fn));
+    bool submitted = ThreadPool::Shared().Submit(
+        [this, session, kind, table, fn] {
+          (*fn)();
+          OnRequestDone(session, kind, table);
+        });
+    if (!submitted) {
+      // Stopped pool (shutdown paths only): run synchronously off-lock so
+      // the request still completes and its future resolves. mu_ is held
+      // here, so hand the work to a detached-thread-free fallback: mark it
+      // done inline after unlocking is not reachable from this scope --
+      // instead run it under a temporary unlock.
+      mu_.unlock();
+      (*fn)();
+      mu_.lock();
+      SessionQueue& q = queues_[session];
+      q.active = false;
+      if (kind == Kind::kMutation) mutating_tables_.erase(table);
+      --in_flight_;
+      ++completed_;
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void RequestScheduler::OnRequestDone(SessionId session, Kind kind,
+                                     const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find(session);
+  if (it != queues_.end()) {
+    it->second.active = false;
+    if (it->second.waiting.empty()) queues_.erase(it);  // keep the map lean
+  }
+  if (kind == Kind::kMutation) mutating_tables_.erase(table);
+  --in_flight_;
+  ++completed_;
+  DispatchLocked();
+  idle_cv_.notify_all();
+}
+
+void RequestScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queued_ == 0 && in_flight_ == 0; });
+}
+
+RequestScheduler::Stats RequestScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.admitted = admitted_;
+  s.rejected = rejected_;
+  s.completed = completed_;
+  s.in_flight = in_flight_;
+  s.queued = queued_;
+  return s;
+}
+
+}  // namespace sjoin

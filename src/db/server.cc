@@ -52,10 +52,11 @@ Digest32 TokenFingerprint(const SjToken& token) {
 /// Snapshot consistency: step 0 resolves at most ONE TableStore snapshot
 /// per referenced table name, and every plan/unit points into it -- the
 /// whole batch observes one generation per table, and the held shared_ptrs
-/// keep that generation alive even across a concurrent-looking mutation
-/// (the store never mutates a published snapshot). Positions are
-/// therefore stable for the duration of the call; stable ids translate
-/// them into mutation-proof cache keys and leakage identities.
+/// keep that generation alive even across a concurrent mutation (the
+/// store never mutates a published snapshot). Positions are therefore
+/// stable for the duration of the call; stable ids translate them into
+/// mutation-proof cache keys and leakage identities. The state is local
+/// to one Execute* call -- concurrent series share nothing through it.
 struct EncryptedServer::SeriesPlanState {
   /// One (table, token) decryption unit of a series: the lazily filled
   /// digest vector, indexed by row position within the snapshot.
@@ -103,30 +104,55 @@ Result<MutationResult> EncryptedServer::ApplyMutation(
   // Row-granular cache invalidation: exactly the deleted rows' prepared
   // entries drop -- surviving rows stay warm (inserts have fresh ids and
   // were never cached). Every partition is asked; EraseRow is a cheap
-  // no-op where the row was never cached or routed.
+  // no-op where the row was never cached or routed. The caches are
+  // internally synchronized, so only the partition-set snapshot needs
+  // shard_mu_, not the sweep itself. A series running concurrently
+  // against an older generation may re-insert a deleted row's entry
+  // afterwards; that entry is merely unreachable garbage (ids are never
+  // reused, so nothing will query it) bounded by LRU, never wrong.
+  std::shared_ptr<ShardCacheSet> caches;
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    caches = shard_caches_;
+  }
   for (StableRowId id : applied->removed_ids) {
     prepared_cache_.EraseRow(mutation.table, id);
-    for (auto& cache : shard_caches_) cache->EraseRow(mutation.table, id);
+    if (caches) {
+      for (auto& cache : *caches) cache->EraseRow(mutation.table, id);
+    }
   }
 
   // Bring an existing shard view forward incrementally: surviving rows
   // keep their digest-hash shard, so only position bookkeeping and the
-  // inserted tail's hashes are computed. When the mutation invalidates
-  // the view's own shard count (the table shrank below its K, or
-  // emptied), drop the view and let the next sharded call rebuild.
-  // Growth is NOT detectable here -- the view's K already is
-  // min(old rows, requested), so more rows never change it; a later call
-  // whose requested K now clamps higher rebuilds via ShardViewFor's
-  // effective-count check instead.
-  auto view = shard_views_.find(mutation.table);
-  if (view != shard_views_.end()) {
-    const EncryptedTable* next = applied->snapshot.table.get();
-    size_t k = view->second.num_shards();
-    if (k == 0 || ShardedTable::ClampShardCount(next->rows.size(), k) != k) {
-      shard_views_.erase(view);
-    } else {
-      view->second.RemoveRows(next, applied->removed_positions);
-      view->second.AddRows(next, applied->first_inserted_position);
+  // inserted tail's hashes are computed. The update only applies when the
+  // cached view is exactly one generation behind (racing direct
+  // ApplyMutation callers may interleave these post-Apply steps out of
+  // order; the scheduler serializes mutations per table, but the
+  // synchronous API cannot rely on that) and the mutation keeps the
+  // view's shard count valid -- otherwise drop the view and let the next
+  // sharded call rebuild. The updated view is a fresh object published
+  // over the old one, so a concurrent series keeps using the view (and
+  // generation) it already resolved. The O(rows) bookkeeping stays under
+  // shard_mu_: it is memcpy-scale (never pairing-scale), and the
+  // generation-continuity check must be atomic with the publish.
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    auto view = shard_views_.find(mutation.table);
+    if (view != shard_views_.end()) {
+      ShardViewEntry& entry = view->second;
+      const EncryptedTable* next = applied->snapshot.table.get();
+      size_t k = entry.view ? entry.view->num_shards() : 0;
+      if (entry.generation + 1 != applied->snapshot.generation || k == 0 ||
+          ShardedTable::ClampShardCount(next->rows.size(), k) != k) {
+        shard_views_.erase(view);
+      } else {
+        auto updated = std::make_shared<ShardedTable>(*entry.view);
+        updated->RemoveRows(next, applied->removed_positions);
+        updated->AddRows(next, applied->first_inserted_position);
+        entry.generation = applied->snapshot.generation;
+        entry.table = applied->snapshot.table;
+        entry.view = std::move(updated);
+      }
     }
   }
 
@@ -138,6 +164,7 @@ Result<MutationResult> EncryptedServer::ApplyMutation(
 }
 
 int EncryptedServer::TableIdFor(const std::string& name) {
+  std::lock_guard<std::mutex> lock(ids_mu_);
   auto it = table_ids_.find(name);
   if (it != table_ids_.end()) return it->second;
   int id = static_cast<int>(table_ids_.size());
@@ -168,7 +195,9 @@ EncryptedJoinResult EncryptedServer::MatchAndAccount(
   // Leakage accounting: the adversary sees equality groups of D digests
   // across all decrypted rows of this query (both tables). Rows enter the
   // tracker under their STABLE ids, so the observation survives any later
-  // delete without aliasing onto a row that reuses the position.
+  // delete without aliasing onto a row that reuses the position. The
+  // tracker itself is thread-safe; group observations from concurrent
+  // sessions commute inside the transitive closure.
   {
     std::map<Digest32, std::vector<RowId>> groups;
     int id_a = TableIdFor(a.name);
@@ -376,6 +405,14 @@ void EncryptedServer::FinishSeries(SeriesPlanState& state,
       if (members.size() >= 2) leakage_.ObserveEqualityGroup(members);
     }
   }
+
+  // The snapshot-isolation receipt: which generation every referenced
+  // table was pinned at (what a serial replay must load to reproduce the
+  // results bit for bit).
+  out->pinned_generations.reserve(state.snapshots.size());
+  for (const auto& [name, snap] : state.snapshots) {
+    out->pinned_generations.emplace_back(name, snap.generation);
+  }
 }
 
 Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeries(
@@ -433,16 +470,35 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeries(
   return out;
 }
 
-const ShardedTable& EncryptedServer::ShardViewFor(const EncryptedTable& table,
-                                                  size_t k) {
+std::shared_ptr<const ShardedTable> EncryptedServer::ShardViewFor(
+    const TableStore::Snapshot& snap, size_t k) {
+  const EncryptedTable& table = *snap.table;
   size_t effective = ShardedTable::ClampShardCount(table.rows.size(), k);
-  auto it = shard_views_.find(table.name);
-  if (it == shard_views_.end() || it->second.num_shards() != effective ||
-      &it->second.table() != &table) {
-    it = shard_views_.insert_or_assign(table.name,
-                                       ShardedTable(&table, k)).first;
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    auto it = shard_views_.find(table.name);
+    if (it != shard_views_.end() &&
+        it->second.table.get() == snap.table.get() &&
+        it->second.view->num_shards() == effective) {
+      return it->second.view;
+    }
   }
-  return it->second;
+  // Miss: hash every row OUTSIDE the lock -- a big table's O(rows) digest
+  // pass must not stall every other session's view resolution. Racing
+  // builders may both construct; partitioning is deterministic, so the
+  // views are identical and last-publish-wins costs only the duplicate
+  // build. (A concurrent mutation may also overwrite this entry with a
+  // newer generation's view; ours stays valid for this series via the
+  // returned shared_ptr, and the next resolver rebuilds on the pointer
+  // mismatch.)
+  ShardViewEntry entry;
+  entry.generation = snap.generation;
+  entry.table = snap.table;
+  entry.view = std::make_shared<ShardedTable>(snap.table.get(), k);
+  auto view = entry.view;
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  shard_views_.insert_or_assign(table.name, std::move(entry));
+  return view;
 }
 
 Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesSharded(
@@ -473,6 +529,17 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesSharded(
   out.stats.shards = k;
   out.stats.shard_stats.assign(k, ShardExecStats{});
 
+  // Partition views for every referenced table, resolved once against the
+  // pinned snapshots (the views are immutable and generation-pinned, so a
+  // concurrent mutation republishing a newer view cannot skew routing
+  // mid-pass).
+  std::map<const EncryptedTable*, std::shared_ptr<const ShardedTable>> views;
+  if (k > 0) {
+    for (const auto& [name, snap] : state.snapshots) {
+      views.emplace(snap.table.get(), ShardViewFor(snap, k));
+    }
+  }
+
   // 3 (sharded). Group the pending decryptions into (shard x unit) work
   // units: rows of one unit that hash to one shard. Tables smaller than K
   // are partitioned ClampShardCount(rows, K) ways, so their work lands on
@@ -494,8 +561,7 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesSharded(
   {
     std::map<std::pair<const SeriesPlanState::Unit*, size_t>, size_t> index;
     for (const auto& [unit, row] : state.pending) {
-      const ShardedTable& view = ShardViewFor(*unit->table, k);
-      size_t shard = view.shard_of(row);
+      size_t shard = views.at(unit->table)->shard_of(row);
       auto key = std::make_pair(static_cast<const SeriesPlanState::Unit*>(unit),
                                 shard);
       auto it = index.find(key);
@@ -524,20 +590,27 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesSharded(
   }
 
   // Per-shard cache partitions, each with an even split of the byte
-  // budget. A different K than last time rebuilds the partitions (row ->
-  // shard placement changed, so the old entries would be misfiled); the
-  // unsharded prepared_cache_ is untouched either way.
+  // budget. A different K than last time republishes a fresh partition
+  // set (row -> shard placement changed, so the old entries would be
+  // misfiled); a concurrent series still decrypting through the old set
+  // keeps it alive via its own shared_ptr -- superseded partitions are
+  // cold for it, never wrong. The unsharded prepared_cache_ is untouched
+  // either way.
   const bool use_prepared = opts.prepared_cache_bytes > 0 && !work.empty();
+  std::shared_ptr<ShardCacheSet> caches;
   if (use_prepared) {
     size_t per_shard = opts.prepared_cache_bytes / k;
-    if (shard_caches_.size() != k) {
-      shard_caches_.clear();
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    if (!shard_caches_ || shard_caches_->size() != k) {
+      auto fresh = std::make_shared<ShardCacheSet>();
       for (size_t s = 0; s < k; ++s) {
-        shard_caches_.push_back(std::make_unique<PreparedRowCache>(per_shard));
+        fresh->push_back(std::make_unique<PreparedRowCache>(per_shard));
       }
+      shard_caches_ = std::move(fresh);
     } else {
-      for (auto& cache : shard_caches_) cache->set_max_bytes(per_shard);
+      for (auto& cache : *shard_caches_) cache->set_max_bytes(per_shard);
     }
+    caches = shard_caches_;
   }
 
   std::mutex stats_mu;
@@ -545,7 +618,7 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesSharded(
       work.size(), opts.num_threads, [&](size_t wi) {
         WorkUnit& wu = work[wi];
         PreparedRowCache* cache =
-            use_prepared ? shard_caches_[wu.shard].get() : nullptr;
+            use_prepared ? (*caches)[wu.shard].get() : nullptr;
         ShardExecStats local;
         for (size_t row : wu.rows) {
           const SjRowCiphertext& ct = wu.unit->table->rows[row].sj;
@@ -589,6 +662,62 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesSharded(
 
   FinishSeries(state, opts, &out);
   return out;
+}
+
+size_t EncryptedServer::shard_partition_count() const {
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  return shard_caches_ ? shard_caches_->size() : 0;
+}
+
+const PreparedRowCache* EncryptedServer::shard_cache(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  if (!shard_caches_ || shard >= shard_caches_->size()) return nullptr;
+  return (*shard_caches_)[shard].get();
+}
+
+std::future<Result<EncryptedSeriesResult>> EncryptedServer::SubmitJoinSeries(
+    QuerySeriesTokens series, ServerExecOptions opts) {
+  auto prom = std::make_shared<std::promise<Result<EncryptedSeriesResult>>>();
+  auto fut = prom->get_future();
+  SessionId session = series.session_id;
+  auto request = std::make_shared<QuerySeriesTokens>(std::move(series));
+  Status admitted = scheduler_.Enqueue(
+      session, RequestScheduler::Kind::kRead, "",
+      [this, prom, request, opts] {
+        prom->set_value(ExecuteJoinSeries(*request, opts));
+      });
+  if (!admitted.ok()) prom->set_value(admitted);
+  return fut;
+}
+
+std::future<Result<EncryptedSeriesResult>>
+EncryptedServer::SubmitJoinSeriesSharded(QuerySeriesTokens series,
+                                         ServerExecOptions opts) {
+  auto prom = std::make_shared<std::promise<Result<EncryptedSeriesResult>>>();
+  auto fut = prom->get_future();
+  SessionId session = series.session_id;
+  auto request = std::make_shared<QuerySeriesTokens>(std::move(series));
+  Status admitted = scheduler_.Enqueue(
+      session, RequestScheduler::Kind::kRead, "",
+      [this, prom, request, opts] {
+        prom->set_value(ExecuteJoinSeriesSharded(*request, opts));
+      });
+  if (!admitted.ok()) prom->set_value(admitted);
+  return fut;
+}
+
+std::future<Result<MutationResult>> EncryptedServer::SubmitMutation(
+    TableMutation mutation) {
+  auto prom = std::make_shared<std::promise<Result<MutationResult>>>();
+  auto fut = prom->get_future();
+  SessionId session = mutation.session_id;
+  std::string table = mutation.table;
+  auto request = std::make_shared<TableMutation>(std::move(mutation));
+  Status admitted = scheduler_.Enqueue(
+      session, RequestScheduler::Kind::kMutation, std::move(table),
+      [this, prom, request] { prom->set_value(ApplyMutation(*request)); });
+  if (!admitted.ok()) prom->set_value(admitted);
+  return fut;
 }
 
 }  // namespace sjoin

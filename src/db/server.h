@@ -2,17 +2,33 @@
 // mutable -- see db/table_store.h), executes join queries from tokens
 // alone, applies client-prepared mutation batches, and (for the
 // evaluation) records exactly what it learned in a LeakageTracker.
+//
+// Concurrency contract (docs/ARCHITECTURE.md, "Concurrency model"):
+// every public method is safe to call from any number of threads at
+// once. Reads are snapshot-isolated -- a series pins one TableStore
+// generation per table up front and executes entirely against it, so it
+// never blocks behind (or observes half of) a concurrent mutation; its
+// results are bit-identical to a serial run against those generations
+// (asserted by tests/concurrency_test.cc). Mutations serialize per table
+// and run in parallel across tables. The Submit* APIs add a scheduled
+// layer on top: requests queue per session (FIFO within a session,
+// round-robin across sessions, a global in-flight cap) and execute on
+// the shared ThreadPool.
 #ifndef SJOIN_DB_SERVER_H_
 #define SJOIN_DB_SERVER_H_
 
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/leakage.h"
 #include "db/encrypted_table.h"
 #include "db/prepared_cache.h"
+#include "db/scheduler.h"
+#include "db/session.h"
 #include "db/sharded_table.h"
 #include "db/table_store.h"
 
@@ -40,6 +56,12 @@ struct ServerExecOptions {
 
 class EncryptedServer {
  public:
+  EncryptedServer() : EncryptedServer(SchedulerOptions{}) {}
+  /// `sched_opts` tunes the Submit* request scheduler (max in-flight,
+  /// per-session queue bound); the synchronous Execute* APIs bypass it.
+  explicit EncryptedServer(const SchedulerOptions& sched_opts)
+      : scheduler_(&sessions_, sched_opts) {}
+
   /// Registers a table; AlreadyExists if the name is taken. Rows get
   /// stable ids 0..n-1 and the table starts at generation 1.
   Status StoreTable(EncryptedTable table);
@@ -54,6 +76,9 @@ class EncryptedServer {
   /// stable id, so a deleted row's past equality observations stay in the
   /// transitive closure -- the adversary cannot unlearn what it already
   /// saw, and a freshly inserted row (new id) can never alias them.
+  /// Concurrent mutations serialize per table (TableStore's per-table
+  /// writer lock) and never disturb a running series, which keeps reading
+  /// the generation it pinned.
   Result<MutationResult> ApplyMutation(const TableMutation& mutation);
 
   bool HasTable(const std::string& name) const { return store_.Has(name); }
@@ -76,7 +101,8 @@ class EncryptedServer {
   /// identical to executing the queries one by one; leakage accounting
   /// feeds the same cross-query transitive closure. The series resolves
   /// one TableStore snapshot per referenced table up front, so every
-  /// query of the batch observes exactly one generation.
+  /// query of the batch observes exactly one generation (reported in
+  /// EncryptedSeriesResult::pinned_generations).
   Result<EncryptedSeriesResult> ExecuteJoinSeries(
       const QuerySeriesTokens& series, const ServerExecOptions& opts = {});
 
@@ -94,6 +120,34 @@ class EncryptedServer {
   /// generation-consistent snapshots as the unsharded path.
   Result<EncryptedSeriesResult> ExecuteJoinSeriesSharded(
       const QuerySeriesTokens& series, const ServerExecOptions& opts = {});
+
+  // --- Concurrent session layer -------------------------------------------
+  //
+  // Submit* enqueue a request under the session id carried by the message
+  // (wire v5; 0 = the implicit default session, always open) and return a
+  // future that resolves when the scheduler has executed it. Admission
+  // failures (unknown/closed session, per-session queue full) resolve the
+  // future immediately with the error. The scheduler guarantees FIFO
+  // execution within a session, serializes mutations per table, caps
+  // global in-flight requests, and round-robins across sessions --
+  // see db/scheduler.h.
+
+  /// Opens a session for Submit* requests (ids are never reused).
+  SessionId OpenSession() { return sessions_.Open(); }
+  /// Closes a session: queued requests drain, later submissions refuse.
+  Status CloseSession(SessionId id) { return sessions_.Close(id); }
+  size_t open_sessions() const { return sessions_.open_count(); }
+
+  std::future<Result<EncryptedSeriesResult>> SubmitJoinSeries(
+      QuerySeriesTokens series, ServerExecOptions opts = {});
+  std::future<Result<EncryptedSeriesResult>> SubmitJoinSeriesSharded(
+      QuerySeriesTokens series, ServerExecOptions opts = {});
+  std::future<Result<MutationResult>> SubmitMutation(TableMutation mutation);
+
+  /// Scheduler counters (admitted/rejected/completed/in-flight/queued).
+  RequestScheduler::Stats scheduler_stats() const {
+    return scheduler_.stats();
+  }
 
   /// Everything the server has learned so far (equality of rows, closed
   /// transitively) -- the quantity the paper's security analysis bounds.
@@ -117,17 +171,37 @@ class EncryptedServer {
   /// Shard cache partitions currently allocated (0 until the first
   /// sharded series ran; resized -- and re-warmed from scratch -- when a
   /// later call uses a different effective K).
-  size_t shard_partition_count() const { return shard_caches_.size(); }
+  size_t shard_partition_count() const;
   /// Bounds-checked partition access: nullptr when `shard` is out of
   /// range (fewer partitions may exist than a caller's requested K --
-  /// the effective K clamps to table sizes).
-  const PreparedRowCache* shard_cache(size_t shard) const {
-    return shard < shard_caches_.size() ? shard_caches_[shard].get()
-                                        : nullptr;
-  }
+  /// the effective K clamps to table sizes). The pointer stays valid
+  /// until a sharded series with a different effective K republishes the
+  /// partition set; single-threaded test/monitoring use only.
+  const PreparedRowCache* shard_cache(size_t shard) const;
 
  private:
   struct SeriesPlanState;  // defined in server.cc
+
+  /// One generation of one table's K-way partition view, kept alive
+  /// independently of the TableStore (the keepalive pins the generation
+  /// the view indexes into).
+  struct ShardViewEntry {
+    uint64_t generation = 0;
+    std::shared_ptr<const EncryptedTable> table;  // keepalive for `view`
+    std::shared_ptr<const ShardedTable> view;
+  };
+  /// One published set of per-shard cache partitions. Readers snapshot
+  /// the shared_ptr and keep decrypting through the old set even if a
+  /// concurrent series with a different K republishes -- entries are
+  /// keyed by stable row id, so a superseded partition is merely cold,
+  /// never wrong.
+  using ShardCacheSet = std::vector<std::unique_ptr<PreparedRowCache>>;
+
+  /// Lock stripes of the shared prepared-row cache: enough that the
+  /// decrypt pools of several concurrent sessions rarely collide on one
+  /// mutex, few enough that the per-stripe budget (bytes / stripes) still
+  /// dwarfs any single prepared row.
+  static constexpr size_t kPreparedCacheLockShards = 8;
 
   int TableIdFor(const std::string& name);
 
@@ -152,24 +226,37 @@ class EncryptedServer {
   Status BuildSeriesPlan(const QuerySeriesTokens& series,
                          SeriesExecStats* stats, SeriesPlanState* state);
   /// Steps shared by both series paths after the digests exist: per-query
-  /// SJ.Match + leakage + payloads, then the cross-query digest groups.
+  /// SJ.Match + leakage + payloads, then the cross-query digest groups,
+  /// plus the pinned-generation report.
   void FinishSeries(SeriesPlanState& state, const ServerExecOptions& opts,
                     EncryptedSeriesResult* out);
 
-  /// The K-way partition view of `table`, rebuilt only when the effective
-  /// shard count for this table changes (partitioning is deterministic,
-  /// so a rebuild never changes row placement for the same K; a mutation
-  /// updates an existing view incrementally via ApplyMutation).
-  const ShardedTable& ShardViewFor(const EncryptedTable& table, size_t k);
+  /// The K-way partition view of the snapshot's table, rebuilt only when
+  /// the cached view is for a different generation or effective shard
+  /// count (partitioning is deterministic, so a rebuild never changes row
+  /// placement for the same K; a mutation brings a view forward
+  /// incrementally inside ApplyMutation). Thread-safe; the returned view
+  /// is immutable and keeps its table generation alive.
+  std::shared_ptr<const ShardedTable> ShardViewFor(
+      const TableStore::Snapshot& snap, size_t k);
 
   TableStore store_;
+  std::mutex ids_mu_;
   std::map<std::string, int> table_ids_;
   LeakageTracker leakage_;
-  PreparedRowCache prepared_cache_;
-  /// Sharded-path state: partition views per table and one prepared-row
-  /// cache per shard (so LRU pressure is isolated per partition).
-  std::map<std::string, ShardedTable> shard_views_;
-  std::vector<std::unique_ptr<PreparedRowCache>> shard_caches_;
+  PreparedRowCache prepared_cache_{PreparedRowCache::kDefaultMaxBytes,
+                                   kPreparedCacheLockShards};
+  /// Sharded-path state (guarded by shard_mu_): partition views per table
+  /// and the published per-shard cache partitions. Both are republished
+  /// via shared_ptr swap so in-flight readers never observe a teardown.
+  mutable std::mutex shard_mu_;
+  std::map<std::string, ShardViewEntry> shard_views_;
+  std::shared_ptr<ShardCacheSet> shard_caches_;
+  /// Session registry + request scheduler. Declared last: the scheduler's
+  /// destructor drains in-flight requests, which must happen while the
+  /// state above is still alive.
+  SessionManager sessions_;
+  RequestScheduler scheduler_;
 };
 
 }  // namespace sjoin

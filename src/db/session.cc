@@ -1,0 +1,35 @@
+#include "db/session.h"
+
+namespace sjoin {
+
+SessionId SessionManager::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionId id = next_++;
+  open_.insert(id);
+  return id;
+}
+
+Status SessionManager::Close(SessionId id) {
+  if (id == kDefaultSession) {
+    return Status::InvalidArgument("the default session cannot be closed");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_.erase(id) == 0) {
+    return Status::NotFound("session " + std::to_string(id) +
+                            " is not open");
+  }
+  return Status::OK();
+}
+
+bool SessionManager::IsOpen(SessionId id) const {
+  if (id == kDefaultSession) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_.count(id) > 0;
+}
+
+size_t SessionManager::open_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_.size();
+}
+
+}  // namespace sjoin

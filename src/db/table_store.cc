@@ -12,37 +12,58 @@ Status TableNotFound(const std::string& name) {
 
 }  // namespace
 
+TableStore::Stored* TableStore::Find(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+bool TableStore::Has(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+size_t TableStore::size() const {
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  return tables_.size();
+}
+
 Status TableStore::Store(EncryptedTable table) {
-  if (tables_.count(table.name)) {
-    return Status::AlreadyExists("table '" + table.name + "' already stored");
-  }
-  Stored stored;
+  auto stored = std::make_unique<Stored>();
   auto ids = std::make_shared<std::vector<StableRowId>>(table.rows.size());
   for (size_t p = 0; p < ids->size(); ++p) {
     (*ids)[p] = static_cast<StableRowId>(p);
-    stored.id_to_pos[(*ids)[p]] = p;
+    stored->id_to_pos[(*ids)[p]] = p;
   }
-  stored.next_row_id = static_cast<StableRowId>(table.rows.size());
-  stored.sj_dim = table.rows.empty() ? 0 : table.rows[0].sj.c.size();
+  stored->next_row_id = static_cast<StableRowId>(table.rows.size());
+  stored->sj_dim = table.rows.empty() ? 0 : table.rows[0].sj.c.size();
   std::string name = table.name;
-  stored.snap.table =
+  stored->snap.table =
       std::make_shared<const EncryptedTable>(std::move(table));
-  stored.snap.row_ids = std::move(ids);
-  stored.snap.generation = 1;
+  stored->snap.row_ids = std::move(ids);
+  stored->snap.generation = 1;
+
+  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' already stored");
+  }
   tables_.emplace(std::move(name), std::move(stored));
   return Status::OK();
 }
 
 Result<TableStore::Snapshot> TableStore::Get(const std::string& name) const {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) return TableNotFound(name);
-  return it->second.snap;
+  Stored* stored = Find(name);
+  if (stored == nullptr) return TableNotFound(name);
+  std::lock_guard<std::mutex> lock(stored->snap_mu);
+  return stored->snap;
 }
 
 Result<TableStore::Applied> TableStore::Apply(const TableMutation& mutation) {
-  auto it = tables_.find(mutation.table);
-  if (it == tables_.end()) return TableNotFound(mutation.table);
-  Stored& stored = it->second;
+  Stored* found = Find(mutation.table);
+  if (found == nullptr) return TableNotFound(mutation.table);
+  Stored& stored = *found;
+  // One writer per table at a time; the published snapshot stays readable
+  // (Get only needs snap_mu, taken below for the final swap alone).
+  std::lock_guard<std::mutex> writer_lock(stored.writer_mu);
 
   if (mutation.base_generation != 0 &&
       mutation.base_generation != stored.snap.generation) {
@@ -56,7 +77,8 @@ Result<TableStore::Applied> TableStore::Apply(const TableMutation& mutation) {
                                    mutation.table + "'");
   }
 
-  // Validate the whole batch before changing anything.
+  // Validate the whole batch before changing anything. Reading snap under
+  // writer_mu alone is safe: only writers (serialized here) modify it.
   const EncryptedTable& cur = *stored.snap.table;
   std::vector<size_t> removed_positions;
   removed_positions.reserve(mutation.deletes.size());
@@ -101,6 +123,8 @@ Result<TableStore::Applied> TableStore::Apply(const TableMutation& mutation) {
   }
 
   // Build the next generation: stable-order compaction, then appends.
+  // Sources are the immutable published snapshot, so this O(rows) copy
+  // runs without snap_mu -- concurrent Gets are never blocked behind it.
   auto next_table = std::make_shared<EncryptedTable>();
   next_table->name = cur.name;
   next_table->schema = cur.schema;
@@ -129,12 +153,17 @@ Result<TableStore::Applied> TableStore::Apply(const TableMutation& mutation) {
   }
 
   if (stored.sj_dim == 0) stored.sj_dim = dim;  // empty upload: adopt now
-  stored.snap.table = std::move(next_table);
-  stored.snap.row_ids = std::move(next_ids);
-  ++stored.snap.generation;
   stored.id_to_pos.clear();
-  for (size_t p = 0; p < stored.snap.row_ids->size(); ++p) {
-    stored.id_to_pos[(*stored.snap.row_ids)[p]] = p;
+  for (size_t p = 0; p < next_ids->size(); ++p) {
+    stored.id_to_pos[(*next_ids)[p]] = p;
+  }
+
+  {
+    // Publish: the only write readers can observe, a pointer swap.
+    std::lock_guard<std::mutex> snap_lock(stored.snap_mu);
+    stored.snap.table = std::move(next_table);
+    stored.snap.row_ids = std::move(next_ids);
+    ++stored.snap.generation;
   }
 
   out.result.generation = stored.snap.generation;

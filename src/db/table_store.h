@@ -28,15 +28,28 @@
 // the same plaintext edits therefore produces the same row layout, which
 // is what tests/mutation_test.cc's equivalence suite asserts.
 //
-// Not internally synchronized (same contract as EncryptedServer): callers
-// serialize Apply/Store against concurrent Get/Apply externally. The
-// snapshot model means a *held* Snapshot stays valid regardless.
+// Thread-safe. The locking is two-level so a series never blocks behind a
+// mutation:
+//
+//  - A shared_mutex guards the table map's structure: Store takes it
+//    exclusive, everything else shared (tables are never removed, so a
+//    looked-up entry stays valid once found).
+//  - Each table has a writer mutex (serializes Apply per table; Applies on
+//    DIFFERENT tables run in parallel) and a separate snapshot mutex held
+//    only for the pointer swap / pointer copy. Apply builds the next
+//    generation's vectors while holding just the writer mutex -- the
+//    published snapshot is immutable, so concurrent Gets copy shared_ptrs
+//    under the snapshot mutex without ever waiting out the O(rows) copy.
+//
+// A *held* Snapshot stays valid across any number of later mutations.
 #ifndef SJOIN_DB_TABLE_STORE_H_
 #define SJOIN_DB_TABLE_STORE_H_
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -54,6 +67,10 @@ using StableRowId = uint64_t;
 /// PrepareDelete; the two halves may be merged into one batch.
 struct TableMutation {
   std::string table;
+  /// Session issuing the batch (wire v5; 0 = the implicit default session).
+  /// The scheduler uses it for per-session FIFO ordering; the crypto is
+  /// session-agnostic.
+  uint64_t session_id = 0;
   /// Optimistic concurrency guard: when nonzero, Apply fails with
   /// FailedPrecondition unless it equals the table's current generation.
   /// 0 applies unconditionally.
@@ -126,8 +143,8 @@ class TableStore {
   /// AlreadyExists if the name is taken.
   Status Store(EncryptedTable table);
 
-  bool Has(const std::string& name) const { return tables_.count(name) > 0; }
-  size_t size() const { return tables_.size(); }
+  bool Has(const std::string& name) const;
+  size_t size() const;
 
   /// Current-generation snapshot; NotFound ("table '<name>' not stored",
   /// the one message every lookup path uses) for unknown names.
@@ -151,15 +168,27 @@ class TableStore {
 
  private:
   struct Stored {
+    /// Serializes Apply on this table (mutations on other tables proceed
+    /// in parallel). Also guards the writer-only bookkeeping below.
+    std::mutex writer_mu;
+    /// Guards `snap` for the brief pointer copy/swap only -- never held
+    /// across the next-generation row copy.
+    mutable std::mutex snap_mu;
     Snapshot snap;
-    uint64_t next_row_id = 0;
+    uint64_t next_row_id = 0;  // writer_mu
     /// SJ ciphertext dimension of this table's rows; 0 until the first
     /// row is seen (empty upload), then fixed for the table's lifetime.
-    size_t sj_dim = 0;
-    std::map<StableRowId, size_t> id_to_pos;  // current generation only
+    size_t sj_dim = 0;  // writer_mu
+    std::map<StableRowId, size_t> id_to_pos;  // current generation; writer_mu
   };
 
-  std::map<std::string, Stored> tables_;
+  /// Looks up a table under a shared map lock; nullptr when absent. The
+  /// pointer stays valid forever (tables are never erased, and the map
+  /// holds unique_ptrs so rebalancing never moves a Stored).
+  Stored* Find(const std::string& name) const;
+
+  mutable std::shared_mutex map_mu_;
+  std::map<std::string, std::unique_ptr<Stored>> tables_;
 };
 
 }  // namespace sjoin

@@ -10,11 +10,13 @@ namespace {
 // built, prepared-cache hits). v3: query series carry the client's shard
 // routing request, series-result stats carry the per-shard breakdown.
 // v4: the table-mutation request/acknowledgement message pair exists; no
-// pre-existing layout changed. Readers stay backward compatible down to
-// kMinWireVersion: a v2/v3 payload decodes with the newer fields at
-// their defaults (mutation messages are the exception -- the type is new
-// in v4, so older versions are rejected).
-constexpr uint8_t kWireVersion = 4;
+// pre-existing layout changed. v5: query-series and mutation messages
+// carry the issuing session id (trailing u64; scheduler routing metadata
+// only). Readers stay backward compatible down to kMinWireVersion: a
+// v2..v4 payload decodes with the newer fields at their defaults --
+// session_id 0, the implicit default session (mutation messages remain
+// the exception: the type is new in v4, so v2/v3 are rejected there).
+constexpr uint8_t kWireVersion = 5;
 constexpr uint8_t kMinWireVersion = 2;
 constexpr uint8_t kMutationMinVersion = 4;
 
@@ -442,6 +444,7 @@ Bytes SerializeQuerySeries(const QuerySeriesTokens& series) {
     w.Blob(SerializeJoinQueryTokens(q));
   }
   w.U32(series.requested_shards);  // v3 shard routing request
+  w.U64(series.session_id);        // v5 session routing metadata
   return w.Take();
 }
 
@@ -466,6 +469,11 @@ Result<QuerySeriesTokens> DeserializeQuerySeries(const Bytes& wire) {
     SJOIN_RETURN_IF_ERROR(shards.status());
     out.requested_shards = *shards;
   }  // v2: no routing field; requested_shards stays 0 (server decides).
+  if (*version >= 5) {
+    auto session = r.U64();
+    SJOIN_RETURN_IF_ERROR(session.status());
+    out.session_id = *session;
+  }  // v2..v4: no session field; session_id stays 0 (default session).
   if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes after series");
   return out;
 }
@@ -558,6 +566,7 @@ Bytes SerializeTableMutation(const TableMutation& mutation) {
   for (StableRowId id : mutation.deletes) w.U64(id);
   w.U32(static_cast<uint32_t>(mutation.inserts.size()));
   for (const EncryptedRow& row : mutation.inserts) WriteEncryptedRow(&w, row);
+  w.U64(mutation.session_id);  // v5 session routing metadata
   return w.Take();
 }
 
@@ -595,6 +604,11 @@ Result<TableMutation> DeserializeTableMutation(const Bytes& wire) {
     SJOIN_RETURN_IF_ERROR(row.status());
     out.inserts.push_back(std::move(*row));
   }
+  if (*version >= 5) {
+    auto session = r.U64();
+    SJOIN_RETURN_IF_ERROR(session.status());
+    out.session_id = *session;
+  }  // v4: no session field; session_id stays 0 (default session).
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after mutation");
   }

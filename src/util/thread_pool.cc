@@ -10,20 +10,33 @@ ThreadPool::ThreadPool(int num_workers) {
   if (num_workers < 0) {
     num_workers = static_cast<int>(std::thread::hardware_concurrency()) - 1;
   }
-  if (num_workers < 0) num_workers = 0;
+  // At least one background worker: a 1-CPU host would otherwise create an
+  // empty pool whose Submit'd tasks nobody ever runs (ParallelFor steals,
+  // but fire-and-forget dispatch -- the request scheduler -- does not).
+  if (num_workers < 1) num_workers = 1;
   workers_.reserve(num_workers);
   for (int i = 0; i < num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
     stop_ = true;
   }
   cv_.notify_all();
-  for (auto& th : workers_) th.join();
+  for (auto& th : workers_) {
+    if (th.joinable()) th.join();
+  }
+}
+
+bool ThreadPool::stopped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stop_;
 }
 
 ThreadPool& ThreadPool::Shared() {
@@ -31,12 +44,14 @@ ThreadPool& ThreadPool::Shared() {
   return *pool;
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return false;  // checked error: never strand a task
     queue_.push(std::move(task));
   }
   cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -101,7 +116,7 @@ void ThreadPool::ParallelFor(size_t n, int parallelism,
     }
   };
   for (size_t h = 1; h < width; ++h) {
-    Submit([state, run] {
+    bool enqueued = Submit([state, run] {
       run();
       {
         std::lock_guard<std::mutex> lock(state->mu);
@@ -109,6 +124,12 @@ void ThreadPool::ParallelFor(size_t n, int parallelism,
       }
       state->done.notify_one();
     });
+    if (!enqueued) {
+      // Pool stopped mid-call: the shared index still covers every i, the
+      // caller's own run() below picks up the helper's share inline.
+      std::lock_guard<std::mutex> lock(state->mu);
+      --state->pending_helpers;
+    }
   }
   run();  // the caller participates
   // Wait for the helpers, draining the pool queue meanwhile: a caller that

@@ -1,0 +1,704 @@
+// The concurrent session layer (ctest label "concurrency"):
+//
+//  - ThreadPool contracts the scheduler leans on: checked enqueue-after-
+//    stop, nested parallelism (a pool task fanning out on the pool) never
+//    deadlocking.
+//  - SessionManager / RequestScheduler policy: per-session FIFO, the
+//    global in-flight cap, per-table mutation serialization, admission
+//    control.
+//  - PreparedRowCache under contention: concurrent Get / EraseRow /
+//    EraseTable / budget shrinks with the byte-budget invariants checked
+//    after every interleaving.
+//  - The randomized interleaving harness: seeded mixes of series, sharded
+//    series, inserts and deletes across sessions, asserting every series
+//    result is bit-identical to a serial replay of the generations it
+//    pinned (EncryptedSeriesResult::pinned_generations).
+//
+// Harness knobs (the TSan CI job raises the seed count to 100):
+//   SJOIN_CONCURRENCY_SEEDS      number of seeds (default 6)
+//   SJOIN_CONCURRENCY_SEED_BASE  first seed (default 1000)
+// A failing seed is appended to concurrency_failing_seeds.txt in the test
+// working directory and the exact reproduce command is printed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/client.h"
+#include "db/scheduler.h"
+#include "db/server.h"
+#include "db/session.h"
+#include "db/wire.h"
+#include "util/thread_pool.h"
+
+namespace sjoin {
+namespace {
+
+// --- ThreadPool contracts ------------------------------------------------------
+
+TEST(ThreadPoolShutdownTest, SubmitAfterShutdownIsCheckedError) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+  pool.Shutdown();  // queued task drains, workers join
+  EXPECT_TRUE(pool.stopped());
+  EXPECT_EQ(ran.load(), 1);
+  // The race this pins down: enqueue-after-stop used to push into a queue
+  // nobody drains -- the task silently never ran. Now it is refused.
+  EXPECT_FALSE(pool.Submit([&] { ran.fetch_add(1); }));
+  EXPECT_EQ(ran.load(), 1);
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPoolShutdownTest, ParallelForOnStoppedPoolRunsInline) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, 4, [&](size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ThreadPoolNestedTest, PoolTaskFanningOutOnThePoolCompletes) {
+  // The scheduler's exact shape: a whole request runs as ONE Submit'd
+  // task whose body fans out with ParallelFor on the same pool. On a
+  // one-worker pool every layer contends for the same thread -- the
+  // waiting layers must steal queued work or the test hangs.
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  std::promise<void> done;
+  ASSERT_TRUE(pool.Submit([&] {
+    pool.ParallelFor(4, 0, [&](size_t) {
+      pool.ParallelFor(4, 0, [&](size_t) { total.fetch_add(1); });
+    });
+    done.set_value();
+  }));
+  done.get_future().wait();
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPoolNestedTest, ConcurrentRequestsSharingThePoolAllComplete) {
+  ThreadPool pool(2);
+  constexpr int kRequests = 6;
+  std::atomic<int> total{0};
+  std::atomic<int> finished{0};
+  std::promise<void> all_done;
+  for (int r = 0; r < kRequests; ++r) {
+    ASSERT_TRUE(pool.Submit([&] {
+      pool.ParallelFor(8, 0, [&](size_t) { total.fetch_add(1); });
+      if (finished.fetch_add(1) + 1 == kRequests) all_done.set_value();
+    }));
+  }
+  all_done.get_future().wait();
+  EXPECT_EQ(total.load(), kRequests * 8);
+}
+
+// --- SessionManager ------------------------------------------------------------
+
+TEST(SessionManagerTest, OpenCloseLifecycle) {
+  SessionManager sessions;
+  EXPECT_TRUE(sessions.IsOpen(kDefaultSession));  // implicit, always open
+  SessionId a = sessions.Open();
+  SessionId b = sessions.Open();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, kDefaultSession);
+  EXPECT_EQ(sessions.open_count(), 2u);
+  EXPECT_TRUE(sessions.IsOpen(a));
+  EXPECT_TRUE(sessions.Close(a).ok());
+  EXPECT_FALSE(sessions.IsOpen(a));
+  EXPECT_FALSE(sessions.Close(a).ok());  // double close
+  EXPECT_FALSE(sessions.Close(999).ok());
+  EXPECT_FALSE(sessions.Close(kDefaultSession).ok());
+  EXPECT_EQ(sessions.open_count(), 1u);
+  // Ids are never reused, so a stale id cannot alias a later session.
+  SessionId c = sessions.Open();
+  EXPECT_NE(c, a);
+}
+
+// --- RequestScheduler policy ---------------------------------------------------
+
+TEST(RequestSchedulerTest, PerSessionRequestsRunInFifoOrder) {
+  SessionManager sessions;
+  SessionId s = sessions.Open();
+  std::vector<int> order;
+  std::mutex mu;
+  {
+    RequestScheduler sched(&sessions, {.max_in_flight = 4});
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(sched
+                      .Enqueue(s, RequestScheduler::Kind::kRead, "",
+                               [&, i] {
+                                 std::lock_guard<std::mutex> lock(mu);
+                                 order.push_back(i);
+                               })
+                      .ok());
+    }
+    sched.Drain();
+  }
+  std::vector<int> expect(12);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);  // FIFO within a session, always
+}
+
+TEST(RequestSchedulerTest, GlobalInFlightCapIsNeverExceeded) {
+  SessionManager sessions;
+  constexpr int kCap = 2;
+  std::atomic<int> in_flight{0};
+  std::atomic<int> peak{0};
+  RequestScheduler sched(&sessions, {.max_in_flight = kCap});
+  std::vector<SessionId> ids;
+  for (int i = 0; i < 6; ++i) ids.push_back(sessions.Open());
+  for (int i = 0; i < 18; ++i) {
+    ASSERT_TRUE(sched
+                    .Enqueue(ids[i % ids.size()],
+                             RequestScheduler::Kind::kRead, "",
+                             [&] {
+                               int now = in_flight.fetch_add(1) + 1;
+                               int seen = peak.load();
+                               while (now > seen &&
+                                      !peak.compare_exchange_weak(seen, now)) {
+                               }
+                               std::this_thread::sleep_for(
+                                   std::chrono::milliseconds(1));
+                               in_flight.fetch_sub(1);
+                             })
+                    .ok());
+  }
+  sched.Drain();
+  EXPECT_LE(peak.load(), kCap);
+  EXPECT_EQ(sched.stats().completed, 18u);
+}
+
+TEST(RequestSchedulerTest, MutationsSerializePerTableButNotAcrossTables) {
+  SessionManager sessions;
+  std::map<std::string, std::atomic<int>> per_table;
+  per_table["T1"] = 0;
+  per_table["T2"] = 0;
+  std::atomic<bool> overlap_violation{false};
+  RequestScheduler sched(&sessions, {.max_in_flight = 8});
+  std::vector<SessionId> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(sessions.Open());
+  for (int i = 0; i < 16; ++i) {
+    std::string table = (i % 2 == 0) ? "T1" : "T2";
+    ASSERT_TRUE(sched
+                    .Enqueue(ids[i % ids.size()],
+                             RequestScheduler::Kind::kMutation, table,
+                             [&, table] {
+                               if (per_table.at(table).fetch_add(1) != 0) {
+                                 overlap_violation.store(true);
+                               }
+                               std::this_thread::sleep_for(
+                                   std::chrono::microseconds(200));
+                               per_table.at(table).fetch_sub(1);
+                             })
+                    .ok());
+  }
+  sched.Drain();
+  EXPECT_FALSE(overlap_violation.load())
+      << "two mutations of one table ran concurrently";
+  EXPECT_EQ(sched.stats().completed, 16u);
+}
+
+TEST(RequestSchedulerTest, AdmissionControlRefusesBeyondQueueBound) {
+  SessionManager sessions;
+  SessionId s = sessions.Open();
+  RequestScheduler sched(&sessions,
+                         {.max_in_flight = 1, .max_queued_per_session = 2});
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  // First request occupies the in-flight slot...
+  ASSERT_TRUE(sched
+                  .Enqueue(s, RequestScheduler::Kind::kRead, "",
+                           [gate] { gate.wait(); })
+                  .ok());
+  // ...two more wait (the per-session bound)...
+  ASSERT_TRUE(
+      sched.Enqueue(s, RequestScheduler::Kind::kRead, "", [] {}).ok());
+  ASSERT_TRUE(
+      sched.Enqueue(s, RequestScheduler::Kind::kRead, "", [] {}).ok());
+  // ...the next is refused, and the refusal is counted.
+  Status overflow = sched.Enqueue(s, RequestScheduler::Kind::kRead, "", [] {});
+  EXPECT_FALSE(overflow.ok());
+  EXPECT_EQ(sched.stats().rejected, 1u);
+  // Unknown sessions are refused outright.
+  EXPECT_FALSE(
+      sched.Enqueue(777, RequestScheduler::Kind::kRead, "", [] {}).ok());
+  release.set_value();
+  sched.Drain();
+  EXPECT_EQ(sched.stats().completed, 3u);
+}
+
+TEST(RequestSchedulerTest, ClosedSessionRefusedButQueuedWorkDrains) {
+  SessionManager sessions;
+  SessionId s = sessions.Open();
+  RequestScheduler sched(&sessions, {.max_in_flight = 1});
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(sched
+                  .Enqueue(s, RequestScheduler::Kind::kRead, "",
+                           [gate, &ran] {
+                             gate.wait();
+                             ran.fetch_add(1);
+                           })
+                  .ok());
+  ASSERT_TRUE(sched
+                  .Enqueue(s, RequestScheduler::Kind::kRead, "",
+                           [&ran] { ran.fetch_add(1); })
+                  .ok());
+  ASSERT_TRUE(sessions.Close(s).ok());
+  EXPECT_FALSE(
+      sched.Enqueue(s, RequestScheduler::Kind::kRead, "", [] {}).ok());
+  release.set_value();
+  sched.Drain();
+  EXPECT_EQ(ran.load(), 2);  // admitted-before-close requests still ran
+}
+
+// --- PreparedRowCache under contention -----------------------------------------
+
+class CacheContentionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(8800);
+    msk_ = SecureJoin::Setup({.num_attrs = 1, .max_in_clause = 1}, &rng);
+    for (int i = 0; i < 8; ++i) {
+      std::vector<Fr> attrs = {rng.NextFr()};
+      cts_.push_back(SecureJoin::EncryptRow(msk_, rng.NextFr(), attrs, &rng));
+    }
+    row_bytes_ = SecureJoin::PrepareRow(cts_[0]).MemoryBytes();
+  }
+
+  /// Hammers one cache from `threads` threads with a seeded mix of Get /
+  /// EraseRow / EraseTable / budget shrink+restore, then checks the
+  /// byte-budget invariants. The cache must also stay internally
+  /// consistent enough that a final erase empties it exactly.
+  void Hammer(PreparedRowCache& cache, int threads, uint64_t seed) {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        std::mt19937_64 rng(seed * 100 + t);
+        for (int op = 0; op < 40; ++op) {
+          size_t r = rng() % cts_.size();
+          std::string table = (rng() % 2) ? "A" : "B";
+          switch (rng() % 8) {
+            case 0:
+              cache.EraseRow(table, r);
+              break;
+            case 1:
+              cache.EraseTable(table);
+              break;
+            case 2:
+              cache.set_max_bytes((2 + rng() % 3) * row_bytes_);
+              break;
+            default: {
+              bool built = false;
+              auto row = cache.Get(table, r, cts_[r], &built);
+              if (row != nullptr) {
+                // Entries stay valid for holders no matter what the other
+                // threads evict (shared ownership).
+                EXPECT_EQ(row->c.size(), msk_.params.Dimension());
+              }
+              break;
+            }
+          }
+          // No in-loop budget assertion: a concurrent set_max_bytes
+          // publishes the new budget before its per-stripe eviction runs,
+          // so bytes may legitimately exceed a just-shrunk budget for a
+          // moment. The post-join checks below are race-free.
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+
+    // Quiesced: every set_max_bytes has finished evicting, so the budget
+    // is a hard bound again...
+    PreparedRowCache::Stats s = cache.stats();
+    EXPECT_LE(s.bytes, cache.max_bytes());
+    // ...and erasing everything must return the accounting to zero
+    // exactly -- any lost/duplicated byte under contention shows up here.
+    cache.EraseTable("A");
+    cache.EraseTable("B");
+    s = cache.stats();
+    EXPECT_EQ(s.entries, 0u);
+    EXPECT_EQ(s.bytes, 0u);
+  }
+
+  SecureJoin::MasterKey msk_;
+  std::vector<SjRowCiphertext> cts_;
+  size_t row_bytes_ = 0;
+};
+
+TEST_F(CacheContentionTest, SingleStripeSurvivesConcurrentMixedOps) {
+  PreparedRowCache cache(4 * row_bytes_);
+  Hammer(cache, 4, 42);
+}
+
+TEST_F(CacheContentionTest, ShardedStripesSurviveConcurrentMixedOps) {
+  // The server's configuration: sharded mutexes, budget split per stripe.
+  PreparedRowCache cache(8 * row_bytes_, /*lock_shards=*/4);
+  EXPECT_EQ(cache.lock_shard_count(), 4u);
+  Hammer(cache, 4, 43);
+}
+
+TEST_F(CacheContentionTest, ConcurrentBuildRaceKeepsAccountingExact) {
+  // Every thread races Get on the SAME rows: first insert wins, losers
+  // discard, and the byte accounting must count each entry exactly once.
+  PreparedRowCache cache(size_t{64} << 20);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (size_t r = 0; r < cts_.size(); ++r) {
+        bool built = false;
+        auto row = cache.Get("T", r, cts_[r], &built);
+        EXPECT_NE(row, nullptr);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  PreparedRowCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, cts_.size());
+  EXPECT_EQ(s.hits + s.built, 4 * cts_.size());
+  size_t expected_bytes = 0;
+  for (size_t r = 0; r < cts_.size(); ++r) {
+    bool built = false;
+    expected_bytes += cache.Get("T", r, cts_[r], &built)->MemoryBytes();
+  }
+  EXPECT_EQ(s.bytes, expected_bytes);
+}
+
+// --- Randomized interleaving harness -------------------------------------------
+
+Table MakeKeyed(const std::string& name, size_t rows, size_t distinct) {
+  Table t(name, Schema({{"k", ValueKind::kInt64},
+                        {"payload", ValueKind::kString}}));
+  for (size_t i = 0; i < rows; ++i) {
+    SJOIN_CHECK(t.AppendRow({static_cast<int64_t>(i % distinct),
+                             name + "#" + std::to_string(i)})
+                    .ok());
+  }
+  return t;
+}
+
+JoinQuerySpec KeySpec(const std::string& a, const std::string& b) {
+  JoinQuerySpec q;
+  q.table_a = a;
+  q.table_b = b;
+  q.join_column_a = q.join_column_b = "k";
+  return q;
+}
+
+/// Everything one harness run records about a successfully applied
+/// mutation: enough to rebuild any generation of the table serially.
+struct AppliedDelta {
+  uint64_t generation = 0;  // the generation this batch produced
+  std::vector<StableRowId> deletes;
+  std::vector<EncryptedRow> inserts;
+};
+
+/// Client-side shadow of one server table: the original upload plus the
+/// totally-ordered (by generation) log of applied deltas. Rebuilds the
+/// exact row vector of any generation by replaying TableStore semantics
+/// (stable-order compaction, then appends; ids 0..n-1 then monotone).
+struct ShadowTable {
+  EncryptedTable base;
+  std::mutex mu;  // serializes pick-ids + apply + record per table
+  std::vector<StableRowId> live_ids;
+  std::vector<AppliedDelta> deltas;
+
+  explicit ShadowTable(EncryptedTable b) : base(std::move(b)) {
+    live_ids.resize(base.rows.size());
+    std::iota(live_ids.begin(), live_ids.end(), 0);
+  }
+
+  EncryptedTable AtGeneration(uint64_t gen) const {
+    std::vector<EncryptedRow> rows = base.rows;
+    std::vector<StableRowId> ids(rows.size());
+    std::iota(ids.begin(), ids.end(), 0);
+    StableRowId next = static_cast<StableRowId>(rows.size());
+    // deltas are appended in generation order (the per-table mutex makes
+    // apply + record atomic), so a prefix replay reaches any generation.
+    for (const AppliedDelta& d : deltas) {
+      if (d.generation > gen) break;
+      std::vector<size_t> removed;
+      for (StableRowId id : d.deletes) {
+        for (size_t p = 0; p < ids.size(); ++p) {
+          if (ids[p] == id) {
+            removed.push_back(p);
+            break;
+          }
+        }
+      }
+      std::sort(removed.begin(), removed.end());
+      std::vector<EncryptedRow> kept_rows;
+      std::vector<StableRowId> kept_ids;
+      ForEachSurvivingPosition(rows.size(), removed, [&](size_t p) {
+        kept_rows.push_back(rows[p]);
+        kept_ids.push_back(ids[p]);
+      });
+      rows = std::move(kept_rows);
+      ids = std::move(kept_ids);
+      for (const EncryptedRow& row : d.inserts) {
+        rows.push_back(row);
+        ids.push_back(next++);
+      }
+    }
+    EncryptedTable t = base;
+    t.rows = std::move(rows);
+    return t;
+  }
+};
+
+/// One recorded concurrent series execution, replayed serially afterwards.
+struct RecordedSeries {
+  const QuerySeriesTokens* series = nullptr;
+  ServerExecOptions opts;
+  bool sharded = false;
+  EncryptedSeriesResult result;
+};
+
+/// Serialized per-query results, minus host-local timing: the
+/// bit-identity token of the oracle.
+std::vector<Bytes> ResultBytes(const EncryptedSeriesResult& r) {
+  std::vector<Bytes> out;
+  out.reserve(r.results.size());
+  for (const EncryptedJoinResult& q : r.results) {
+    out.push_back(SerializeJoinResult(q));
+  }
+  return out;
+}
+
+/// One seeded interleaving: 3 session threads x 3 ops (series, sharded
+/// series, submit-API series, mutations), then a serial replay of every
+/// recorded series against the generations it pinned.
+void RunInterleaving(uint64_t seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  constexpr size_t kRows = 5;
+  constexpr size_t kDistinct = 3;
+  constexpr int kThreads = 3;
+  constexpr int kOpsPerThread = 3;
+
+  EncryptedClient client({.num_attrs = 1, .max_in_clause = 1,
+                          .rng_seed = seed});
+  EncryptedServer server;
+  auto enc_x = client.EncryptTable(MakeKeyed("X", kRows, kDistinct), "k");
+  auto enc_y = client.EncryptTable(MakeKeyed("Y", kRows, kDistinct), "k");
+  ASSERT_TRUE(enc_x.ok() && enc_y.ok());
+  ASSERT_TRUE(server.StoreTable(*enc_x).ok());
+  ASSERT_TRUE(server.StoreTable(*enc_y).ok());
+  std::vector<const EncryptedTable*> tables = {&*enc_x, &*enc_y};
+
+  // Token material prepared up front (the client is single-threaded by
+  // contract); tokens are table-level, so they stay valid across every
+  // generation the harness produces.
+  std::vector<QuerySeriesTokens> series_pool;
+  {
+    auto s1 = client.PrepareSeries({KeySpec("X", "Y")}, tables);
+    auto s2 = client.PrepareSeries({KeySpec("X", "Y"), KeySpec("Y", "X")},
+                                   tables);
+    auto s3 = client.PrepareChain({KeySpec("X", "Y"), KeySpec("Y", "X")},
+                                  tables);
+    ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+    series_pool = {std::move(*s1), std::move(*s2), std::move(*s3)};
+  }
+  // Pre-encrypted single-row insert batches, consumed at most once each.
+  std::map<std::string, std::vector<TableMutation>> insert_pool;
+  std::map<std::string, std::atomic<size_t>> insert_next;
+  for (const EncryptedTable* enc : tables) {
+    insert_next[enc->name] = 0;
+    for (int i = 0; i < kThreads * kOpsPerThread; ++i) {
+      Table fresh(enc->name, enc->schema);
+      ASSERT_TRUE(fresh
+                      .AppendRow({static_cast<int64_t>(i % kDistinct),
+                                  enc->name + "+g" + std::to_string(i)})
+                      .ok());
+      auto m = client.PrepareInsert(*enc, fresh);
+      ASSERT_TRUE(m.ok());
+      insert_pool[enc->name].push_back(std::move(*m));
+    }
+  }
+
+  std::map<std::string, std::unique_ptr<ShadowTable>> shadows;
+  shadows.emplace("X", std::make_unique<ShadowTable>(*enc_x));
+  shadows.emplace("Y", std::make_unique<ShadowTable>(*enc_y));
+
+  std::vector<RecordedSeries> recorded;
+  std::mutex recorded_mu;
+  std::vector<SessionId> session_ids;
+  for (int t = 0; t < kThreads; ++t) session_ids.push_back(server.OpenSession());
+
+  auto worker = [&](int tid) {
+    std::mt19937_64 rng(seed * 7919 + tid);
+    for (int op = 0; op < kOpsPerThread; ++op) {
+      int roll = static_cast<int>(rng() % 5);
+      if (roll <= 2) {  // a series, through one of the three entry points
+        RecordedSeries rec;
+        rec.series = &series_pool[rng() % series_pool.size()];
+        rec.opts = {.num_threads = 2};
+        Result<EncryptedSeriesResult> r = Status::OK();
+        switch (roll) {
+          case 0:
+            r = server.ExecuteJoinSeries(*rec.series, rec.opts);
+            break;
+          case 1:
+            rec.sharded = true;
+            rec.opts.num_shards = 2;
+            r = server.ExecuteJoinSeriesSharded(*rec.series, rec.opts);
+            break;
+          default: {
+            QuerySeriesTokens tagged = *rec.series;
+            tagged.session_id = session_ids[tid];
+            r = server.SubmitJoinSeries(std::move(tagged), rec.opts).get();
+            break;
+          }
+        }
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        rec.result = std::move(*r);
+        std::lock_guard<std::mutex> lock(recorded_mu);
+        recorded.push_back(std::move(rec));
+      } else {  // a mutation batch: some deletes and/or one fresh insert
+        ShadowTable& shadow = *shadows.at((rng() % 2) ? "X" : "Y");
+        // The per-table lock makes "pick live ids, apply, record" atomic,
+        // mirroring the total order the server's generation counter
+        // imposes anyway; series stay fully concurrent with this.
+        std::lock_guard<std::mutex> lock(shadow.mu);
+        TableMutation m;
+        m.table = shadow.base.name;
+        m.session_id = session_ids[tid];
+        size_t ndel = shadow.live_ids.empty() ? 0 : rng() % 2 + (roll == 4);
+        for (size_t d = 0; d < ndel && !shadow.live_ids.empty(); ++d) {
+          size_t pick = rng() % shadow.live_ids.size();
+          m.deletes.push_back(shadow.live_ids[pick]);
+          shadow.live_ids.erase(shadow.live_ids.begin() + pick);
+        }
+        std::vector<EncryptedRow> inserted;
+        size_t next = insert_next.at(shadow.base.name).fetch_add(1);
+        if (roll == 3 || m.deletes.empty()) {
+          const TableMutation& batch = insert_pool.at(shadow.base.name)[next];
+          m.inserts = batch.inserts;
+          inserted = batch.inserts;
+        }
+        if (m.deletes.empty() && m.inserts.empty()) continue;
+        Result<MutationResult> applied =
+            (rng() % 2) ? server.ApplyMutation(m)
+                        : server.SubmitMutation(m).get();
+        ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+        for (StableRowId id : applied->inserted_ids) {
+          shadow.live_ids.push_back(id);
+        }
+        shadow.deltas.push_back(
+            AppliedDelta{applied->generation, m.deletes, inserted});
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+
+  // Serial replay oracle: for every recorded series, load a fresh server
+  // with each referenced table rebuilt at the generation the series
+  // pinned, run the same series serially, and demand bit-identical
+  // per-query results.
+  for (size_t i = 0; i < recorded.size(); ++i) {
+    SCOPED_TRACE("recorded series " + std::to_string(i));
+    const RecordedSeries& rec = recorded[i];
+    EncryptedServer replay;
+    ASSERT_FALSE(rec.result.pinned_generations.empty());
+    for (const auto& [name, gen] : rec.result.pinned_generations) {
+      ASSERT_TRUE(replay.StoreTable(shadows.at(name)->AtGeneration(gen)).ok());
+    }
+    auto serial = rec.sharded
+                      ? replay.ExecuteJoinSeriesSharded(*rec.series, rec.opts)
+                      : replay.ExecuteJoinSeries(*rec.series, rec.opts);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    EXPECT_EQ(ResultBytes(rec.result), ResultBytes(*serial))
+        << "concurrent series result differs from the serial replay of "
+           "the generations it pinned";
+  }
+}
+
+TEST(ConcurrencyHarnessTest, RandomizedInterleavingsMatchSerialReplay) {
+  uint64_t base = 1000;
+  int seeds = 6;
+  if (const char* env = std::getenv("SJOIN_CONCURRENCY_SEED_BASE")) {
+    base = std::strtoull(env, nullptr, 10);
+  }
+  if (const char* env = std::getenv("SJOIN_CONCURRENCY_SEEDS")) {
+    seeds = std::atoi(env);
+    if (seeds < 1) seeds = 1;
+  }
+  for (int i = 0; i < seeds; ++i) {
+    uint64_t seed = base + static_cast<uint64_t>(i);
+    RunInterleaving(seed);
+    if (::testing::Test::HasFailure()) {
+      // Reproduction breadcrumbs: the seed file becomes a CI artifact,
+      // and the command below reruns exactly this interleaving.
+      if (std::FILE* f = std::fopen("concurrency_failing_seeds.txt", "a")) {
+        std::fprintf(f, "%llu\n", static_cast<unsigned long long>(seed));
+        std::fclose(f);
+      }
+      std::fprintf(
+          stderr,
+          "\n[concurrency harness] seed %llu failed; reproduce with:\n"
+          "  SJOIN_CONCURRENCY_SEED_BASE=%llu SJOIN_CONCURRENCY_SEEDS=1 "
+          "./concurrency_test --gtest_filter="
+          "ConcurrencyHarnessTest.RandomizedInterleavingsMatchSerialReplay\n",
+          static_cast<unsigned long long>(seed),
+          static_cast<unsigned long long>(seed));
+      break;
+    }
+  }
+}
+
+/// Focused snapshot-isolation check: a mutation landing between plan
+/// resolution and a later series must never tear one series' view.
+TEST(ConcurrencyHarnessTest, SeriesPinsOneGenerationUnderConcurrentChurn) {
+  EncryptedClient client({.num_attrs = 1, .max_in_clause = 1,
+                          .rng_seed = 321});
+  EncryptedServer server;
+  auto enc = client.EncryptTable(MakeKeyed("T", 6, 3), "k");
+  ASSERT_TRUE(enc.ok());
+  ASSERT_TRUE(server.StoreTable(*enc).ok());
+  auto series = client.PrepareSeries({KeySpec("T", "T")}, {&*enc});
+  ASSERT_TRUE(series.ok());
+
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    // Interleave delete+reinsert churn while the reader loops.
+    uint64_t next_id = 0;
+    int spawned = 0;
+    while (!stop.load()) {
+      Table fresh("T", enc->schema);
+      SJOIN_CHECK(fresh.AppendRow({int64_t{1},
+                                   "churn" + std::to_string(spawned++)})
+                      .ok());
+      auto ins = client.PrepareInsert(*enc, fresh);
+      SJOIN_CHECK(ins.ok());
+      ins->deletes = {next_id++};
+      auto applied = server.ApplyMutation(*ins);
+      SJOIN_CHECK(applied.ok());
+    }
+  });
+  for (int i = 0; i < 5; ++i) {
+    auto r = server.ExecuteJoinSeries(*series, {.num_threads = 2});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->pinned_generations.size(), 1u);
+    // Row count is stable within the pinned generation: every delete is
+    // paired with an insert, so any torn read would change the total.
+    EXPECT_EQ(r->results[0].stats.rows_total_a, 6u);
+    EXPECT_EQ(r->results[0].stats.rows_total_b, 6u);
+  }
+  stop.store(true);
+  churner.join();
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -45,9 +45,9 @@ TEST(ThreadPoolTest, SubmitRunsEnqueuedTasks) {
   std::mutex mu;
   std::condition_variable cv;
   for (int i = 0; i < 10; ++i) {
-    pool.Submit([&] {
+    ASSERT_TRUE(pool.Submit([&] {
       if (ran.fetch_add(1) + 1 == 10) cv.notify_one();
-    });
+    }));
   }
   std::unique_lock<std::mutex> lock(mu);
   cv.wait(lock, [&] { return ran.load() == 10; });
@@ -64,13 +64,13 @@ TEST(ThreadPoolTest, ReentrantParallelForDoesNotDeadlock) {
   std::mutex mu;
   std::condition_variable cv;
   for (int t = 0; t < 2; ++t) {
-    pool.Submit([&] {
+    ASSERT_TRUE(pool.Submit([&] {
       pool.ParallelFor(8, 0, [&](size_t) { total.fetch_add(1); });
       if (finished.fetch_add(1) + 1 == 2) {
         std::lock_guard<std::mutex> lock(mu);
         cv.notify_one();
       }
-    });
+    }));
   }
   std::unique_lock<std::mutex> lock(mu);
   cv.wait(lock, [&] { return finished.load() == 2; });

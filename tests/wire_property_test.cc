@@ -1,0 +1,375 @@
+// Property tests for the wire codecs (v2..v5 window): randomized messages
+// of every type must round-trip byte-exactly, and corrupted frames --
+// every strict truncation, random single-bit flips -- must come back as
+// Status errors, never as crashes, hangs or unbounded allocations. CI
+// runs this suite under ASan/UBSan and TSan, so any out-of-bounds read a
+// malformed frame provokes fails the build even when it would "work" in
+// production.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "db/client.h"
+#include "db/wire.h"
+#include "ec/g1.h"
+#include "ec/g2.h"
+
+namespace sjoin {
+namespace {
+
+// --- Random message generators -------------------------------------------------
+
+G1Affine RandG1(Rng& rng) {
+  if (rng.NextUint64Below(8) == 0) return G1Affine::Infinity();
+  return G1Generator().ScalarMul(rng.NextFr()).ToAffine();
+}
+
+G2Affine RandG2(Rng& rng) {
+  if (rng.NextUint64Below(8) == 0) return G2Affine::Infinity();
+  return G2Generator().ScalarMul(rng.NextFr()).ToAffine();
+}
+
+AeadCiphertext RandAead(Rng& rng) {
+  AeadCiphertext ct;
+  Bytes nonce = rng.NextBytes(ct.nonce.size());
+  std::copy(nonce.begin(), nonce.end(), ct.nonce.begin());
+  ct.body = rng.NextBytes(rng.NextUint64Below(20));
+  Bytes tag = rng.NextBytes(ct.tag.size());
+  std::copy(tag.begin(), tag.end(), ct.tag.begin());
+  return ct;
+}
+
+EncryptedRow RandRow(Rng& rng, size_t dim) {
+  EncryptedRow row;
+  for (size_t i = 0; i < dim; ++i) row.sj.c.push_back(RandG2(rng));
+  Bytes salt = rng.NextBytes(row.sse.salt.size());
+  std::copy(salt.begin(), salt.end(), row.sse.salt.begin());
+  size_t ntags = rng.NextUint64Below(3);
+  for (size_t i = 0; i < ntags; ++i) {
+    SseTag tag;
+    Bytes b = rng.NextBytes(tag.size());
+    std::copy(b.begin(), b.end(), tag.begin());
+    row.sse.tags.push_back(tag);
+  }
+  row.payload = RandAead(rng);
+  return row;
+}
+
+EncryptedTable RandTable(Rng& rng) {
+  EncryptedTable t;
+  t.name = "T" + std::to_string(rng.NextUint64Below(100));
+  size_t ncols = 1 + rng.NextUint64Below(3);
+  std::vector<Column> cols;
+  for (size_t c = 0; c < ncols; ++c) {
+    cols.push_back(Column{"c" + std::to_string(c),
+                          rng.NextUint64Below(2) ? ValueKind::kInt64
+                                                 : ValueKind::kString});
+  }
+  t.schema = Schema(std::move(cols));
+  t.join_column = "c0";
+  for (size_t c = 1; c < ncols; ++c) {
+    t.attr_columns.push_back("c" + std::to_string(c));
+  }
+  size_t nrows = rng.NextUint64Below(3);
+  size_t dim = 1 + rng.NextUint64Below(2);
+  for (size_t r = 0; r < nrows; ++r) t.rows.push_back(RandRow(rng, dim));
+  return t;
+}
+
+std::vector<SseTokenGroup> RandSseGroups(Rng& rng) {
+  std::vector<SseTokenGroup> groups;
+  size_t n = rng.NextUint64Below(3);
+  for (size_t g = 0; g < n; ++g) {
+    SseTokenGroup group;
+    group.column_index = rng.NextUint64Below(4);
+    size_t ntok = rng.NextUint64Below(3);
+    for (size_t i = 0; i < ntok; ++i) {
+      SseToken tok;
+      Bytes b = rng.NextBytes(tok.size());
+      std::copy(b.begin(), b.end(), tok.begin());
+      group.tokens.push_back(tok);
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+JoinQueryTokens RandQuery(Rng& rng) {
+  JoinQueryTokens q;
+  q.table_a = "A" + std::to_string(rng.NextUint64Below(10));
+  q.table_b = "B" + std::to_string(rng.NextUint64Below(10));
+  q.use_sse_prefilter = rng.NextUint64Below(2) != 0;
+  size_t dim = 1 + rng.NextUint64Below(2);
+  for (size_t i = 0; i < dim; ++i) q.token_a.tk.push_back(RandG1(rng));
+  for (size_t i = 0; i < dim; ++i) q.token_b.tk.push_back(RandG1(rng));
+  q.sse_a = RandSseGroups(rng);
+  q.sse_b = RandSseGroups(rng);
+  return q;
+}
+
+QuerySeriesTokens RandSeries(Rng& rng) {
+  QuerySeriesTokens s;
+  size_t n = rng.NextUint64Below(3);
+  for (size_t i = 0; i < n; ++i) s.queries.push_back(RandQuery(rng));
+  s.requested_shards = static_cast<uint32_t>(rng.NextUint64Below(10));
+  s.session_id = rng.NextUint64();  // v5 field: full 64-bit range
+  return s;
+}
+
+EncryptedJoinResult RandJoinResult(Rng& rng) {
+  EncryptedJoinResult r;
+  size_t n = rng.NextUint64Below(3);
+  for (size_t i = 0; i < n; ++i) {
+    r.row_pairs.emplace_back(RandAead(rng), RandAead(rng));
+    r.matched_row_indices.push_back(
+        JoinedRowPair{rng.NextUint64Below(100), rng.NextUint64Below(100)});
+  }
+  r.stats.rows_total_a = rng.NextUint64Below(1000);
+  r.stats.rows_total_b = rng.NextUint64Below(1000);
+  r.stats.rows_selected_a = rng.NextUint64Below(1000);
+  r.stats.rows_selected_b = rng.NextUint64Below(1000);
+  r.stats.result_pairs = n;
+  return r;
+}
+
+EncryptedSeriesResult RandSeriesResult(Rng& rng) {
+  EncryptedSeriesResult r;
+  size_t n = rng.NextUint64Below(3);
+  for (size_t i = 0; i < n; ++i) r.results.push_back(RandJoinResult(rng));
+  r.stats.queries = n;
+  r.stats.decrypts_requested = rng.NextUint64Below(1000);
+  r.stats.decrypts_performed = rng.NextUint64Below(1000);
+  r.stats.digest_cache_hits = rng.NextUint64Below(1000);
+  r.stats.pairings_computed = rng.NextUint64Below(1000);
+  r.stats.prepared_pairings = rng.NextUint64Below(1000);
+  r.stats.prepared_rows_built = rng.NextUint64Below(1000);
+  r.stats.prepared_cache_hits = rng.NextUint64Below(1000);
+  r.stats.shards = rng.NextUint64Below(4);
+  for (size_t s = 0; s < r.stats.shards; ++s) {
+    ShardExecStats shard;
+    shard.decrypts_performed = rng.NextUint64Below(100);
+    shard.pairings_computed = rng.NextUint64Below(100);
+    shard.prepared_pairings = rng.NextUint64Below(100);
+    shard.prepared_rows_built = rng.NextUint64Below(100);
+    shard.prepared_cache_hits = rng.NextUint64Below(100);
+    r.stats.shard_stats.push_back(shard);
+  }
+  return r;
+}
+
+TableMutation RandMutation(Rng& rng) {
+  TableMutation m;
+  m.table = "T" + std::to_string(rng.NextUint64Below(10));
+  m.session_id = rng.NextUint64();  // v5 field
+  m.base_generation = rng.NextUint64Below(10);
+  size_t ndel = rng.NextUint64Below(3);
+  for (size_t i = 0; i < ndel; ++i) m.deletes.push_back(rng.NextUint64());
+  size_t nins = rng.NextUint64Below(2);
+  size_t dim = 1 + rng.NextUint64Below(2);
+  for (size_t i = 0; i < nins; ++i) m.inserts.push_back(RandRow(rng, dim));
+  return m;
+}
+
+MutationResult RandMutationResult(Rng& rng) {
+  MutationResult r;
+  r.generation = rng.NextUint64();
+  size_t n = rng.NextUint64Below(4);
+  for (size_t i = 0; i < n; ++i) r.inserted_ids.push_back(rng.NextUint64());
+  return r;
+}
+
+// --- The property drivers ------------------------------------------------------
+
+/// Round trip: decode(encode(msg)) must succeed and re-encode to the very
+/// same bytes (byte equality subsumes field-by-field equality and proves
+/// the decoder consumed everything it was given).
+template <typename Msg, typename Ser, typename De>
+void CheckRoundTrip(const Msg& msg, Ser serialize, De deserialize,
+                    const char* what) {
+  Bytes wire = serialize(msg);
+  auto back = deserialize(wire);
+  ASSERT_TRUE(back.ok()) << what << ": " << back.status().ToString();
+  EXPECT_EQ(serialize(*back), wire) << what << ": re-encode differs";
+}
+
+/// Every strict prefix must decode to an error (all codec fields are
+/// required within a version, so a truncated frame can never be complete),
+/// and random single-bit flips must never crash -- they may decode (a
+/// flipped payload byte is still a valid payload) or error (a flipped
+/// point fails on-curve validation), both acceptable; what the sanitizers
+/// rule out is reading past the buffer either way.
+template <typename De>
+void CheckCorruption(const Bytes& wire, De deserialize, uint64_t seed,
+                     const char* what) {
+  // Truncations: every prefix for small frames, a bounded sample (plus
+  // the boundary prefixes) for large ones.
+  std::vector<size_t> cuts;
+  if (wire.size() <= 256) {
+    cuts.resize(wire.size());
+    std::iota(cuts.begin(), cuts.end(), 0);
+  } else {
+    std::mt19937_64 prng(seed);
+    cuts = {0, 1, 2, wire.size() - 1};
+    for (int i = 0; i < 64; ++i) cuts.push_back(prng() % wire.size());
+  }
+  for (size_t cut : cuts) {
+    Bytes truncated(wire.begin(), wire.begin() + cut);
+    auto result = deserialize(truncated);
+    EXPECT_FALSE(result.ok())
+        << what << ": truncation to " << cut << " of " << wire.size()
+        << " bytes decoded successfully";
+  }
+  // Bit flips.
+  std::mt19937_64 prng(seed ^ 0xbf11bf11bf11bf11ull);
+  for (int i = 0; i < 48 && !wire.empty(); ++i) {
+    Bytes flipped = wire;
+    size_t bit = prng() % (wire.size() * 8);
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    auto result = deserialize(flipped);  // must not crash; outcome free
+    (void)result;
+  }
+}
+
+template <typename Msg, typename Ser, typename De>
+void CheckMessage(Rng& rng, uint64_t seed, Msg (*make)(Rng&), Ser serialize,
+                  De deserialize, const char* what) {
+  Msg msg = make(rng);
+  CheckRoundTrip(msg, serialize, deserialize, what);
+  CheckCorruption(serialize(msg), deserialize, seed, what);
+}
+
+constexpr int kIterations = 4;  // EC material makes generation pairing-scale
+
+TEST(WirePropertyTest, EncryptedTableRoundTripAndCorruption) {
+  for (int i = 0; i < kIterations; ++i) {
+    Rng rng(5000 + i);
+    CheckMessage(rng, 5000 + i, RandTable, SerializeEncryptedTable,
+                 DeserializeEncryptedTable, "table");
+  }
+}
+
+TEST(WirePropertyTest, JoinQueryTokensRoundTripAndCorruption) {
+  for (int i = 0; i < kIterations; ++i) {
+    Rng rng(5100 + i);
+    CheckMessage(rng, 5100 + i, RandQuery, SerializeJoinQueryTokens,
+                 DeserializeJoinQueryTokens, "query");
+  }
+}
+
+TEST(WirePropertyTest, QuerySeriesRoundTripAndCorruption) {
+  for (int i = 0; i < kIterations; ++i) {
+    Rng rng(5200 + i);
+    CheckMessage(rng, 5200 + i, RandSeries, SerializeQuerySeries,
+                 DeserializeQuerySeries, "series");
+  }
+}
+
+TEST(WirePropertyTest, JoinResultRoundTripAndCorruption) {
+  for (int i = 0; i < kIterations; ++i) {
+    Rng rng(5300 + i);
+    CheckMessage(rng, 5300 + i, RandJoinResult, SerializeJoinResult,
+                 DeserializeJoinResult, "result");
+  }
+}
+
+TEST(WirePropertyTest, SeriesResultRoundTripAndCorruption) {
+  for (int i = 0; i < kIterations; ++i) {
+    Rng rng(5400 + i);
+    CheckMessage(rng, 5400 + i, RandSeriesResult, SerializeSeriesResult,
+                 DeserializeSeriesResult, "series result");
+  }
+}
+
+TEST(WirePropertyTest, TableMutationRoundTripAndCorruption) {
+  for (int i = 0; i < kIterations; ++i) {
+    Rng rng(5500 + i);
+    CheckMessage(rng, 5500 + i, RandMutation, SerializeTableMutation,
+                 DeserializeTableMutation, "mutation");
+  }
+}
+
+TEST(WirePropertyTest, MutationResultRoundTripAndCorruption) {
+  for (int i = 0; i < kIterations; ++i) {
+    Rng rng(5600 + i);
+    CheckMessage(rng, 5600 + i, RandMutationResult, SerializeMutationResult,
+                 DeserializeMutationResult, "mutation result");
+  }
+}
+
+// --- Version-window edges (the v5 session id) ----------------------------------
+
+TEST(WirePropertyTest, V4QuerySeriesDecodesWithDefaultSession) {
+  // A v4 frame (PR 4 layout) has no trailing session id; it must decode
+  // as the implicit default session, not as a truncation error.
+  WireWriter w;
+  w.U8(4);     // wire version 4
+  w.U8(0x71);  // query-series tag
+  w.U32(0);    // no queries
+  w.U32(7);    // requested shards (v3 field)
+  auto back = DeserializeQuerySeries(w.bytes());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->requested_shards, 7u);
+  EXPECT_EQ(back->session_id, 0u);
+}
+
+TEST(WirePropertyTest, V4MutationDecodesWithDefaultSession) {
+  WireWriter w;
+  w.U8(4);     // wire version 4
+  w.U8(0x4D);  // mutation tag
+  w.Str("T");
+  w.U64(0);    // base generation
+  w.U32(1);    // one delete
+  w.U64(42);
+  w.U32(0);    // no inserts
+  auto back = DeserializeTableMutation(w.bytes());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->session_id, 0u);
+  EXPECT_EQ(back->deletes, std::vector<StableRowId>{42});
+}
+
+TEST(WirePropertyTest, SessionIdSurvivesTheWire) {
+  QuerySeriesTokens series;
+  series.session_id = 0xdeadbeefcafef00dull;
+  auto back = DeserializeQuerySeries(SerializeQuerySeries(series));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->session_id, 0xdeadbeefcafef00dull);
+
+  TableMutation m;
+  m.table = "T";
+  m.session_id = 17;
+  m.deletes = {1};
+  auto mb = DeserializeTableMutation(SerializeTableMutation(m));
+  ASSERT_TRUE(mb.ok());
+  EXPECT_EQ(mb->session_id, 17u);
+}
+
+TEST(WirePropertyTest, ClientStampsBoundSessionIntoBatches) {
+  EncryptedClient client({.num_attrs = 1, .max_in_clause = 1,
+                          .rng_seed = 55});
+  Table t("T", Schema({{"k", ValueKind::kInt64}}));
+  ASSERT_TRUE(t.AppendRow({int64_t{1}}).ok());
+  auto enc = client.EncryptTable(t, "k");
+  ASSERT_TRUE(enc.ok());
+  client.BindSession(99);
+  JoinQuerySpec spec;
+  spec.table_a = spec.table_b = "T";
+  spec.join_column_a = spec.join_column_b = "k";
+  auto series = client.PrepareSeries({spec}, {&*enc});
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->session_id, 99u);
+  auto del = client.PrepareDelete("T", {0});
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->session_id, 99u);
+  Table fresh("T", enc->schema);
+  ASSERT_TRUE(fresh.AppendRow({int64_t{2}}).ok());
+  auto ins = client.PrepareInsert(*enc, fresh);
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins->session_id, 99u);
+}
+
+}  // namespace
+}  // namespace sjoin
