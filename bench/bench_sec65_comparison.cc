@@ -4,13 +4,25 @@
 // (ii) join algorithm (their O(n^2) nested loop vs our O(n) hash join),
 // (iii) scope (PK-FK only vs arbitrary equi-joins) and (iv) leakage across
 // a query series. This harness measures all four on this implementation.
+//
+// `bench_sec65_comparison --json` instead emits a machine-readable summary:
+// per-scheme per-query latency and revealed-pair counts on the paper's
+// running example, plus the measured per-row cost constants the
+// BackendCostModel defaults (src/db/backend.h) are calibrated from -- see
+// docs/TUNING.md, "Cost model calibration".
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "baselines/cryptdb_onion.h"
+#include "baselines/det_join.h"
 #include "baselines/hahn.h"
 #include "baselines/secure_join_adapter.h"
 #include "bench/bench_util.h"
 #include "db/client.h"
+#include "db/server.h"
 #include "tpch/tpch.h"
 #include "util/stopwatch.h"
 
@@ -118,10 +130,175 @@ void Headline(double per_row_ms) {
       "better security\n     and O(n) instead of O(n^2) join complexity.\n");
 }
 
+// --- Machine-readable summary (--json) ----------------------------------------
+
+Table MakeTeams() {
+  Table t("Teams", Schema({{"key", ValueKind::kInt64},
+                           {"name", ValueKind::kString}}));
+  SJOIN_CHECK(t.AppendRow({int64_t{1}, "Web Application"}).ok());
+  SJOIN_CHECK(t.AppendRow({int64_t{2}, "Database"}).ok());
+  return t;
+}
+
+Table MakeEmployees() {
+  Table t("Employees", Schema({{"record", ValueKind::kInt64},
+                               {"employee", ValueKind::kString},
+                               {"role", ValueKind::kString},
+                               {"team", ValueKind::kInt64}}));
+  SJOIN_CHECK(t.AppendRow({int64_t{1}, "Hans", "Programmer", int64_t{1}}).ok());
+  SJOIN_CHECK(t.AppendRow({int64_t{2}, "Kaily", "Tester", int64_t{1}}).ok());
+  SJOIN_CHECK(t.AppendRow({int64_t{3}, "John", "Programmer", int64_t{2}}).ok());
+  SJOIN_CHECK(t.AppendRow({int64_t{4}, "Sally", "Tester", int64_t{2}}).ok());
+  return t;
+}
+
+JoinQuerySpec ExampleQuery(const char* team, const char* role) {
+  JoinQuerySpec q;
+  q.table_a = "Teams";
+  q.table_b = "Employees";
+  q.join_column_a = "key";
+  q.join_column_b = "team";
+  q.selection_a.predicates = {{"name", {Value(team)}}};
+  q.selection_b.predicates = {{"role", {Value(role)}}};
+  return q;
+}
+
+/// Two keyed tables for per-row tag-join calibration: A's key is unique
+/// (so Hahn-style PK-FK constraints would also hold), B clusters on it.
+std::pair<Table, Table> MakeKeyedPair(size_t n) {
+  Table a("A", Schema({{"k", ValueKind::kInt64}, {"pad", ValueKind::kInt64}}));
+  Table b("B", Schema({{"v", ValueKind::kInt64}, {"k", ValueKind::kInt64}}));
+  for (size_t i = 0; i < n; ++i) {
+    SJOIN_CHECK(a.AppendRow({static_cast<int64_t>(i),
+                             static_cast<int64_t>(i)}).ok());
+    SJOIN_CHECK(b.AppendRow({static_cast<int64_t>(i),
+                             static_cast<int64_t>(i % (n / 2 + 1))}).ok());
+  }
+  return {std::move(a), std::move(b)};
+}
+
+/// Paper-example timeline (t1, t2) per scheme: wall latency and the
+/// revealed-pair count after each query.
+void JsonTimeline(const char* name, JoinSchemeBaseline* scheme,
+                  bool* first_scheme) {
+  SJOIN_CHECK(
+      scheme->Upload(MakeTeams(), "key", MakeEmployees(), "team").ok());
+  std::printf("%s\n    {\"scheme\": \"%s\", \"upload_revealed_pairs\": %zu, "
+              "\"queries\": [",
+              *first_scheme ? "" : ",", name, scheme->RevealedPairCount());
+  *first_scheme = false;
+  const JoinQuerySpec specs[] = {
+      ExampleQuery("Web Application", "Tester"),
+      ExampleQuery("Database", "Programmer")};
+  bool first_query = true;
+  for (const JoinQuerySpec& q : specs) {
+    Stopwatch w;
+    auto r = scheme->RunQuery(q);
+    double ms = 1e3 * w.Seconds();
+    SJOIN_CHECK(r.ok());
+    std::printf("%s\n      {\"latency_ms\": %.3f, \"revealed_pairs\": %zu}",
+                first_query ? "" : ",", ms, scheme->RevealedPairCount());
+    first_query = false;
+  }
+  std::printf("]}");
+}
+
+/// Measured per-row constants behind the BackendCostModel defaults.
+void JsonCalibration(double pairing_cold_ms) {
+  // Warm pairing path: the same series twice on one server; the second
+  // run decrypts every row through the prepared cache.
+  ClientOptions copts{.num_attrs = 1, .max_in_clause = 1, .rng_seed = 9510};
+  EncryptedClient client(copts);
+  auto [a, b] = MakeKeyedPair(24);
+  auto enc_a = client.EncryptTable(a, "k");
+  auto enc_b = client.EncryptTable(b, "k");
+  SJOIN_CHECK(enc_a.ok() && enc_b.ok());
+  EncryptedServer server;
+  SJOIN_CHECK(server.StoreTable(*enc_a).ok());
+  SJOIN_CHECK(server.StoreTable(*enc_b).ok());
+  JoinQuerySpec q;
+  q.table_a = "A";
+  q.table_b = "B";
+  q.join_column_a = q.join_column_b = "k";
+  auto series = client.PrepareSeries({q}, {&*enc_a, &*enc_b});
+  SJOIN_CHECK(series.ok());
+  SJOIN_CHECK(server.ExecuteJoinSeries(*series, {.num_threads = 1}).ok());
+  auto fresh = client.PrepareSeries({q}, {&*enc_a, &*enc_b});
+  SJOIN_CHECK(fresh.ok());
+  Stopwatch warm;
+  auto warm_run = server.ExecuteJoinSeries(*fresh, {.num_threads = 1});
+  double warm_s = warm.Seconds();
+  SJOIN_CHECK(warm_run.ok());
+  double prepared_ms = 1e3 * warm_s /
+                       static_cast<double>(warm_run->stats.decrypts_performed);
+
+  // Tag-join and onion-strip per-row costs from the baseline schemes on a
+  // larger keyed pair (first onion query pays the strip of every row).
+  auto [big_a, big_b] = MakeKeyedPair(2000);
+  JoinQuerySpec big_q = q;
+  double det_ms, onion_first_ms;
+  {
+    DetJoinBaseline det(9511);
+    SJOIN_CHECK(det.Upload(big_a, "k", big_b, "k").ok());
+    Stopwatch w;
+    SJOIN_CHECK(det.RunQuery(big_q).ok());
+    det_ms = 1e3 * w.Seconds();
+  }
+  {
+    CryptDbOnionBaseline onion(9512);
+    SJOIN_CHECK(onion.Upload(big_a, "k", big_b, "k").ok());
+    Stopwatch w;
+    SJOIN_CHECK(onion.RunQuery(big_q).ok());
+    onion_first_ms = 1e3 * w.Seconds();
+  }
+  double rows = 2.0 * 2000.0;
+  double tag_join = det_ms / rows;
+  double strip = onion_first_ms / rows > tag_join
+                     ? onion_first_ms / rows - tag_join
+                     : 0.0;
+  std::printf(
+      "  \"calibration\": {\n"
+      "    \"pairing_cold_ms_per_row\": %.3f,\n"
+      "    \"pairing_prepared_ms_per_row\": %.3f,\n"
+      "    \"tag_join_ms_per_row\": %.6f,\n"
+      "    \"onion_strip_ms_per_row\": %.6f\n  }\n",
+      pairing_cold_ms, prepared_ms, tag_join, strip);
+}
+
+/// Everything the adaptive executor's defaults cite, as one JSON object.
+void JsonSummary() {
+  std::printf("{\n  \"bench\": \"sec65_comparison\",\n  \"schemes\": [");
+  bool first = true;
+  {
+    DetJoinBaseline det(9521);
+    JsonTimeline("det_join", &det, &first);
+  }
+  {
+    CryptDbOnionBaseline onion(9522);
+    JsonTimeline("cryptdb_onion", &onion, &first);
+  }
+  {
+    HahnBaseline hahn(9523);
+    JsonTimeline("hahn", &hahn, &first);
+  }
+  {
+    SecureJoinAdapter sj(ClientOptions{
+        .num_attrs = 3, .max_in_clause = 2, .rng_seed = 9524});
+    JsonTimeline("secure_join", &sj, &first);
+  }
+  std::printf("\n  ],\n");
+  JsonCalibration(MeasurePerRowDecMs());
+  std::printf("}\n");
+}
+
 }  // namespace
 }  // namespace sjoin
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--json") == 0) {
+    sjoin::JsonSummary();
+    return 0;
+  }
   sjoin::benchutil::PrintHeader(
       "Section 6.5: comparison with Hahn et al. (ICDE'19)");
   double per_row_ms = sjoin::MeasurePerRowDecMs();

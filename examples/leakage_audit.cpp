@@ -6,7 +6,10 @@
 // Runs the same randomized query workload against deterministic encryption,
 // CryptDB onions, the Hahn et al. analogue and Secure Join, printing the
 // cumulative revealed-pair counts next to the information-theoretic minimum
-// after every query.
+// after every query. A second act replays the workload through the hybrid
+// EncryptedServer with a finite per-table leakage budget and prints the
+// budget ledger: which queries the adaptive executor ran on the fast det
+// backend, what each one charged, and where the budget ran out.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -18,6 +21,8 @@
 #include "baselines/minimal_reference.h"
 #include "baselines/secure_join_adapter.h"
 #include "crypto/rng.h"
+#include "db/client.h"
+#include "db/server.h"
 
 using namespace sjoin;  // NOLINT: example code
 
@@ -92,5 +97,59 @@ int main(int argc, char** argv) {
       "\nreading: Secure Join's row equals the minimum at every step "
       "(no super-additive leakage);\nHahn et al. drifts above it; DET and "
       "CryptDB expose the full join pattern immediately.\n");
+
+  // Act two: the hybrid server. The client uploads DET tags alongside the
+  // pairing ciphertexts and allows the det backend; the server caps each
+  // table's revealed pairs. The first fast query pays the full-pattern
+  // charge -- if the budget can absorb it the repeats ride the det path
+  // for free, otherwise every query stays on pairing.
+  std::printf("\n== budget-gated hybrid execution ==\n\n");
+  EncryptedClient client({.num_attrs = 1, .max_in_clause = 4,
+                          .rng_seed = 2024, .upload_det_encoding = true});
+  client.AllowBackends(BackendBit(BackendKind::kDetJoin));
+  auto enc_dept = client.EncryptTable(dept, "dept_id");
+  auto enc_staff = client.EncryptTable(staff, "dept_id");
+  SJOIN_CHECK(enc_dept.ok() && enc_staff.ok());
+
+  JoinQuerySpec all;
+  all.table_a = "Departments";
+  all.table_b = "Staff";
+  all.join_column_a = all.join_column_b = "dept_id";
+  std::vector<JoinQuerySpec> replay(3, all);
+  auto series = client.PrepareSeries(replay, {&*enc_dept, &*enc_staff});
+  SJOIN_CHECK(series.ok());
+
+  for (uint64_t staff_budget : {uint64_t{2000}, uint64_t{50}}) {
+    EncryptedServer server;
+    SJOIN_CHECK(server.StoreTable(*enc_dept).ok());
+    SJOIN_CHECK(server.StoreTable(*enc_staff).ok());
+    server.SetLeakageBudget("Staff", staff_budget);
+    auto r = server.ExecuteJoinSeries(*series, {});
+    SJOIN_CHECK(r.ok());
+    std::printf(
+        "Staff budget %4llu pairs: %llu det / %llu sjoin queries, "
+        "%llu pairs charged\n",
+        static_cast<unsigned long long>(staff_budget),
+        static_cast<unsigned long long>(r->stats.backend_det_queries),
+        static_cast<unsigned long long>(r->stats.backend_sjoin_queries),
+        static_cast<unsigned long long>(r->stats.leakage_charged));
+    for (const SeriesExecStats::TableBudget& b : r->stats.budgets) {
+      if (b.limit == LeakageTracker::kUnlimitedBudget) {
+        std::printf("  ledger[%-11s] limit unlimited  spent %4llu\n",
+                    b.table.c_str(),
+                    static_cast<unsigned long long>(b.spent));
+      } else {
+        std::printf("  ledger[%-11s] limit %4llu  spent %4llu  remaining %4llu\n",
+                    b.table.c_str(),
+                    static_cast<unsigned long long>(b.limit),
+                    static_cast<unsigned long long>(b.spent),
+                    static_cast<unsigned long long>(b.remaining));
+      }
+    }
+  }
+  std::printf(
+      "\nreading: a budget that absorbs the full join pattern buys every\n"
+      "repeat at tag-comparison speed; a tight one pins the series to the\n"
+      "pairing path and the ledger never moves.\n");
   return 0;
 }

@@ -38,8 +38,9 @@ class JoinSchemeBaseline {
       const JoinQuerySpec& q) = 0;
 
   /// Unordered row pairs (within or across tables) whose equality the
-  /// server can establish at this point in the query series.
-  virtual size_t RevealedPairCount() = 0;
+  /// server can establish at this point in the query series. Const so
+  /// executors can query leakage projections on a const backend.
+  virtual size_t RevealedPairCount() const = 0;
 };
 
 }  // namespace sjoin

@@ -128,7 +128,7 @@ Result<std::vector<JoinedRowPair>> CryptDbOnionBaseline::RunQuery(
   return out;
 }
 
-size_t CryptDbOnionBaseline::RevealedPairCount() {
+size_t CryptDbOnionBaseline::RevealedPairCount() const {
   if (!join_onion_stripped_ || tables_.size() < 2) return 0;
   auto it = tables_.begin();
   return EqualPairCount(it->second.join_tags,

@@ -20,7 +20,7 @@ class CryptDbOnionBaseline : public JoinSchemeBaseline {
   Status Upload(const Table& a, const std::string& join_a, const Table& b,
                 const std::string& join_b) override;
   Result<std::vector<JoinedRowPair>> RunQuery(const JoinQuerySpec& q) override;
-  size_t RevealedPairCount() override;
+  size_t RevealedPairCount() const override;
 
   /// True once the RND layer of the join columns has been stripped.
   bool JoinOnionStripped() const { return join_onion_stripped_; }

@@ -134,7 +134,7 @@ Result<std::vector<JoinedRowPair>> DetJoinBaseline::RunQuery(
   return out;
 }
 
-size_t DetJoinBaseline::RevealedPairCount() {
+size_t DetJoinBaseline::RevealedPairCount() const {
   // Everything is visible from upload: group all rows by join tag.
   if (tables_.size() < 2) return 0;
   auto it = tables_.begin();

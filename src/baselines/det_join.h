@@ -10,10 +10,9 @@
 
 #include "baselines/baseline.h"
 #include "crypto/rng.h"
+#include "db/encrypted_table.h"  // DetTag (re-homed into the db layer)
 
 namespace sjoin {
-
-using DetTag = std::array<uint8_t, 16>;
 
 class DetJoinBaseline : public JoinSchemeBaseline {
  public:
@@ -23,7 +22,7 @@ class DetJoinBaseline : public JoinSchemeBaseline {
   Status Upload(const Table& a, const std::string& join_a, const Table& b,
                 const std::string& join_b) override;
   Result<std::vector<JoinedRowPair>> RunQuery(const JoinQuerySpec& q) override;
-  size_t RevealedPairCount() override;
+  size_t RevealedPairCount() const override;
 
  private:
   friend class CryptDbOnionBaseline;

@@ -221,7 +221,7 @@ size_t HahnBaseline::UnwrappedRowCount() const {
   return n;
 }
 
-size_t HahnBaseline::RevealedPairCount() {
+size_t HahnBaseline::RevealedPairCount() const {
   // All unwrapped rows -- across every query so far -- are mutually
   // comparable: group them by DET tag.
   std::map<DetTag, size_t> counts;

@@ -33,7 +33,7 @@ class HahnBaseline : public JoinSchemeBaseline {
   Status Upload(const Table& a, const std::string& join_a, const Table& b,
                 const std::string& join_b) override;
   Result<std::vector<JoinedRowPair>> RunQuery(const JoinQuerySpec& q) override;
-  size_t RevealedPairCount() override;
+  size_t RevealedPairCount() const override;
 
   /// Rows whose deterministic join ciphertext is currently exposed.
   size_t UnwrappedRowCount() const;

@@ -23,7 +23,9 @@ class MinimalLeakageReference : public JoinSchemeBaseline {
   Status Upload(const Table& a, const std::string& join_a, const Table& b,
                 const std::string& join_b) override;
   Result<std::vector<JoinedRowPair>> RunQuery(const JoinQuerySpec& q) override;
-  size_t RevealedPairCount() override { return tracker_.RevealedPairCount(); }
+  size_t RevealedPairCount() const override {
+    return tracker_.RevealedPairCount();
+  }
 
   LeakageTracker& tracker() { return tracker_; }
 

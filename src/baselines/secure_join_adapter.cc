@@ -28,7 +28,7 @@ Result<std::vector<JoinedRowPair>> SecureJoinAdapter::RunQuery(
   return result->matched_row_indices;
 }
 
-size_t SecureJoinAdapter::RevealedPairCount() {
+size_t SecureJoinAdapter::RevealedPairCount() const {
   return server_.leakage().RevealedPairCount();
 }
 

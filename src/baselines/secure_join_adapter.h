@@ -20,7 +20,7 @@ class SecureJoinAdapter : public JoinSchemeBaseline {
   Status Upload(const Table& a, const std::string& join_a, const Table& b,
                 const std::string& join_b) override;
   Result<std::vector<JoinedRowPair>> RunQuery(const JoinQuerySpec& q) override;
-  size_t RevealedPairCount() override;
+  size_t RevealedPairCount() const override;
 
   EncryptedClient& client() { return client_; }
   EncryptedServer& server() { return server_; }

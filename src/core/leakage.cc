@@ -1,5 +1,7 @@
 #include "core/leakage.h"
 
+#include <algorithm>
+
 namespace sjoin {
 
 RowId UnionFind::FindRoot(const RowId& a) {
@@ -53,7 +55,7 @@ void LeakageTracker::ObserveEqualityGroup(std::span<const RowId> group) {
   }
 }
 
-size_t LeakageTracker::RevealedPairCount() {
+size_t LeakageTracker::RevealedPairCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t pairs = 0;
   for (const auto& component : uf_.Components()) {
@@ -62,14 +64,77 @@ size_t LeakageTracker::RevealedPairCount() {
   return pairs;
 }
 
-bool LeakageTracker::Linked(const RowId& a, const RowId& b) {
+size_t LeakageTracker::RevealedPairCountFor(int table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t pairs = 0;
+  for (const auto& component : uf_.Components()) {
+    size_t in_table = 0;
+    for (const RowId& id : component) {
+      if (id.table == table) ++in_table;
+    }
+    // Pairs with both endpoints in `table` plus pairs linking it to the
+    // component's other tables.
+    pairs += in_table * (in_table - 1) / 2 +
+             in_table * (component.size() - in_table);
+  }
+  return pairs;
+}
+
+bool LeakageTracker::Linked(const RowId& a, const RowId& b) const {
   std::lock_guard<std::mutex> lock(mu_);
   return uf_.Connected(a, b);
 }
 
-std::vector<std::vector<RowId>> LeakageTracker::EqualityClasses() {
+std::vector<std::vector<RowId>> LeakageTracker::EqualityClasses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return uf_.Components();
+}
+
+void LeakageTracker::SetBudget(int table, uint64_t max_pairs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BudgetEntry& entry = budgets_[table];
+  // Monotone: the bound can only tighten, mirroring "cannot unlearn".
+  entry.limit = std::min(entry.limit, max_pairs);
+}
+
+uint64_t LeakageTracker::BudgetLimit(int table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = budgets_.find(table);
+  return it == budgets_.end() ? kUnlimitedBudget : it->second.limit;
+}
+
+uint64_t LeakageTracker::BudgetSpent(int table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = budgets_.find(table);
+  return it == budgets_.end() ? 0 : it->second.spent;
+}
+
+uint64_t LeakageTracker::BudgetRemaining(int table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = budgets_.find(table);
+  if (it == budgets_.end() || it->second.limit == kUnlimitedBudget) {
+    return kUnlimitedBudget;
+  }
+  const BudgetEntry& e = it->second;
+  return e.spent >= e.limit ? 0 : e.limit - e.spent;
+}
+
+bool LeakageTracker::TryCharge(std::span<const Charge> charges) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Aggregate first: one table may be charged from both query sides.
+  std::map<int, uint64_t> total;
+  for (const Charge& c : charges) total[c.first] += c.second;
+  for (const auto& [table, pairs] : total) {
+    auto it = budgets_.find(table);
+    if (it == budgets_.end() || it->second.limit == kUnlimitedBudget) continue;
+    const BudgetEntry& e = it->second;
+    uint64_t remaining = e.spent >= e.limit ? 0 : e.limit - e.spent;
+    if (pairs > remaining) return false;  // all-or-nothing: charge nothing
+  }
+  for (const auto& [table, pairs] : total) {
+    budgets_[table].spent += pairs;
+  }
+  return true;
 }
 
 }  // namespace sjoin

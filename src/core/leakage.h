@@ -7,6 +7,14 @@
 // exactly the closure of per-query minimum leakages; the baselines leak
 // strictly more (deterministic encryption links whole columns, Hahn et al.
 // links across queries -- "super-additive" leakage).
+//
+// On top of the closure the tracker keeps a per-table leakage BUDGET
+// ledger for the adaptive hybrid executor (db/backend.h): a table may be
+// given a maximum number of revealed pairs, and a fast low-security
+// backend must charge its projected reveal against every involved table
+// before executing. Charges are all-or-nothing across tables and, like
+// the closure itself, monotone: budgets can only be tightened and spend
+// never refunds -- the ledger mirrors the "cannot unlearn" rule.
 #ifndef SJOIN_CORE_LEAKAGE_H_
 #define SJOIN_CORE_LEAKAGE_H_
 
@@ -14,6 +22,7 @@
 #include <map>
 #include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace sjoin {
@@ -52,22 +61,55 @@ class UnionFind {
 /// Thread-safe: concurrent sessions all feed the one tracker behind an
 /// internal mutex (observations commute -- the closure is the same in any
 /// interleaving). The underlying UnionFind stays unsynchronized; it is
-/// never exposed.
+/// never exposed. The query methods are const (path compression mutates
+/// internal state only, so uf_ and mu_ are mutable).
 class LeakageTracker {
  public:
+  /// Budget sentinel: no bound on this table's revealed pairs.
+  static constexpr uint64_t kUnlimitedBudget = ~uint64_t{0};
+
+  /// One (table, charge) item of a multi-table budget charge.
+  using Charge = std::pair<int, uint64_t>;
+
   /// Records that one query revealed this set of rows as mutually equal.
   void ObserveEqualityGroup(std::span<const RowId> group);
 
   /// Number of unordered row pairs in the transitive closure.
-  size_t RevealedPairCount();
+  size_t RevealedPairCount() const;
+  /// Pairs of the closure with at least one endpoint in `table`.
+  size_t RevealedPairCountFor(int table) const;
   /// Whether the adversary can link two rows.
-  bool Linked(const RowId& a, const RowId& b);
+  bool Linked(const RowId& a, const RowId& b) const;
   /// Equality classes of size >= 2.
-  std::vector<std::vector<RowId>> EqualityClasses();
+  std::vector<std::vector<RowId>> EqualityClasses() const;
+
+  // --- Per-table budget ledger ----------------------------------------------
+
+  /// Caps `table` at `max_pairs` revealed pairs chargeable by fast
+  /// backends. Monotone like the closure: a later call can only TIGHTEN
+  /// the bound (the effective limit is the minimum ever set); attempts to
+  /// raise it are ignored. Spend is never refunded.
+  void SetBudget(int table, uint64_t max_pairs);
+  /// The effective limit (kUnlimitedBudget when never set).
+  uint64_t BudgetLimit(int table) const;
+  /// Pairs charged against `table` so far (0 when never charged).
+  uint64_t BudgetSpent(int table) const;
+  /// max(0, limit - spent); kUnlimitedBudget when no budget is set.
+  uint64_t BudgetRemaining(int table) const;
+  /// Atomically charges every listed table, all-or-nothing: if ANY table's
+  /// remaining budget cannot absorb its charge, nothing is charged and
+  /// false returns. A table may appear multiple times (charges add).
+  bool TryCharge(std::span<const Charge> charges);
 
  private:
-  std::mutex mu_;
-  UnionFind uf_;
+  struct BudgetEntry {
+    uint64_t limit = kUnlimitedBudget;
+    uint64_t spent = 0;
+  };
+
+  mutable std::mutex mu_;
+  mutable UnionFind uf_;
+  std::map<int, BudgetEntry> budgets_;
 };
 
 }  // namespace sjoin

@@ -4,6 +4,9 @@
 #include <map>
 #include <utility>
 
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+
 namespace sjoin {
 namespace {
 
@@ -23,12 +26,32 @@ EncryptedClient::EncryptedClient(const ClientOptions& options)
            .max_in_clause = options.max_in_clause},
           &rng_)),
       payload_key_(DeriveSubKey(&rng_)),
-      sse_key_(DeriveSubKey(&rng_)) {}
+      sse_key_(DeriveSubKey(&rng_)) {
+  // Fast-backend keys are drawn only on request, AFTER every key a
+  // default client derives: a client with both options off consumes the
+  // identical rng stream as a pre-v6 client and produces byte-identical
+  // uploads.
+  if (options.upload_det_encoding || options.upload_onion_encoding) {
+    det_join_key_ = DeriveSubKey(&rng_);
+    onion_key_ = DeriveSubKey(&rng_);
+    backend_keys_derived_ = true;
+  }
+}
 
 EncryptedClient EncryptedClient::WithSystemEntropy(ClientOptions options) {
   Rng sys = Rng::FromSystemEntropy();
   options.rng_seed = sys.NextUint64();
   return EncryptedClient(options);
+}
+
+DetTag EncryptedClient::DetJoinTag(const Value& v) const {
+  Bytes msg = v.ToBytes();
+  Digest32 mac =
+      HmacSha256(det_join_key_.data(), det_join_key_.size(), msg.data(),
+                 msg.size());
+  DetTag tag;
+  std::copy(mac.begin(), mac.begin() + tag.size(), tag.begin());
+  return tag;
 }
 
 Fr EncryptedClient::EmbedJoinValue(const Value& v) const {
@@ -93,6 +116,25 @@ EncryptedRow EncryptedClient::EncryptRowFor(const std::string& table_name,
     table.At(r, c).SerializeTo(&payload);
   }
   row.payload = payload_key_.Encrypt(payload, &rng_);
+  // Optional fast-backend encodings (wire v6), appended after every
+  // pre-existing draw so the SJ/SSE/AEAD material above is byte-identical
+  // whether or not encodings ride along. The onion wraps the SAME det tag
+  // -- stripping its RND layer must land on the DET pattern the det
+  // backend joins on.
+  if (options_.upload_det_encoding || options_.upload_onion_encoding) {
+    DetTag tag = DetJoinTag(table.At(r, join_idx));
+    if (options_.upload_det_encoding) {
+      row.enc.has_det = true;
+      row.enc.det_tag = tag;
+    }
+    if (options_.upload_onion_encoding) {
+      row.enc.has_onion = true;
+      rng_.Fill(row.enc.onion_nonce.data(), row.enc.onion_nonce.size());
+      row.enc.onion_wrapped = tag;
+      ChaCha20Xor(onion_key_.data(), 0, row.enc.onion_nonce.data(),
+                  row.enc.onion_wrapped.data(), row.enc.onion_wrapped.size());
+    }
+  }
   return row;
 }
 
@@ -253,11 +295,24 @@ std::string SelectionKey(const TableSelection& sel) {
 
 }  // namespace
 
+void EncryptedClient::StampBackendPolicy(QuerySeriesTokens* out) const {
+  out->allowed_backends = allowed_backends_;
+  // The onion key rides along only when the policy actually permits the
+  // onion backend AND this client derived one -- releasing it is the
+  // irreversible CryptDB downgrade, never done implicitly.
+  if ((allowed_backends_ & BackendBit(BackendKind::kCryptDbOnion)) != 0 &&
+      backend_keys_derived_) {
+    out->has_onion_key = true;
+    out->onion_key = onion_key_;
+  }
+}
+
 Result<QuerySeriesTokens> EncryptedClient::PrepareSeries(
     const std::vector<JoinQuerySpec>& queries,
     const std::vector<const EncryptedTable*>& tables) {
   QuerySeriesTokens out;
   out.session_id = session_id_;
+  StampBackendPolicy(&out);
   out.queries.reserve(queries.size());
   for (const JoinQuerySpec& spec : queries) {
     auto enc_a = FindTable(tables, spec.table_a);
@@ -308,6 +363,7 @@ Result<QuerySeriesTokens> EncryptedClient::PrepareChain(
 
   QuerySeriesTokens out;
   out.session_id = session_id_;
+  StampBackendPolicy(&out);
   out.queries.reserve(chain.size());
   for (const JoinQuerySpec& spec : chain) {
     auto enc_a = FindTable(tables, spec.table_a);

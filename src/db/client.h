@@ -25,6 +25,19 @@ struct ClientOptions {
   /// Deterministic seed (examples/benchmarks); use EncryptedClient::
   /// WithSystemEntropy for production randomness.
   uint64_t rng_seed = 0;
+  /// Attach a deterministic join tag (16-byte HMAC of the join value) to
+  /// every uploaded row (wire v6). Lets the server's AdaptiveExecutor
+  /// serve queries from the `det_join` fast backend -- at DET leakage: the
+  /// at-rest equality pattern of the join column is visible to the server
+  /// the moment the upload lands. Off by default; uploads from clients
+  /// that leave it off are byte-identical to pre-v6 uploads.
+  bool upload_det_encoding = false;
+  /// Attach a CryptDB-style onion encoding: the det tag wrapped in a
+  /// probabilistic RND layer (fresh nonce per row). Leaks nothing at rest;
+  /// the server can join on it only after this client releases the onion
+  /// key with a series (AllowBackends including kCryptDbOnion), which
+  /// irreversibly exposes the DET pattern of the touched tables.
+  bool upload_onion_encoding = false;
 };
 
 class EncryptedClient {
@@ -40,6 +53,21 @@ class EncryptedClient {
   /// cryptographic material depends on the binding.
   void BindSession(uint64_t session_id) { session_id_ = session_id; }
   uint64_t session_id() const { return session_id_; }
+
+  /// Series execution policy: which server-side backends later Prepare*
+  /// batches permit (wire v6). The mask is a client-side ceiling -- the
+  /// server intersects it with its own ServerExecOptions::allowed_backends
+  /// and its leakage budgets before dispatching anything -- and kSjoin is
+  /// always retained (the executor's fallback must stay legal). Permitting
+  /// kCryptDbOnion releases the onion key with each series, which lets
+  /// the server strip the RND layer of every table those queries touch:
+  /// an irreversible downgrade, priced by the server's budget ledger.
+  /// Backends whose encoding this client never uploaded are dispatched
+  /// around (CanExecute fails), so a too-wide mask is safe, just useless.
+  void AllowBackends(uint32_t mask) {
+    allowed_backends_ = mask | BackendBit(BackendKind::kSjoin);
+  }
+  uint32_t allowed_backends() const { return allowed_backends_; }
 
   /// SJ.Setup + SJ.Enc of every row; builds SSE tags and AEAD payloads.
   /// Every non-join column becomes a filterable attribute (at most
@@ -141,11 +169,26 @@ class EncryptedClient {
   Status CheckSpec(const JoinQuerySpec& query, const EncryptedTable& enc_a,
                    const EncryptedTable& enc_b) const;
 
+  /// Deterministic join tag of a join value under det_join_key_ (shared
+  /// across this client's tables: equal values must collide table-wide,
+  /// the DET semantic both fast backends join on).
+  DetTag DetJoinTag(const Value& v) const;
+  /// Stamps the backend policy mask (and, when permitted, the onion key)
+  /// onto a prepared series.
+  void StampBackendPolicy(QuerySeriesTokens* out) const;
+
   ClientOptions options_;
   Rng rng_;
   SecureJoin::MasterKey msk_;
   AeadKey payload_key_;
   SseKey sse_key_;
+  /// Fast-backend key material, derived only when an encoding upload is
+  /// requested -- a default-configured client draws exactly the same rng
+  /// stream as a pre-v6 one, keeping its uploads byte-identical.
+  std::array<uint8_t, 32> det_join_key_{};
+  std::array<uint8_t, 32> onion_key_{};
+  bool backend_keys_derived_ = false;
+  uint32_t allowed_backends_ = kBackendMaskSjoinOnly;
   uint64_t session_id_ = 0;  // stamped into series/mutation batches
 };
 

@@ -2,6 +2,8 @@
 #ifndef SJOIN_DB_ENCRYPTED_TABLE_H_
 #define SJOIN_DB_ENCRYPTED_TABLE_H_
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -12,12 +14,75 @@
 
 namespace sjoin {
 
+// --- Join backends ----------------------------------------------------------
+
+/// The server-side join backends the adaptive executor can dispatch a
+/// query to (db/backend.h). `kSjoin` is the paper's pairing pipeline --
+/// always available, minimum leakage. The other two are the Section 6.5
+/// comparison schemes re-homed as fast low-security backends over the
+/// per-row encodings below; they may only run when the client's series
+/// policy allows them AND the projected reveal fits every involved
+/// table's leakage budget.
+enum class BackendKind : uint8_t {
+  kSjoin = 0,
+  kDetJoin = 1,
+  kCryptDbOnion = 2,
+};
+
+/// Bitmask over BackendKind for the client/server dispatch policy.
+constexpr uint32_t BackendBit(BackendKind k) {
+  return uint32_t{1} << static_cast<uint32_t>(k);
+}
+constexpr uint32_t kBackendMaskSjoinOnly = BackendBit(BackendKind::kSjoin);
+constexpr uint32_t kBackendMaskAll = BackendBit(BackendKind::kSjoin) |
+                                     BackendBit(BackendKind::kDetJoin) |
+                                     BackendBit(BackendKind::kCryptDbOnion);
+
+constexpr const char* BackendName(BackendKind k) {
+  switch (k) {
+    case BackendKind::kSjoin:
+      return "sjoin";
+    case BackendKind::kDetJoin:
+      return "det_join";
+    case BackendKind::kCryptDbOnion:
+      return "cryptdb_onion";
+  }
+  return "unknown";
+}
+
+/// Deterministic join tag: truncated HMAC of the join value. 16 bytes --
+/// the DET ciphertext unit of Hacigumus et al.; equal join values produce
+/// equal tags. Defined here (not in src/baselines/) because the db layer
+/// stores and joins on these tags when the fast backends run.
+using DetTag = std::array<uint8_t, 16>;
+
+/// Optional per-row encodings for the fast backends, produced at
+/// encryption time by EncryptedClient::EncryptRowFor (wire v6). Both are
+/// strictly opt-in:
+///   det    -- the join value's DetTag in the clear. Visible at rest:
+///             uploading it is the client declaring the table
+///             low-sensitivity (DET semantics, leaks from t0 once read).
+///   onion  -- the same DetTag wrapped in a probabilistic RND layer
+///             (ChaCha20 XOR under a per-row nonce). Leaks nothing at
+///             rest; the server can only strip it once the client
+///             releases the onion key with a query series (CryptDB
+///             semantics: first join on the column reveals the pattern).
+struct BackendRowEncoding {
+  bool has_det = false;
+  DetTag det_tag{};
+  bool has_onion = false;
+  std::array<uint8_t, 12> onion_nonce{};
+  DetTag onion_wrapped{};
+  bool operator==(const BackendRowEncoding&) const = default;
+};
+
 /// One outsourced row: SJ ciphertext (join + selection crypto), SSE tags
-/// for pre-filtering, and the AEAD-protected payload only the client can
-/// open.
+/// for pre-filtering, optional fast-backend encodings, and the
+/// AEAD-protected payload only the client can open.
 struct EncryptedRow {
   SjRowCiphertext sj;
   SseRowTags sse;  // tags aligned with EncryptedTable::attr_columns
+  BackendRowEncoding enc;  // fast-backend encodings (wire v6; may be absent)
   AeadCiphertext payload;
 };
 
@@ -58,6 +123,18 @@ struct QuerySeriesTokens {
   /// per-session FIFO and admission control key on it; the crypto is
   /// session-agnostic. Pre-v5 payloads decode with 0.
   uint64_t session_id = 0;
+  /// Client dispatch policy (wire v6): the backends the adaptive executor
+  /// may consider for this batch. The default is the pairing path alone,
+  /// so pre-v6 payloads (and clients that never opt in) behave exactly as
+  /// before. The server intersects this with its own
+  /// ServerExecOptions::allowed_backends before dispatching.
+  uint32_t allowed_backends = kBackendMaskSjoinOnly;
+  /// CryptDB-style key release (wire v6): when the policy includes the
+  /// onion backend the client ships the onion key with the series,
+  /// letting the server strip the RND layer of the rows it joins. Absent
+  /// otherwise (has_onion_key = false, key zeroed).
+  bool has_onion_key = false;
+  std::array<uint8_t, 32> onion_key{};
 };
 
 /// Server-side execution accounting (reported with every result).
@@ -126,6 +203,26 @@ struct SeriesExecStats {
   /// the merged (summed) view of shard_stats.
   size_t shards = 0;
   std::vector<ShardExecStats> shard_stats;
+  /// Adaptive-executor decision trail (wire v6): how many queries of the
+  /// batch each backend served, and how many revealed pairs the fast
+  /// dispatches charged against the budget ledger. Pre-v6 payloads decode
+  /// with all queries on the sjoin path and zero charge, which is exactly
+  /// what those servers did.
+  size_t backend_sjoin_queries = 0;
+  size_t backend_det_queries = 0;
+  size_t backend_onion_queries = 0;
+  uint64_t leakage_charged = 0;
+  /// Budget ledger snapshot for every table the batch referenced (wire
+  /// v6). limit is LeakageTracker::kUnlimitedBudget when the table has no
+  /// budget; remaining is limit - spent, saturated at 0.
+  struct TableBudget {
+    std::string table;
+    uint64_t limit = 0;
+    uint64_t spent = 0;
+    uint64_t remaining = 0;
+    bool operator==(const TableBudget&) const = default;
+  };
+  std::vector<TableBudget> budgets;
   double prefilter_seconds = 0;
   double decrypt_seconds = 0;      // the one batched SJ.Dec pass
   double match_seconds = 0;

@@ -74,6 +74,11 @@ struct EncryptedServer::SeriesPlanState {
     std::vector<size_t> sel_a, sel_b;
     Unit* unit_a = nullptr;
     Unit* unit_b = nullptr;
+    /// Which backend answers this query (adaptive dispatch). On a fast
+    /// backend the digests below are filled at plan time and the query
+    /// registers no decrypt units -- it costs no pairings at all.
+    BackendKind backend = BackendKind::kSjoin;
+    std::vector<Digest32> fast_da, fast_db;
   };
 
   /// One generation per table name for the whole batch.
@@ -265,6 +270,7 @@ Result<EncryptedJoinResult> EncryptedServer::ExecuteJoin(
 }
 
 Status EncryptedServer::BuildSeriesPlan(const QuerySeriesTokens& series,
+                                        const ServerExecOptions& opts,
                                         SeriesExecStats* stats,
                                         SeriesPlanState* state) {
   // 0. Resolve every table up front -- a series fails before any crypto
@@ -303,6 +309,51 @@ Status EncryptedServer::BuildSeriesPlan(const QuerySeriesTokens& series,
   }
   stats->prefilter_seconds = prefilter_watch.Seconds();
 
+  // 1.5. Adaptive backend dispatch (db/backend.h): per query, the
+  // executor may route to a fast tag-join backend when the client's
+  // series policy and the server's policy both allow it AND the
+  // projected reveal fits every involved table's leakage budget (charged
+  // atomically at decision time -- concurrent sessions race on one
+  // ledger, so the spend is recorded before any work happens and can
+  // never overshoot). A fast query's digests are computed here, over the
+  // same SSE selections the pairing path would use, and the query never
+  // enters the SJ.Dec plan below. With the default sjoin-only client
+  // mask this loop dispatches nothing and the plan is byte-for-byte the
+  // pre-adaptive one.
+  const uint32_t allowed = series.allowed_backends & opts.allowed_backends;
+  for (SeriesPlanState::QueryPlan& plan : state->plans) {
+    if ((allowed & ~kBackendMaskSjoinOnly) != 0) {
+      BackendQueryView view;
+      view.a = plan.a;
+      view.b = plan.b;
+      view.ids_a = plan.ids_a;
+      view.ids_b = plan.ids_b;
+      view.sel_a = &plan.sel_a;
+      view.sel_b = &plan.sel_b;
+      view.table_id_a = TableIdFor(plan.a->name);
+      view.table_id_b = TableIdFor(plan.b->name);
+      view.onion_key = series.has_onion_key ? &series.onion_key : nullptr;
+      BackendDecision decision =
+          executor_.Dispatch(view, allowed, opts.cost_model);
+      plan.backend = decision.kind;
+      if (decision.backend != nullptr) {
+        decision.backend->ComputeDigests(view, &plan.fast_da, &plan.fast_db);
+        stats->leakage_charged += decision.charged;
+      }
+    }
+    switch (plan.backend) {
+      case BackendKind::kSjoin:
+        ++stats->backend_sjoin_queries;
+        break;
+      case BackendKind::kDetJoin:
+        ++stats->backend_det_queries;
+        break;
+      case BackendKind::kCryptDbOnion:
+        ++stats->backend_onion_queries;
+        break;
+    }
+  }
+
   // 2. Deduplicate SJ.Dec work through the per-(table, token) digest cache
   // and collect the batch's pending decryptions. The cache lives for this
   // call only and its units point into the step-0 snapshots, so its row
@@ -340,6 +391,10 @@ Status EncryptedServer::BuildSeriesPlan(const QuerySeriesTokens& series,
     }
   };
   for (size_t q = 0; q < series.queries.size(); ++q) {
+    // Fast-backend queries are already answered; they request no decrypts
+    // (and deliberately stay out of the cross-query digest pass, whose
+    // information their full-pattern reveal strictly subsumes).
+    if (state->plans[q].backend != BackendKind::kSjoin) continue;
     state->plans[q].unit_a =
         unit_for(state->plans[q], true, series.queries[q].token_a);
     state->plans[q].unit_b =
@@ -368,8 +423,16 @@ void EncryptedServer::FinishSeries(SeriesPlanState& state,
   };
   out->results.reserve(state.plans.size());
   for (SeriesPlanState::QueryPlan& plan : state.plans) {
-    std::vector<Digest32> da = gather(*plan.unit_a, plan.sel_a);
-    std::vector<Digest32> db = gather(*plan.unit_b, plan.sel_b);
+    // A fast-backend query joins on its tag digests; equal join values
+    // produce equal digests either way, so SJ.Match, leakage grouping and
+    // payload assembly below are one shared path and the results are
+    // byte-identical to the pairing pipeline's (asserted by
+    // tests/backend_test.cc).
+    const bool fast = plan.backend != BackendKind::kSjoin;
+    std::vector<Digest32> da =
+        fast ? std::move(plan.fast_da) : gather(*plan.unit_a, plan.sel_a);
+    std::vector<Digest32> db =
+        fast ? std::move(plan.fast_db) : gather(*plan.unit_b, plan.sel_b);
     out->results.push_back(MatchAndAccount(*plan.a, *plan.b, *plan.ids_a,
                                            *plan.ids_b, plan.sel_a,
                                            plan.sel_b, da, db, opts));
@@ -413,6 +476,21 @@ void EncryptedServer::FinishSeries(SeriesPlanState& state,
   for (const auto& [name, snap] : state.snapshots) {
     out->pinned_generations.emplace_back(name, snap.generation);
   }
+
+  // The budget-ledger receipt (wire v6): where every referenced table's
+  // leakage budget stands after this batch. A concurrent session may
+  // spend between our charges and this read, so the snapshot is
+  // best-effort monotone -- spent can only be >= what this batch saw.
+  out->stats.budgets.reserve(state.snapshots.size());
+  for (const auto& [name, snap] : state.snapshots) {
+    int table_id = TableIdFor(name);
+    SeriesExecStats::TableBudget b;
+    b.table = name;
+    b.limit = leakage_.BudgetLimit(table_id);
+    b.spent = leakage_.BudgetSpent(table_id);
+    b.remaining = leakage_.BudgetRemaining(table_id);
+    out->stats.budgets.push_back(std::move(b));
+  }
 }
 
 Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeries(
@@ -420,7 +498,7 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeries(
   EncryptedSeriesResult out;
   out.stats.queries = series.queries.size();
   SeriesPlanState state;
-  SJOIN_RETURN_IF_ERROR(BuildSeriesPlan(series, &out.stats, &state));
+  SJOIN_RETURN_IF_ERROR(BuildSeriesPlan(series, opts, &out.stats, &state));
 
   // 3. One batched SJ.Dec pass over every pending (unit, row) of the
   // series on the shared pool -- the expensive pairings of all queries are
@@ -506,7 +584,7 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesSharded(
   EncryptedSeriesResult out;
   out.stats.queries = series.queries.size();
   SeriesPlanState state;
-  SJOIN_RETURN_IF_ERROR(BuildSeriesPlan(series, &out.stats, &state));
+  SJOIN_RETURN_IF_ERROR(BuildSeriesPlan(series, opts, &out.stats, &state));
 
   // Effective shard count: the client's routing request (wire v3) wins
   // over the server-side option; both are clamped to the largest

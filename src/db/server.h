@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/leakage.h"
+#include "db/backend.h"
 #include "db/encrypted_table.h"
 #include "db/prepared_cache.h"
 #include "db/scheduler.h"
@@ -52,6 +53,16 @@ struct ServerExecOptions {
   /// ShardedTable::kMaxShards (the request is untrusted wire input).
   /// See docs/TUNING.md for sizing.
   int num_shards = 1;
+  /// Server-side dispatch policy for the adaptive executor: the backends
+  /// this server is willing to run, intersected with the client's
+  /// QuerySeriesTokens::allowed_backends per series. The sjoin pairing
+  /// path is always available regardless of either mask (it is the
+  /// fallback, not a privilege). Defaults to everything -- the client's
+  /// sjoin-only default keeps behavior unchanged unless a client opts in.
+  uint32_t allowed_backends = kBackendMaskAll;
+  /// Cost constants the executor compares backends with; defaults are
+  /// calibrated from `bench_sec65_comparison --json` (docs/TUNING.md).
+  BackendCostModel cost_model{};
 };
 
 class EncryptedServer {
@@ -154,6 +165,33 @@ class EncryptedServer {
   /// RowId::row is the row's STABLE id, so observations survive deletes
   /// without ever aliasing onto later inserts.
   LeakageTracker& leakage() { return leakage_; }
+  const LeakageTracker& leakage() const { return leakage_; }
+
+  // --- Leakage budget policy ----------------------------------------------
+  //
+  // The per-table knobs of the adaptive executor (db/backend.h): a table
+  // with a budget can absorb at most that many fast-backend revealed
+  // pairs; once exhausted, every query touching it falls back to the
+  // pairing path. Budgets are monotone (SetLeakageBudget can only
+  // tighten) and shared by every session -- Submit* requests and direct
+  // Execute* calls charge one ledger.
+
+  /// Caps `table` at `max_pairs` fast-backend revealed pairs. Monotone:
+  /// a later call can only lower the effective limit. The name does not
+  /// need to be stored yet (policy can precede upload).
+  void SetLeakageBudget(const std::string& table, uint64_t max_pairs) {
+    leakage_.SetBudget(TableIdFor(table), max_pairs);
+  }
+  /// LeakageTracker::kUnlimitedBudget when no budget was ever set.
+  uint64_t LeakageBudgetLimit(const std::string& table) {
+    return leakage_.BudgetLimit(TableIdFor(table));
+  }
+  uint64_t LeakageBudgetSpent(const std::string& table) {
+    return leakage_.BudgetSpent(TableIdFor(table));
+  }
+  uint64_t LeakageBudgetRemaining(const std::string& table) {
+    return leakage_.BudgetRemaining(TableIdFor(table));
+  }
 
   /// The generational store behind the server (exposed for tests and
   /// monitoring: snapshots, generations).
@@ -221,9 +259,12 @@ class EncryptedServer {
 
   /// Steps shared by both series paths: snapshot resolution
   /// (all-or-nothing, one generation per table for the whole batch), SSE
-  /// pre-filters, and digest-cache deduplication into pending (unit, row)
-  /// decryptions. Fills the request/dedup counters of *stats.
+  /// pre-filters, adaptive backend dispatch (queries a fast backend wins
+  /// are answered from tag digests and never enter the SJ.Dec plan), and
+  /// digest-cache deduplication into pending (unit, row) decryptions.
+  /// Fills the request/dedup and per-backend counters of *stats.
   Status BuildSeriesPlan(const QuerySeriesTokens& series,
+                         const ServerExecOptions& opts,
                          SeriesExecStats* stats, SeriesPlanState* state);
   /// Steps shared by both series paths after the digests exist: per-query
   /// SJ.Match + leakage + payloads, then the cross-query digest groups,
@@ -244,6 +285,10 @@ class EncryptedServer {
   std::mutex ids_mu_;
   std::map<std::string, int> table_ids_;
   LeakageTracker leakage_;
+  /// The adaptive dispatch layer (db/backend.h). One instance per server:
+  /// every session's series -- direct or scheduled -- authorizes against
+  /// the same backends and the same budget ledger in leakage_.
+  AdaptiveExecutor executor_{&leakage_};
   PreparedRowCache prepared_cache_{PreparedRowCache::kDefaultMaxBytes,
                                    kPreparedCacheLockShards};
   /// Sharded-path state (guarded by shard_mu_): partition views per table

@@ -12,11 +12,16 @@ namespace {
 // v4: the table-mutation request/acknowledgement message pair exists; no
 // pre-existing layout changed. v5: query-series and mutation messages
 // carry the issuing session id (trailing u64; scheduler routing metadata
-// only). Readers stay backward compatible down to kMinWireVersion: a
-// v2..v4 payload decodes with the newer fields at their defaults --
-// session_id 0, the implicit default session (mutation messages remain
-// the exception: the type is new in v4, so v2/v3 are rejected there).
-constexpr uint8_t kWireVersion = 5;
+// only). v6: rows may carry fast-backend encodings (flag byte + optional
+// det tag / onion nonce+wrapped tag), query series carry the client's
+// backend policy mask and optional onion-key release, and series results
+// carry the per-backend dispatch counters plus the leakage-budget ledger
+// snapshot. Readers stay backward compatible down to kMinWireVersion: a
+// v2..v5 payload decodes with the newer fields at their defaults --
+// session_id 0, no encodings, sjoin-only policy, empty ledger (mutation
+// messages remain the exception: the type is new in v4, so v2/v3 are
+// rejected there).
+constexpr uint8_t kWireVersion = 6;
 constexpr uint8_t kMinWireVersion = 2;
 constexpr uint8_t kMutationMinVersion = 4;
 
@@ -90,7 +95,14 @@ void WriteSseGroups(WireWriter* w, const std::vector<SseTokenGroup>& groups) {
   }
 }
 
+// Backend-encoding flag bits of the v6 row codec.
+constexpr uint8_t kRowFlagDet = 0x01;
+constexpr uint8_t kRowFlagOnion = 0x02;
+
 // Row codec shared by the table upload and the mutation insert list.
+// v6 appends a backend-encoding flag byte plus the optional det tag and
+// onion (nonce, wrapped tag); rows without encodings cost one extra zero
+// byte.
 void WriteEncryptedRow(WireWriter* w, const EncryptedRow& row) {
   w->U32(static_cast<uint32_t>(row.sj.c.size()));
   for (const G2Affine& p : row.sj.c) WriteG2Point(w, p);
@@ -98,9 +110,17 @@ void WriteEncryptedRow(WireWriter* w, const EncryptedRow& row) {
   w->U32(static_cast<uint32_t>(row.sse.tags.size()));
   for (const SseTag& t : row.sse.tags) w->Raw(t.data(), t.size());
   WriteAead(w, row.payload);
+  uint8_t flags = (row.enc.has_det ? kRowFlagDet : 0) |
+                  (row.enc.has_onion ? kRowFlagOnion : 0);
+  w->U8(flags);
+  if (row.enc.has_det) w->Raw(row.enc.det_tag.data(), row.enc.det_tag.size());
+  if (row.enc.has_onion) {
+    w->Raw(row.enc.onion_nonce.data(), row.enc.onion_nonce.size());
+    w->Raw(row.enc.onion_wrapped.data(), row.enc.onion_wrapped.size());
+  }
 }
 
-Result<EncryptedRow> ReadEncryptedRow(WireReader* r) {
+Result<EncryptedRow> ReadEncryptedRow(WireReader* r, uint8_t version) {
   EncryptedRow row;
   auto dim = r->U32();
   SJOIN_RETURN_IF_ERROR(dim.status());
@@ -120,6 +140,25 @@ Result<EncryptedRow> ReadEncryptedRow(WireReader* r) {
   auto payload = ReadAead(r);
   SJOIN_RETURN_IF_ERROR(payload.status());
   row.payload = std::move(*payload);
+  if (version >= 6) {
+    auto flags = r->U8();
+    SJOIN_RETURN_IF_ERROR(flags.status());
+    if ((*flags & ~(kRowFlagDet | kRowFlagOnion)) != 0) {
+      return Status::InvalidArgument("unknown row encoding flags");
+    }
+    if ((*flags & kRowFlagDet) != 0) {
+      row.enc.has_det = true;
+      SJOIN_RETURN_IF_ERROR(
+          r->Raw(row.enc.det_tag.data(), row.enc.det_tag.size()));
+    }
+    if ((*flags & kRowFlagOnion) != 0) {
+      row.enc.has_onion = true;
+      SJOIN_RETURN_IF_ERROR(
+          r->Raw(row.enc.onion_nonce.data(), row.enc.onion_nonce.size()));
+      SJOIN_RETURN_IF_ERROR(
+          r->Raw(row.enc.onion_wrapped.data(), row.enc.onion_wrapped.size()));
+    }
+  }  // v2..v5: no encoding block; row.enc stays all-absent.
   return row;
 }
 
@@ -290,7 +329,8 @@ Bytes SerializeEncryptedTable(const EncryptedTable& table) {
 
 Result<EncryptedTable> DeserializeEncryptedTable(const Bytes& wire) {
   WireReader r(wire);
-  SJOIN_RETURN_IF_ERROR(ExpectHeader(&r, kTagTable).status());
+  auto version = ExpectHeader(&r, kTagTable);
+  SJOIN_RETURN_IF_ERROR(version.status());
   EncryptedTable t;
   auto name = r.Str();
   SJOIN_RETURN_IF_ERROR(name.status());
@@ -322,7 +362,7 @@ Result<EncryptedTable> DeserializeEncryptedTable(const Bytes& wire) {
   auto nrows = r.U32();
   SJOIN_RETURN_IF_ERROR(nrows.status());
   for (uint32_t i = 0; i < *nrows; ++i) {
-    auto row = ReadEncryptedRow(&r);
+    auto row = ReadEncryptedRow(&r, *version);
     SJOIN_RETURN_IF_ERROR(row.status());
     t.rows.push_back(std::move(*row));
   }
@@ -445,6 +485,13 @@ Bytes SerializeQuerySeries(const QuerySeriesTokens& series) {
   }
   w.U32(series.requested_shards);  // v3 shard routing request
   w.U64(series.session_id);        // v5 session routing metadata
+  // v6 backend policy: the client-side ceiling on server-side dispatch,
+  // plus the onion-key release when the policy permits that backend.
+  w.U32(series.allowed_backends);
+  w.U8(series.has_onion_key ? 1 : 0);
+  if (series.has_onion_key) {
+    w.Raw(series.onion_key.data(), series.onion_key.size());
+  }
   return w.Take();
 }
 
@@ -474,6 +521,18 @@ Result<QuerySeriesTokens> DeserializeQuerySeries(const Bytes& wire) {
     SJOIN_RETURN_IF_ERROR(session.status());
     out.session_id = *session;
   }  // v2..v4: no session field; session_id stays 0 (default session).
+  if (*version >= 6) {
+    auto mask = r.U32();
+    SJOIN_RETURN_IF_ERROR(mask.status());
+    out.allowed_backends = *mask;
+    auto has_key = r.U8();
+    SJOIN_RETURN_IF_ERROR(has_key.status());
+    out.has_onion_key = (*has_key != 0);
+    if (out.has_onion_key) {
+      SJOIN_RETURN_IF_ERROR(
+          r.Raw(out.onion_key.data(), out.onion_key.size()));
+    }
+  }  // v2..v5: no policy fields; sjoin-only mask, no key release.
   if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes after series");
   return out;
 }
@@ -503,6 +562,20 @@ Bytes SerializeSeriesResult(const EncryptedSeriesResult& result) {
     w.U64(s.prepared_pairings);
     w.U64(s.prepared_rows_built);
     w.U64(s.prepared_cache_hits);
+  }
+  // v6: the adaptive executor's decision trail -- per-backend query
+  // counts, total pairs charged, and the budget ledger of every table
+  // the batch touched.
+  w.U64(result.stats.backend_sjoin_queries);
+  w.U64(result.stats.backend_det_queries);
+  w.U64(result.stats.backend_onion_queries);
+  w.U64(result.stats.leakage_charged);
+  w.U32(static_cast<uint32_t>(result.stats.budgets.size()));
+  for (const SeriesExecStats::TableBudget& b : result.stats.budgets) {
+    w.Str(b.table);
+    w.U64(b.limit);
+    w.U64(b.spent);
+    w.U64(b.remaining);
   }
   return w.Take();
 }
@@ -551,6 +624,34 @@ Result<EncryptedSeriesResult> DeserializeSeriesResult(const Bytes& wire) {
       out.stats.shard_stats.push_back(s);
     }
   }  // v2: counters end after prepared_cache_hits; shard fields default.
+  if (*version >= 6) {
+    SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.backend_sjoin_queries));
+    SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.backend_det_queries));
+    SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.backend_onion_queries));
+    auto charged = r.U64();
+    SJOIN_RETURN_IF_ERROR(charged.status());
+    out.stats.leakage_charged = *charged;
+    auto nbudgets = r.U32();
+    SJOIN_RETURN_IF_ERROR(nbudgets.status());
+    // No reserve(*nbudgets): untrusted count, same as the results above.
+    for (uint32_t i = 0; i < *nbudgets; ++i) {
+      SeriesExecStats::TableBudget b;
+      auto tname = r.Str();
+      SJOIN_RETURN_IF_ERROR(tname.status());
+      b.table = std::move(*tname);
+      auto limit = r.U64();
+      SJOIN_RETURN_IF_ERROR(limit.status());
+      b.limit = *limit;
+      auto spent = r.U64();
+      SJOIN_RETURN_IF_ERROR(spent.status());
+      b.spent = *spent;
+      auto remaining = r.U64();
+      SJOIN_RETURN_IF_ERROR(remaining.status());
+      b.remaining = *remaining;
+      out.stats.budgets.push_back(std::move(b));
+    }
+  }  // v2..v5: no backend trail; counters and ledger stay at their
+     // zero/empty defaults.
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after series result");
   }
@@ -600,7 +701,7 @@ Result<TableMutation> DeserializeTableMutation(const Bytes& wire) {
   auto nins = r.U32();
   SJOIN_RETURN_IF_ERROR(nins.status());
   for (uint32_t i = 0; i < *nins; ++i) {
-    auto row = ReadEncryptedRow(&r);
+    auto row = ReadEncryptedRow(&r, *version);
     SJOIN_RETURN_IF_ERROR(row.status());
     out.inserts.push_back(std::move(*row));
   }

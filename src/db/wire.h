@@ -4,17 +4,22 @@
 // little-endian framing; elliptic-curve points are serialized uncompressed
 // and validated on-curve when read.
 //
-// Writers emit the current version (v5); readers accept a version window
-// (v2..v5) and decode older payloads with the newer fields at their
+// Writers emit the current version (v6); readers accept a version window
+// (v2..v6) and decode older payloads with the newer fields at their
 // defaults -- v3 added the shard routing request on query series and the
 // per-shard stats breakdown on series results; v4 added the two mutation
 // messages (TableMutation request, MutationResult acknowledgement) and
 // changed no existing layout, so v2/v3 tables, queries, series and
 // results keep decoding unchanged; v5 appended the issuing session id to
 // query-series and mutation messages (scheduler routing metadata; older
-// payloads decode as the default session 0). Mutation messages themselves
-// require v4 (the type did not exist before). Versions outside the window
-// are rejected with a versioned InvalidArgument error.
+// payloads decode as the default session 0); v6 appended the optional
+// fast-backend row encodings (det tag / onion), the client's backend
+// policy mask plus onion-key release on query series, and the
+// per-backend dispatch counters plus leakage-budget ledger snapshot on
+// series results (older payloads decode with no encodings, a sjoin-only
+// policy, and an empty ledger). Mutation messages themselves require v4
+// (the type did not exist before). Versions outside the window are
+// rejected with a versioned InvalidArgument error.
 #ifndef SJOIN_DB_WIRE_H_
 #define SJOIN_DB_WIRE_H_
 

@@ -10,9 +10,11 @@
 //    EraseTable / budget shrinks with the byte-budget invariants checked
 //    after every interleaving.
 //  - The randomized interleaving harness: seeded mixes of series, sharded
-//    series, inserts and deletes across sessions, asserting every series
-//    result is bit-identical to a serial replay of the generations it
-//    pinned (EncryptedSeriesResult::pinned_generations).
+//    series, inserts and deletes across sessions -- some series carrying a
+//    fast-backend policy against seeded per-table leakage budgets --
+//    asserting every series result is bit-identical to a serial replay of
+//    the generations it pinned (EncryptedSeriesResult::pinned_generations)
+//    and that the shared budget ledger never overshoots its limits.
 //
 // Harness knobs (the TSan CI job raises the seed count to 100):
 //   SJOIN_CONCURRENCY_SEEDS      number of seeds (default 6)
@@ -487,7 +489,7 @@ void RunInterleaving(uint64_t seed) {
   constexpr int kOpsPerThread = 3;
 
   EncryptedClient client({.num_attrs = 1, .max_in_clause = 1,
-                          .rng_seed = seed});
+                          .rng_seed = seed, .upload_det_encoding = true});
   EncryptedServer server;
   auto enc_x = client.EncryptTable(MakeKeyed("X", kRows, kDistinct), "k");
   auto enc_y = client.EncryptTable(MakeKeyed("Y", kRows, kDistinct), "k");
@@ -507,7 +509,39 @@ void RunInterleaving(uint64_t seed) {
     auto s3 = client.PrepareChain({KeySpec("X", "Y"), KeySpec("Y", "X")},
                                   tables);
     ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
-    series_pool = {std::move(*s1), std::move(*s2), std::move(*s3)};
+    // Two mixed-backend entries: same shapes, but the series policy
+    // permits the det backend -- whether a query actually routes there
+    // depends on the seeded budgets below, racing on one shared ledger.
+    client.AllowBackends(BackendBit(BackendKind::kDetJoin));
+    auto s4 = client.PrepareSeries({KeySpec("X", "Y")}, tables);
+    auto s5 = client.PrepareSeries({KeySpec("Y", "X"), KeySpec("X", "Y")},
+                                   tables);
+    ASSERT_TRUE(s4.ok() && s5.ok());
+    series_pool = {std::move(*s1), std::move(*s2), std::move(*s3),
+                   std::move(*s4), std::move(*s5)};
+  }
+  // Seeded per-table budgets: 0 (fast dispatch never admitted), a small
+  // bound the full-pattern charge may or may not fit, or unlimited. The
+  // post-run invariant (spent <= limit) must hold under every
+  // interleaving; replay bit-identity holds regardless of which backend
+  // answered, because fast results are byte-identical to pairing results.
+  std::map<std::string, uint64_t> budget_limits;
+  {
+    std::mt19937_64 brng(seed * 31 + 7);
+    for (const char* name : {"X", "Y"}) {
+      switch (brng() % 3) {
+        case 0:
+          budget_limits[name] = 0;
+          break;
+        case 1:
+          budget_limits[name] = 10 + brng() % 60;
+          break;
+        default:
+          budget_limits[name] = LeakageTracker::kUnlimitedBudget;
+          break;
+      }
+      server.SetLeakageBudget(name, budget_limits[name]);
+    }
   }
   // Pre-encrypted single-row insert batches, consumed at most once each.
   std::map<std::string, std::vector<TableMutation>> insert_pool;
@@ -602,6 +636,23 @@ void RunInterleaving(uint64_t seed) {
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
   for (auto& t : threads) t.join();
+
+  // Budget-ledger invariants: however the sessions interleaved, the
+  // monotone ledger never overshoots a limit, and the total charge the
+  // series reported matches what the ledger recorded.
+  uint64_t total_reported = 0;
+  for (const RecordedSeries& rec : recorded) {
+    total_reported += rec.result.stats.leakage_charged;
+  }
+  uint64_t total_recorded = 0;
+  for (const auto& [name, limit] : budget_limits) {
+    uint64_t spent = server.LeakageBudgetSpent(name);
+    EXPECT_LE(spent, limit) << "budget overshoot on " << name;
+    EXPECT_EQ(server.LeakageBudgetLimit(name), limit);
+    total_recorded += spent;
+  }
+  EXPECT_EQ(total_reported, total_recorded)
+      << "per-series charge reports disagree with the shared ledger";
 
   // Serial replay oracle: for every recorded series, load a fresh server
   // with each referenced table rebuilt at the generation the series
