@@ -1,0 +1,196 @@
+// Networked transport throughput: a multi-connection load generator
+// against the TCP front-end (net/tcp_server.h), reporting per-request
+// latency percentiles and aggregate throughput, next to the in-process
+// Submit-API baseline the transport must stay close to.
+//
+//   $ ./build/bench/bench_net_throughput
+//
+// Phase 1 (baseline): 8 concurrent sessions drive the engine directly
+// through SubmitJoinSeries futures -- the PR-5 concurrency harness's
+// steady-state number, with zero serialization and zero syscalls.
+//
+// Phase 2 (loopback): N concurrent TCP connections (default 100; env
+// SJOIN_BENCH_NET_CONNS overrides) each run the same warm series
+// request/response over a real socket: framing, wire codecs, the poll
+// event loop, the per-connection session, the request-order response
+// pipeline. Reported: aggregate q/s, P50/P99 latency.
+//
+// The acceptance line printed at the end compares loopback aggregate
+// throughput to the in-process 8-session baseline: the transport is
+// I/O-shaped, so on a warm series (where the engine does real pairing
+// work per request) the wire overhead must stay small -- the target is
+// >= 80% of baseline. Env knobs: SJOIN_BENCH_FULL=1 for longer, larger
+// runs; SJOIN_BENCH_NET_SECONDS for the per-phase wall budget.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "db/client.h"
+#include "db/server.h"
+#include "net/tcp_client.h"
+#include "net/tcp_server.h"
+
+using namespace sjoin;  // NOLINT: benchmark harness
+
+namespace {
+
+Table MakeTable(const std::string& name, size_t rows, size_t distinct_keys) {
+  Table t(name, Schema({{"k", ValueKind::kInt64},
+                        {"payload", ValueKind::kString}}));
+  for (size_t i = 0; i < rows; ++i) {
+    int64_t key = static_cast<int64_t>(i % distinct_keys);
+    SJOIN_CHECK(t.AppendRow({key, name + "#" + std::to_string(i)}).ok());
+  }
+  return t;
+}
+
+JoinQuerySpec Spec(const std::string& a, const std::string& b) {
+  JoinQuerySpec q;
+  q.table_a = a;
+  q.table_b = b;
+  q.join_column_a = q.join_column_b = "k";
+  return q;
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+using Clock = std::chrono::steady_clock;
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  std::vector<double>& v = *sorted_in_place;
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace
+
+int main() {
+  const bool full = benchutil::FullMode();
+  const size_t rows = full ? 40 : 8;
+  const int connections = EnvInt("SJOIN_BENCH_NET_CONNS", 100);
+  const double seconds =
+      EnvInt("SJOIN_BENCH_NET_SECONDS", full ? 10 : 2);
+  const int kBaselineSessions = 8;
+
+  std::printf("== Networked transport throughput ==\n");
+  std::printf("rows/table %zu, %d connections, %.0fs per phase%s\n\n", rows,
+              connections, seconds, full ? " (full)" : " (quick)");
+
+  EncryptedClient client({.num_attrs = 1, .max_in_clause = 1, .rng_seed = 7});
+  auto enc_a = client.EncryptTable(MakeTable("A", rows, rows / 2), "k");
+  auto enc_b = client.EncryptTable(MakeTable("B", rows, rows / 2), "k");
+  SJOIN_CHECK(enc_a.ok() && enc_b.ok());
+  auto series = client.PrepareSeries({Spec("A", "B")}, {&*enc_a, &*enc_b});
+  SJOIN_CHECK(series.ok());
+
+  // --- Phase 1: in-process 8-session Submit baseline ------------------------
+  double baseline_qps = 0;
+  {
+    EncryptedServer engine(SchedulerOptions{.max_in_flight = 8});
+    SJOIN_CHECK(engine.StoreTable(*enc_a).ok());
+    SJOIN_CHECK(engine.StoreTable(*enc_b).ok());
+    // Warm the prepared-row cache so both phases measure steady state.
+    SJOIN_CHECK(engine.ExecuteJoinSeries(*series, {}).ok());
+
+    std::atomic<uint64_t> done{0};
+    auto deadline = Clock::now() + std::chrono::duration<double>(seconds);
+    std::vector<std::thread> workers;
+    workers.reserve(kBaselineSessions);
+    for (int s = 0; s < kBaselineSessions; ++s) {
+      workers.emplace_back([&] {
+        QuerySeriesTokens mine = *series;
+        while (Clock::now() < deadline) {
+          auto r = engine.SubmitJoinSeries(mine, {}).get();
+          SJOIN_CHECK(r.ok());
+          done.fetch_add(1);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    baseline_qps = static_cast<double>(done.load()) / seconds;
+    std::printf("in-process  %2d sessions   %10.1f series/s\n",
+                kBaselineSessions, baseline_qps);
+  }
+
+  // --- Phase 2: loopback TCP load generator ---------------------------------
+  double net_qps = 0;
+  double p50_ms = 0, p99_ms = 0;
+  {
+    EncryptedServer engine(SchedulerOptions{.max_in_flight = 8});
+    SJOIN_CHECK(engine.StoreTable(*enc_a).ok());
+    SJOIN_CHECK(engine.StoreTable(*enc_b).ok());
+    SJOIN_CHECK(engine.ExecuteJoinSeries(*series, {}).ok());
+    TcpServerOptions sopts;
+    sopts.max_connections = static_cast<size_t>(connections) + 8;
+    TcpServer server(&engine, sopts);
+    SJOIN_CHECK(server.Start().ok());
+
+    std::mutex lat_mu;
+    std::vector<double> latencies_ms;  // merged at thread exit
+    std::atomic<uint64_t> done{0};
+    std::atomic<int> connect_failures{0};
+    auto deadline = Clock::now() + std::chrono::duration<double>(seconds);
+    std::vector<std::thread> conns;
+    conns.reserve(connections);
+    for (int c = 0; c < connections; ++c) {
+      conns.emplace_back([&] {
+        auto cli = TcpClient::Connect("127.0.0.1", server.port());
+        if (!cli.ok()) {
+          connect_failures.fetch_add(1);
+          return;
+        }
+        std::vector<double> mine;
+        while (Clock::now() < deadline) {
+          auto t0 = Clock::now();
+          auto r = cli->ExecuteSeries(*series);
+          SJOIN_CHECK(r.ok());
+          mine.push_back(std::chrono::duration<double, std::milli>(
+                             Clock::now() - t0)
+                             .count());
+          done.fetch_add(1);
+        }
+        std::lock_guard<std::mutex> lock(lat_mu);
+        latencies_ms.insert(latencies_ms.end(), mine.begin(), mine.end());
+      });
+    }
+    for (auto& t : conns) t.join();
+    server.Stop();
+    SJOIN_CHECK(connect_failures.load() == 0);
+
+    net_qps = static_cast<double>(done.load()) / seconds;
+    p50_ms = Percentile(&latencies_ms, 0.50);
+    p99_ms = Percentile(&latencies_ms, 0.99);
+    TcpServer::Stats st = server.stats();
+    std::printf("loopback   %3d connections %10.1f series/s   "
+                "P50 %7.2fms  P99 %7.2fms\n",
+                connections, net_qps, p50_ms, p99_ms);
+    std::printf("           wire: %.1f MiB in, %.1f MiB out, "
+                "%llu requests ok, %llu errors\n",
+                static_cast<double>(st.bytes_in) / (1 << 20),
+                static_cast<double>(st.bytes_out) / (1 << 20),
+                static_cast<unsigned long long>(st.requests_ok),
+                static_cast<unsigned long long>(st.requests_error));
+  }
+
+  const double ratio = baseline_qps > 0 ? net_qps / baseline_qps : 0;
+  std::printf("\nloopback vs in-process baseline: %.0f%% (target >= 80%%)\n",
+              100.0 * ratio);
+  if (ratio < 0.8) {
+    std::printf("BELOW TARGET: the transport is adding more than 20%% "
+                "overhead on a warm series workload\n");
+    return 1;
+  }
+  return 0;
+}

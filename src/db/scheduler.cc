@@ -24,6 +24,11 @@ Status RequestScheduler::Enqueue(SessionId session, Kind kind,
   std::vector<std::function<void()>> launch;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      ++rejected_;
+      return Status::FailedPrecondition(
+          "request scheduler is shut down (server stopping)");
+    }
     SessionQueue& q = queues_[session];
     if (q.waiting.size() >= opts_.max_queued_per_session) {
       ++rejected_;
@@ -122,6 +127,19 @@ void RequestScheduler::OnRequestDone(SessionId session, Kind kind,
 void RequestScheduler::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queued_ == 0 && in_flight_ == 0; });
+}
+
+void RequestScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;  // the admission cutoff; already-queued work drains
+  }
+  Drain();
+}
+
+bool RequestScheduler::stopped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stopped_;
 }
 
 RequestScheduler::Stats RequestScheduler::stats() const {

@@ -73,13 +73,25 @@ class RequestScheduler {
 
   /// Admits one request: `fn` will run on the shared ThreadPool under the
   /// policy above. `table` is the mutation's target (ignored for kRead).
-  /// Fails -- without queueing -- for a closed/unknown session or a full
-  /// session queue; the caller owns reporting the error to the client.
+  /// Fails -- without queueing -- for a closed/unknown session, a full
+  /// session queue, or a shut-down scheduler; the caller owns reporting
+  /// the error to the client.
   Status Enqueue(SessionId session, Kind kind, std::string table,
                  std::function<void()> fn);
 
   /// Blocks until every admitted request has completed.
   void Drain();
+
+  /// Stops admission, then drains. Every later Enqueue fails with a
+  /// FailedPrecondition -- a transport thread racing the server's
+  /// teardown gets a clean error to put on the wire instead of a request
+  /// silently admitted into (or dropped by) a dying scheduler. Idempotent;
+  /// safe to call while other threads are mid-Enqueue: they either
+  /// admitted before the cutoff (and are drained here) or fail cleanly.
+  void Shutdown();
+
+  /// True once Shutdown began; Enqueue will refuse.
+  bool stopped() const;
 
   struct Stats {
     uint64_t admitted = 0;
@@ -117,6 +129,7 @@ class RequestScheduler {
   /// first, so the session served last yields to the others.
   SessionId rr_cursor_ = 0;
   std::set<std::string> mutating_tables_;
+  bool stopped_ = false;  // Shutdown began; admission refused
   int in_flight_ = 0;
   size_t queued_ = 0;
   uint64_t admitted_ = 0;

@@ -753,18 +753,50 @@ const PreparedRowCache* EncryptedServer::shard_cache(size_t shard) const {
   return (*shard_caches_)[shard].get();
 }
 
+void EncryptedServer::SubmitJoinSeriesAsync(
+    QuerySeriesTokens series, ServerExecOptions opts,
+    std::function<void(Result<EncryptedSeriesResult>)> done) {
+  SessionId session = series.session_id;
+  auto request = std::make_shared<QuerySeriesTokens>(std::move(series));
+  auto cb = std::make_shared<decltype(done)>(std::move(done));
+  Status admitted = scheduler_.Enqueue(
+      session, RequestScheduler::Kind::kRead, "",
+      [this, request, opts, cb] { (*cb)(ExecuteJoinSeries(*request, opts)); });
+  if (!admitted.ok()) (*cb)(admitted);
+}
+
+void EncryptedServer::SubmitJoinSeriesShardedAsync(
+    QuerySeriesTokens series, ServerExecOptions opts,
+    std::function<void(Result<EncryptedSeriesResult>)> done) {
+  SessionId session = series.session_id;
+  auto request = std::make_shared<QuerySeriesTokens>(std::move(series));
+  auto cb = std::make_shared<decltype(done)>(std::move(done));
+  Status admitted = scheduler_.Enqueue(
+      session, RequestScheduler::Kind::kRead, "", [this, request, opts, cb] {
+        (*cb)(ExecuteJoinSeriesSharded(*request, opts));
+      });
+  if (!admitted.ok()) (*cb)(admitted);
+}
+
+void EncryptedServer::SubmitMutationAsync(
+    TableMutation mutation, std::function<void(Result<MutationResult>)> done) {
+  SessionId session = mutation.session_id;
+  std::string table = mutation.table;
+  auto request = std::make_shared<TableMutation>(std::move(mutation));
+  auto cb = std::make_shared<decltype(done)>(std::move(done));
+  Status admitted = scheduler_.Enqueue(
+      session, RequestScheduler::Kind::kMutation, std::move(table),
+      [this, request, cb] { (*cb)(ApplyMutation(*request)); });
+  if (!admitted.ok()) (*cb)(admitted);
+}
+
 std::future<Result<EncryptedSeriesResult>> EncryptedServer::SubmitJoinSeries(
     QuerySeriesTokens series, ServerExecOptions opts) {
   auto prom = std::make_shared<std::promise<Result<EncryptedSeriesResult>>>();
   auto fut = prom->get_future();
-  SessionId session = series.session_id;
-  auto request = std::make_shared<QuerySeriesTokens>(std::move(series));
-  Status admitted = scheduler_.Enqueue(
-      session, RequestScheduler::Kind::kRead, "",
-      [this, prom, request, opts] {
-        prom->set_value(ExecuteJoinSeries(*request, opts));
-      });
-  if (!admitted.ok()) prom->set_value(admitted);
+  SubmitJoinSeriesAsync(
+      std::move(series), opts,
+      [prom](Result<EncryptedSeriesResult> r) { prom->set_value(std::move(r)); });
   return fut;
 }
 
@@ -773,14 +805,9 @@ EncryptedServer::SubmitJoinSeriesSharded(QuerySeriesTokens series,
                                          ServerExecOptions opts) {
   auto prom = std::make_shared<std::promise<Result<EncryptedSeriesResult>>>();
   auto fut = prom->get_future();
-  SessionId session = series.session_id;
-  auto request = std::make_shared<QuerySeriesTokens>(std::move(series));
-  Status admitted = scheduler_.Enqueue(
-      session, RequestScheduler::Kind::kRead, "",
-      [this, prom, request, opts] {
-        prom->set_value(ExecuteJoinSeriesSharded(*request, opts));
-      });
-  if (!admitted.ok()) prom->set_value(admitted);
+  SubmitJoinSeriesShardedAsync(
+      std::move(series), opts,
+      [prom](Result<EncryptedSeriesResult> r) { prom->set_value(std::move(r)); });
   return fut;
 }
 
@@ -788,13 +815,9 @@ std::future<Result<MutationResult>> EncryptedServer::SubmitMutation(
     TableMutation mutation) {
   auto prom = std::make_shared<std::promise<Result<MutationResult>>>();
   auto fut = prom->get_future();
-  SessionId session = mutation.session_id;
-  std::string table = mutation.table;
-  auto request = std::make_shared<TableMutation>(std::move(mutation));
-  Status admitted = scheduler_.Enqueue(
-      session, RequestScheduler::Kind::kMutation, std::move(table),
-      [this, prom, request] { prom->set_value(ApplyMutation(*request)); });
-  if (!admitted.ok()) prom->set_value(admitted);
+  SubmitMutationAsync(std::move(mutation), [prom](Result<MutationResult> r) {
+    prom->set_value(std::move(r));
+  });
   return fut;
 }
 

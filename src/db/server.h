@@ -17,6 +17,7 @@
 #ifndef SJOIN_DB_SERVER_H_
 #define SJOIN_DB_SERVER_H_
 
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -154,6 +155,33 @@ class EncryptedServer {
   std::future<Result<EncryptedSeriesResult>> SubmitJoinSeriesSharded(
       QuerySeriesTokens series, ServerExecOptions opts = {});
   std::future<Result<MutationResult>> SubmitMutation(TableMutation mutation);
+
+  // Push-completion variants for transports: same scheduler path as the
+  // future-returning Submit* (they are implemented on top of these), but
+  // `done` is invoked with the result -- on the pool thread that executed
+  // the request, or inline on the submitting thread when admission fails.
+  // std::future has no continuation hook, and an event-loop transport
+  // cannot park a thread per in-flight request; a callback lets the
+  // socket layer serialize the response the moment it exists. `done` must
+  // not block for long (it runs on a shared pool worker) and must
+  // tolerate being the last reference to its captures (the connection may
+  // be gone by completion time).
+  void SubmitJoinSeriesAsync(
+      QuerySeriesTokens series, ServerExecOptions opts,
+      std::function<void(Result<EncryptedSeriesResult>)> done);
+  void SubmitJoinSeriesShardedAsync(
+      QuerySeriesTokens series, ServerExecOptions opts,
+      std::function<void(Result<EncryptedSeriesResult>)> done);
+  void SubmitMutationAsync(TableMutation mutation,
+                           std::function<void(Result<MutationResult>)> done);
+
+  /// Stops the Submit* layer: in-flight and queued requests drain, every
+  /// later submission resolves with a clean FailedPrecondition (never a
+  /// silent drop -- the regression tests/net_test.cc pins: a transport
+  /// still enqueuing during teardown must get an error it can put on the
+  /// wire). Synchronous Execute* calls keep working; shut transports
+  /// down BEFORE the engine so their in-flight requests drain here.
+  void Shutdown() { scheduler_.Shutdown(); }
 
   /// Scheduler counters (admitted/rejected/completed/in-flight/queued).
   RequestScheduler::Stats scheduler_stats() const {

@@ -1,0 +1,146 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace sjoin {
+
+namespace {
+
+void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+/// StatusCode <-> wire byte for the kError payload. Unknown bytes decode
+/// as kInternal: a peer speaking a newer error vocabulary still surfaces
+/// as an error, never as silence.
+uint8_t CodeByte(StatusCode c) { return static_cast<uint8_t>(c); }
+
+StatusCode ByteCode(uint8_t b) {
+  switch (b) {
+    case 1: return StatusCode::kInvalidArgument;
+    case 2: return StatusCode::kNotFound;
+    case 3: return StatusCode::kAlreadyExists;
+    case 4: return StatusCode::kFailedPrecondition;
+    case 5: return StatusCode::kOutOfRange;
+    default: return StatusCode::kInternal;
+  }
+}
+
+}  // namespace
+
+Bytes EncodeFrame(FrameType type, const Bytes& payload) {
+  Bytes out(kFrameHeaderSize + payload.size());
+  std::memcpy(out.data(), kFrameMagic.data(), kFrameMagic.size());
+  out[4] = kFrameVersion;
+  out[5] = static_cast<uint8_t>(type);
+  out[6] = 0;  // flags, reserved
+  out[7] = 0;
+  PutU32(out.data() + 8, static_cast<uint32_t>(payload.size()));
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kFrameHeaderSize, payload.data(), payload.size());
+  }
+  return out;
+}
+
+Bytes EncodeErrorPayload(const Status& status) {
+  const std::string& m = status.message();
+  Bytes out(5 + m.size());
+  out[0] = CodeByte(status.code());
+  PutU32(out.data() + 1, static_cast<uint32_t>(m.size()));
+  if (!m.empty()) std::memcpy(out.data() + 5, m.data(), m.size());
+  return out;
+}
+
+Status DecodeErrorPayload(const Bytes& payload) {
+  if (payload.size() < 5) {
+    return Status::InvalidArgument("error frame payload truncated");
+  }
+  uint32_t len = GetU32(payload.data() + 1);
+  if (payload.size() != size_t{5} + len) {
+    return Status::InvalidArgument("error frame payload length mismatch");
+  }
+  std::string msg(payload.begin() + 5, payload.end());
+  return Status(ByteCode(payload[0]), std::move(msg));
+}
+
+Status FrameReader::Feed(const uint8_t* data, size_t len) {
+  if (error_) return error_status_;
+  auto poison = [this](Status st) {
+    error_ = true;
+    error_status_ = st;
+    return st;
+  };
+  size_t pos = 0;
+  while (pos < len) {
+    if (!in_payload_) {
+      size_t want = kFrameHeaderSize - header_fill_;
+      size_t take = std::min(want, len - pos);
+      std::memcpy(header_.data() + header_fill_, data + pos, take);
+      header_fill_ += take;
+      pos += take;
+      if (header_fill_ < kFrameHeaderSize) break;
+      // Full header: validate before trusting the length prefix.
+      if (std::memcmp(header_.data(), kFrameMagic.data(),
+                      kFrameMagic.size()) != 0) {
+        return poison(Status::InvalidArgument("bad frame magic"));
+      }
+      if (header_[4] != kFrameVersion) {
+        return poison(Status::InvalidArgument(
+            "unsupported frame version " + std::to_string(header_[4])));
+      }
+      if (header_[5] == 0 || header_[5] > kMaxFrameType) {
+        return poison(Status::InvalidArgument(
+            "unknown frame type " + std::to_string(header_[5])));
+      }
+      if (header_[6] != 0 || header_[7] != 0) {
+        return poison(Status::InvalidArgument("nonzero reserved frame flags"));
+      }
+      uint32_t length = GetU32(header_.data() + 8);
+      if (length > max_frame_bytes_) {
+        return poison(Status::InvalidArgument(
+            "frame payload of " + std::to_string(length) +
+            " bytes exceeds the " + std::to_string(max_frame_bytes_) +
+            "-byte cap"));
+      }
+      building_.type = static_cast<FrameType>(header_[5]);
+      building_.payload.assign(length, 0);
+      payload_size_ = length;
+      payload_fill_ = 0;
+      in_payload_ = true;
+    }
+    if (in_payload_) {
+      size_t take = std::min(payload_size_ - payload_fill_, len - pos);
+      if (take > 0) {
+        std::memcpy(building_.payload.data() + payload_fill_, data + pos, take);
+      }
+      payload_fill_ += take;
+      pos += take;
+      if (payload_fill_ == payload_size_) {
+        complete_.push_back(std::move(building_));
+        building_ = Frame{};
+        header_fill_ = 0;
+        payload_fill_ = 0;
+        payload_size_ = 0;
+        in_payload_ = false;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Frame FrameReader::Next() {
+  SJOIN_CHECK(!complete_.empty());
+  Frame f = std::move(complete_.front());
+  complete_.pop_front();
+  return f;
+}
+
+}  // namespace sjoin

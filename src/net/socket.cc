@@ -1,0 +1,203 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace sjoin {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::string(strerror(errno)));
+}
+
+Result<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  // Numeric IPv4 only: the transport binds loopback / explicit addresses;
+  // name resolution is an ops concern that stays out of the engine.
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd_);
+    } while (rc != 0 && errno == EINTR);
+    fd_ = -1;
+  }
+}
+
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog) {
+  auto addr = ResolveV4(host, port);
+  SJOIN_RETURN_IF_ERROR(addr.status());
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&*addr),
+             sizeof(*addr)) != 0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) != 0) return Errno("listen");
+  SJOIN_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  return fd;
+}
+
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
+                            int timeout_ms) {
+  auto addr = ResolveV4(host, port);
+  SJOIN_RETURN_IF_ERROR(addr.status());
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket");
+  SJOIN_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&*addr),
+                     sizeof(*addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Errno("connect " + host + ":" + std::to_string(port));
+  }
+  if (rc != 0) {
+    pollfd p{fd.get(), POLLOUT, 0};
+    int pr;
+    do {
+      pr = ::poll(&p, 1, timeout_ms);
+    } while (pr < 0 && errno == EINTR);
+    if (pr == 0) {
+      return Status::FailedPrecondition(
+          "connect timed out after " + std::to_string(timeout_ms) + "ms");
+    }
+    if (pr < 0) return Errno("poll(connect)");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      return Status::Internal("connect " + host + ":" +
+                              std::to_string(port) + ": " + strerror(err));
+    }
+  }
+  // Back to blocking: the client enforces timeouts with poll() per call.
+  int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    return Errno("fcntl(blocking)");
+  }
+  SetNoDelay(fd.get());
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Result<IoResult> ReadSome(int fd, uint8_t* buf, size_t len) {
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, len, 0);
+    if (n > 0) return IoResult{static_cast<size_t>(n), false, false};
+    if (n == 0) return IoResult{0, false, true};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoResult{0, true, false};
+    }
+    return Errno("recv");
+  }
+}
+
+Result<IoResult> WriteSome(int fd, const uint8_t* buf, size_t len) {
+  for (;;) {
+    ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n >= 0) return IoResult{static_cast<size_t>(n), false, false};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoResult{0, true, false};
+    }
+    return Errno("send");
+  }
+}
+
+namespace {
+
+/// Polls for `events` or fails with a timeout error.
+Status PollFor(int fd, short events, int timeout_ms, const char* what) {
+  pollfd p{fd, events, 0};
+  int pr;
+  do {
+    pr = ::poll(&p, 1, timeout_ms);
+  } while (pr < 0 && errno == EINTR);
+  if (pr < 0) return Errno("poll");
+  if (pr == 0) {
+    return Status::FailedPrecondition(std::string(what) + " timed out after " +
+                                      std::to_string(timeout_ms) + "ms");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteAll(int fd, const uint8_t* buf, size_t len, int timeout_ms) {
+  size_t off = 0;
+  while (off < len) {
+    SJOIN_RETURN_IF_ERROR(PollFor(fd, POLLOUT, timeout_ms, "write"));
+    auto io = WriteSome(fd, buf + off, len - off);
+    SJOIN_RETURN_IF_ERROR(io.status());
+    off += io->n;
+  }
+  return Status::OK();
+}
+
+Status ReadFull(int fd, uint8_t* buf, size_t len, int timeout_ms) {
+  size_t off = 0;
+  while (off < len) {
+    SJOIN_RETURN_IF_ERROR(PollFor(fd, POLLIN, timeout_ms, "read"));
+    auto io = ReadSome(fd, buf + off, len - off);
+    SJOIN_RETURN_IF_ERROR(io.status());
+    if (io->eof) {
+      return Status::FailedPrecondition(
+          "connection closed by peer mid-message");
+    }
+    off += io->n;
+  }
+  return Status::OK();
+}
+
+Result<IoResult> ReadAvailable(int fd, uint8_t* buf, size_t len,
+                               int timeout_ms) {
+  SJOIN_RETURN_IF_ERROR(PollFor(fd, POLLIN, timeout_ms, "read"));
+  return ReadSome(fd, buf, len);
+}
+
+}  // namespace sjoin

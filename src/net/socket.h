@@ -1,0 +1,89 @@
+// Thin POSIX socket helpers shared by TcpServer and TcpClient: RAII fd
+// ownership and EINTR/EAGAIN-aware read/write wrappers. Everything here
+// is transport plumbing -- no framing, no crypto.
+#ifndef SJOIN_NET_SOCKET_H_
+#define SJOIN_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/hex.h"
+#include "util/status.h"
+
+namespace sjoin {
+
+/// Owning file descriptor (close on destruction). Movable, not copyable.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+  UniqueFd(UniqueFd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens on host:port (port 0: kernel-assigned; read it back
+/// with LocalPort). The fd is nonblocking with SO_REUSEADDR set.
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog);
+
+/// Connects to host:port within `timeout_ms` (nonblocking connect +
+/// poll). The returned fd is BLOCKING with TCP_NODELAY set -- the
+/// client's request/response exchanges are latency-bound, and its
+/// per-call timeouts are enforced with poll() before each transfer.
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
+                            int timeout_ms);
+
+/// The locally bound port of a socket (the answer to "port 0").
+Result<uint16_t> LocalPort(int fd);
+
+Status SetNonBlocking(int fd);
+void SetNoDelay(int fd);
+
+/// One nonblocking read. `n` > 0: bytes read; n == 0 with eof: orderly
+/// shutdown from the peer; n == 0 with would_block: no data right now.
+/// Any hard error returns non-OK.
+struct IoResult {
+  size_t n = 0;
+  bool would_block = false;
+  bool eof = false;
+};
+Result<IoResult> ReadSome(int fd, uint8_t* buf, size_t len);
+
+/// One nonblocking write (SIGPIPE suppressed; a gone peer surfaces as an
+/// error, never a signal).
+Result<IoResult> WriteSome(int fd, const uint8_t* buf, size_t len);
+
+/// Blocking-with-timeout helpers for the client side: poll for
+/// readability/writability, then transfer. A lapsed timeout is a
+/// FailedPrecondition (distinct from peer errors).
+Status WriteAll(int fd, const uint8_t* buf, size_t len, int timeout_ms);
+Status ReadFull(int fd, uint8_t* buf, size_t len, int timeout_ms);
+
+/// Polls up to `timeout_ms` for readability, then reads whatever is
+/// available (at most `len`). Returns eof on orderly peer shutdown; a
+/// lapsed timeout is a FailedPrecondition.
+Result<IoResult> ReadAvailable(int fd, uint8_t* buf, size_t len,
+                               int timeout_ms);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_NET_SOCKET_H_
