@@ -89,6 +89,60 @@ struct EncryptedServer::SeriesPlanState {
   std::vector<std::pair<Unit*, size_t>> pending;
 };
 
+/// One (decrypt-unit x shard) slice of the batched SJ.Dec pass: the
+/// pending rows of one unit that hash to one shard. The local sharded
+/// path chunks these further for pool granularity; the delegated path
+/// ships each as one worker RPC.
+struct EncryptedServer::ShardWorkUnit {
+  SeriesPlanState::Unit* unit = nullptr;
+  size_t shard = 0;
+  std::vector<size_t> rows;  ///< positions within the unit's snapshot
+};
+
+std::vector<EncryptedServer::ShardWorkUnit> EncryptedServer::BuildShardUnits(
+    const SeriesPlanState& state,
+    const std::function<size_t(const EncryptedTable*, size_t)>& shard_of,
+    size_t rows_per_chunk) {
+  std::vector<ShardWorkUnit> groups;
+  {
+    std::map<std::pair<const SeriesPlanState::Unit*, size_t>, size_t> index;
+    for (const auto& [unit, row] : state.pending) {
+      size_t shard = shard_of(unit->table, row);
+      auto key = std::make_pair(
+          static_cast<const SeriesPlanState::Unit*>(unit), shard);
+      auto it = index.find(key);
+      if (it == index.end()) {
+        it = index.emplace(key, groups.size()).first;
+        groups.push_back(ShardWorkUnit{unit, shard, {}});
+      }
+      groups[it->second].rows.push_back(row);
+    }
+  }
+  if (rows_per_chunk == 0) return groups;
+  std::vector<ShardWorkUnit> work;
+  for (ShardWorkUnit& group : groups) {
+    for (size_t off = 0; off < group.rows.size(); off += rows_per_chunk) {
+      ShardWorkUnit chunk;
+      chunk.unit = group.unit;
+      chunk.shard = group.shard;
+      chunk.rows.assign(
+          group.rows.begin() + off,
+          group.rows.begin() +
+              std::min(off + rows_per_chunk, group.rows.size()));
+      work.push_back(std::move(chunk));
+    }
+  }
+  return work;
+}
+
+void EncryptedServer::MergeShardDigests(const ShardWorkUnit& wu,
+                                        const std::vector<Digest32>& digests) {
+  SJOIN_CHECK(digests.size() == wu.rows.size());
+  for (size_t i = 0; i < wu.rows.size(); ++i) {
+    wu.unit->digests[wu.rows[i]] = digests[i];
+  }
+}
+
 Status EncryptedServer::StoreTable(EncryptedTable table) {
   TableIdFor(table.name);
   return store_.Store(std::move(table));
@@ -624,48 +678,19 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesSharded(
   // the low shard ids only. Each work unit decrypts through its shard's
   // own prepared-row cache partition -- two hot shards never contend on
   // one LRU lock, and a scan evicting one partition cannot cool the
-  // others. Large work units are then subdivided into row chunks before
-  // scheduling, so pool parallelism stays bounded by pending rows rather
-  // than by K x units (a K=1 series over one big table must still use
-  // every thread); a chunk stays within one shard, so cache routing and
-  // stats attribution are unchanged.
+  // others. Large work units are subdivided into ~8-row chunks (tens of
+  // ms of pairings: coarse enough that task overhead is noise, fine
+  // enough that stragglers cannot idle the pool), so parallelism stays
+  // bounded by pending rows rather than by K x units (a K=1 series over
+  // one big table must still use every thread).
   Stopwatch decrypt_watch;
-  struct WorkUnit {
-    SeriesPlanState::Unit* unit = nullptr;
-    size_t shard = 0;
-    std::vector<size_t> rows;
-  };
-  std::vector<WorkUnit> groups;
-  {
-    std::map<std::pair<const SeriesPlanState::Unit*, size_t>, size_t> index;
-    for (const auto& [unit, row] : state.pending) {
-      size_t shard = views.at(unit->table)->shard_of(row);
-      auto key = std::make_pair(static_cast<const SeriesPlanState::Unit*>(unit),
-                                shard);
-      auto it = index.find(key);
-      if (it == index.end()) {
-        it = index.emplace(key, groups.size()).first;
-        groups.push_back(WorkUnit{unit, shard, {}});
-      }
-      groups[it->second].rows.push_back(row);
-    }
-  }
-  // ~8 pairings (tens of ms) per task: coarse enough that task overhead
-  // is noise, fine enough that stragglers cannot idle the pool.
   constexpr size_t kRowsPerTask = 8;
-  std::vector<WorkUnit> work;
-  for (WorkUnit& group : groups) {
-    for (size_t off = 0; off < group.rows.size(); off += kRowsPerTask) {
-      WorkUnit chunk;
-      chunk.unit = group.unit;
-      chunk.shard = group.shard;
-      chunk.rows.assign(
-          group.rows.begin() + off,
-          group.rows.begin() +
-              std::min(off + kRowsPerTask, group.rows.size()));
-      work.push_back(std::move(chunk));
-    }
-  }
+  std::vector<ShardWorkUnit> work = BuildShardUnits(
+      state,
+      [&](const EncryptedTable* t, size_t row) {
+        return views.at(t)->shard_of(row);
+      },
+      kRowsPerTask);
 
   // Per-shard cache partitions, each with an even split of the byte
   // budget. A different K than last time republishes a fresh partition
@@ -694,10 +719,12 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesSharded(
   std::mutex stats_mu;
   ThreadPool::Shared().ParallelFor(
       work.size(), opts.num_threads, [&](size_t wi) {
-        WorkUnit& wu = work[wi];
+        const ShardWorkUnit& wu = work[wi];
         PreparedRowCache* cache =
             use_prepared ? (*caches)[wu.shard].get() : nullptr;
         ShardExecStats local;
+        std::vector<Digest32> digests;
+        digests.reserve(wu.rows.size());
         for (size_t row : wu.rows) {
           const SjRowCiphertext& ct = wu.unit->table->rows[row].sj;
           std::shared_ptr<const SjPreparedRow> prep;
@@ -707,16 +734,17 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesSharded(
                               (*wu.unit->row_ids)[row], ct, &built);
           }
           if (prep) {
-            wu.unit->digests[row] =
-                SecureJoin::DecryptToDigestPrepared(*wu.unit->token, *prep);
+            digests.push_back(
+                SecureJoin::DecryptToDigestPrepared(*wu.unit->token, *prep));
             ++(built ? local.prepared_rows_built : local.prepared_cache_hits);
           } else {
-            wu.unit->digests[row] =
-                SecureJoin::DecryptToDigest(*wu.unit->token, ct);
+            digests.push_back(
+                SecureJoin::DecryptToDigest(*wu.unit->token, ct));
             ++local.pairings_computed;
           }
           ++local.decrypts_performed;
         }
+        MergeShardDigests(wu, digests);
         local.prepared_pairings =
             local.prepared_rows_built + local.prepared_cache_hits;
         std::lock_guard<std::mutex> lock(stats_mu);
@@ -730,6 +758,127 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesSharded(
   // Merge the per-shard counters into the series totals the existing wire
   // fields carry; the invariant "totals == per-shard sums" is asserted by
   // tests/shard_test.cc.
+  for (const ShardExecStats& s : out.stats.shard_stats) {
+    out.stats.pairings_computed += s.pairings_computed;
+    out.stats.prepared_pairings += s.prepared_pairings;
+    out.stats.prepared_rows_built += s.prepared_rows_built;
+    out.stats.prepared_cache_hits += s.prepared_cache_hits;
+  }
+  out.stats.decrypt_seconds = decrypt_watch.Seconds();
+
+  FinishSeries(state, opts, &out);
+  return out;
+}
+
+Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesDelegated(
+    const QuerySeriesTokens& series, const ServerExecOptions& opts,
+    size_t placement_shards, const ShardDecryptFn& decrypt) {
+  EncryptedSeriesResult out;
+  out.stats.queries = series.queries.size();
+  SeriesPlanState state;
+  SJOIN_RETURN_IF_ERROR(BuildSeriesPlan(series, opts, &out.stats, &state));
+
+  // Placement width is FIXED cluster-wide: the coordinator partitioned
+  // every table K ways by row digest when it uploaded the shards, so K is
+  // NOT re-clamped per table the way the local sharded path clamps it --
+  // a 3-row table under K = 8 simply leaves five shards empty. Routing
+  // must agree with upload-time placement exactly or requests would land
+  // on workers that do not hold the rows.
+  size_t k = std::min<size_t>(std::max<size_t>(placement_shards, 1),
+                              ShardedTable::kMaxShards);
+  out.stats.shards = series.queries.empty() ? 0 : k;
+  out.stats.shard_stats.assign(out.stats.shards, ShardExecStats{});
+
+  // One RPC per (unit x shard): rows_per_chunk = 0 disables the local
+  // path's ~8-row chunking. Worker round-trip latency dominates task
+  // granularity here, and fewer, bigger requests amortize the framing.
+  Stopwatch decrypt_watch;
+  std::vector<ShardWorkUnit> work = BuildShardUnits(
+      state,
+      [&](const EncryptedTable* t, size_t row) {
+        return ShardedTable::ShardOfDigest(
+            ShardedTable::RowDigest(t->rows[row]), k);
+      },
+      /*rows_per_chunk=*/0);
+
+  std::mutex merge_mu;
+  Status first_error;
+  ThreadPool::Shared().ParallelFor(
+      work.size(), opts.num_threads, [&](size_t wi) {
+        {
+          std::lock_guard<std::mutex> lock(merge_mu);
+          if (!first_error.ok()) return;  // a sibling RPC already failed
+        }
+        const ShardWorkUnit& wu = work[wi];
+        ShardDecryptRequest req;
+        req.table = wu.unit->table->name;
+        req.generation = state.snapshots.at(wu.unit->table->name).generation;
+        req.shard = static_cast<uint32_t>(wu.shard);
+        req.token = *wu.unit->token;
+        req.rows.reserve(wu.rows.size());
+        for (size_t row : wu.rows) {
+          req.rows.push_back((*wu.unit->row_ids)[row]);
+        }
+
+        Result<ShardDecryptResponse> resp = decrypt(req);
+        Status err;
+        ShardExecStats local;
+        std::vector<Digest32> digests;
+        if (!resp.ok()) {
+          err = resp.status();
+        } else if (resp->have.size() != wu.rows.size()) {
+          err = Status::Internal(
+              "shard decrypt response for table '" + req.table + "' answers " +
+              std::to_string(resp->have.size()) + " rows, requested " +
+              std::to_string(wu.rows.size()));
+        } else {
+          local = resp->stats;
+          digests.reserve(wu.rows.size());
+          size_t next = 0;
+          for (size_t i = 0; i < wu.rows.size() && err.ok(); ++i) {
+            if (resp->have[i]) {
+              if (next >= resp->digests.size()) {
+                err = Status::Internal(
+                    "shard decrypt response for table '" + req.table +
+                    "' has fewer digests than its presence bitmap claims");
+                break;
+              }
+              digests.push_back(resp->digests[next++]);
+            } else {
+              // The worker no longer holds this row (a mutation slice
+              // raced the snapshot pin). The pinned snapshot still does,
+              // so decrypt locally -- SJ.Dec sees only (ciphertext,
+              // token), so the digest is identical either way.
+              digests.push_back(SecureJoin::DecryptToDigest(
+                  *wu.unit->token, wu.unit->table->rows[wu.rows[i]].sj));
+              ++local.decrypts_performed;
+              ++local.pairings_computed;
+            }
+          }
+          if (err.ok() && next != resp->digests.size()) {
+            err = Status::Internal(
+                "shard decrypt response for table '" + req.table +
+                "' has more digests than its presence bitmap claims");
+          }
+        }
+        if (err.ok()) {
+          // Work units partition the pending rows, so sibling merges
+          // never overlap; no lock needed for the digest write-back.
+          MergeShardDigests(wu, digests);
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        if (!err.ok()) {
+          if (first_error.ok()) first_error = err;
+          return;
+        }
+        ShardExecStats& merged = out.stats.shard_stats[wu.shard];
+        merged.decrypts_performed += local.decrypts_performed;
+        merged.pairings_computed += local.pairings_computed;
+        merged.prepared_pairings += local.prepared_pairings;
+        merged.prepared_rows_built += local.prepared_rows_built;
+        merged.prepared_cache_hits += local.prepared_cache_hits;
+      });
+  if (!first_error.ok()) return first_error;
   for (const ShardExecStats& s : out.stats.shard_stats) {
     out.stats.pairings_computed += s.pairings_computed;
     out.stats.prepared_pairings += s.prepared_pairings;

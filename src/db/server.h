@@ -33,6 +33,7 @@
 #include "db/session.h"
 #include "db/sharded_table.h"
 #include "db/table_store.h"
+#include "db/wire.h"  // ShardDecryptRequest/Response (delegated SJ.Dec)
 
 namespace sjoin {
 
@@ -132,6 +133,31 @@ class EncryptedServer {
   /// generation-consistent snapshots as the unsharded path.
   Result<EncryptedSeriesResult> ExecuteJoinSeriesSharded(
       const QuerySeriesTokens& series, const ServerExecOptions& opts = {});
+
+  /// The SJ.Dec delegate of ExecuteJoinSeriesDelegated: answers one
+  /// (decrypt-unit x placement-shard) slice of the batched decrypt pass
+  /// -- in src/dist, a worker RPC. Invoked concurrently from pool
+  /// threads; a non-OK result fails the whole series with that status.
+  using ShardDecryptFn =
+      std::function<Result<ShardDecryptResponse>(const ShardDecryptRequest&)>;
+
+  /// ExecuteJoinSeriesSharded with the SJ.Dec pass delegated slice by
+  /// slice: planning, dedup, SJ.Match, leakage and budget accounting all
+  /// run locally against this server's pinned snapshots, and only the
+  /// pairing work goes through `decrypt`. Rows are routed to placement
+  /// shards by ShardedTable::ShardOfDigest under a FIXED width
+  /// `placement_shards` (the cluster's K, not the per-table clamp --
+  /// uploads were partitioned under it, so routing must match). Digests
+  /// depend only on (ciphertext, token), never on where they were
+  /// computed, so per-query results are byte-identical to the local
+  /// sharded path (asserted by tests/dist_test.cc); stats report the
+  /// delegate's counters per placement shard. A row the delegate reports
+  /// missing (ShardDecryptResponse::have) is decrypted locally from the
+  /// pinned snapshot -- a worker that already applied a newer mutation
+  /// cannot skew a snapshot-isolated series.
+  Result<EncryptedSeriesResult> ExecuteJoinSeriesDelegated(
+      const QuerySeriesTokens& series, const ServerExecOptions& opts,
+      size_t placement_shards, const ShardDecryptFn& decrypt);
 
   // --- Concurrent session layer -------------------------------------------
   //
@@ -247,6 +273,26 @@ class EncryptedServer {
 
  private:
   struct SeriesPlanState;  // defined in server.cc
+  /// One (decrypt-unit x shard) slice of a series' batched SJ.Dec pass:
+  /// the pending rows of one unit that hash to one shard, optionally
+  /// chunked further for pool granularity. Defined in server.cc.
+  struct ShardWorkUnit;
+
+  /// Groups a plan's pending (unit, row) decryptions into ShardWorkUnits
+  /// under `shard_of` (row position -> shard), then subdivides groups
+  /// into `rows_per_chunk`-row chunks (0 = no chunking: one work unit
+  /// per (unit, shard) group, the RPC granularity of the delegated
+  /// path). Chunks stay within one shard, so cache routing and stats
+  /// attribution are independent of chunking.
+  static std::vector<ShardWorkUnit> BuildShardUnits(
+      const SeriesPlanState& state,
+      const std::function<size_t(const EncryptedTable*, size_t)>& shard_of,
+      size_t rows_per_chunk);
+  /// Writes one work unit's computed digests (aligned with its rows)
+  /// back into the owning unit by original row position -- the merge
+  /// step that makes sharded/delegated results identical to unsharded.
+  static void MergeShardDigests(const ShardWorkUnit& wu,
+                                const std::vector<Digest32>& digests);
 
   /// One generation of one table's K-way partition view, kept alive
   /// independently of the TableStore (the keepalive pins the generation

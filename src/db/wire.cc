@@ -16,14 +16,18 @@ namespace {
 // det tag / onion nonce+wrapped tag), query series carry the client's
 // backend policy mask and optional onion-key release, and series results
 // carry the per-backend dispatch counters plus the leakage-budget ledger
-// snapshot. Readers stay backward compatible down to kMinWireVersion: a
-// v2..v5 payload decodes with the newer fields at their defaults --
-// session_id 0, no encodings, sjoin-only policy, empty ledger (mutation
-// messages remain the exception: the type is new in v4, so v2/v3 are
-// rejected there).
-constexpr uint8_t kWireVersion = 6;
+// snapshot. v7: the distributed-execution message family exists (shard
+// assignment + ack, shard decrypt request/response, routed mutation
+// slice, worker health); no pre-existing layout changed. Readers stay
+// backward compatible down to kMinWireVersion: a v2..v6 payload decodes
+// with the newer fields at their defaults -- session_id 0, no encodings,
+// sjoin-only policy, empty ledger (mutation messages remain the
+// exception: the type is new in v4, so v2/v3 are rejected there, and
+// the v7 distributed messages reject v2..v6 the same way).
+constexpr uint8_t kWireVersion = 7;
 constexpr uint8_t kMinWireVersion = 2;
 constexpr uint8_t kMutationMinVersion = 4;
+constexpr uint8_t kDistMinVersion = 7;
 
 // Message type tags catch cross-wiring of messages.
 constexpr uint8_t kTagTable = 0x54;           // 'T'
@@ -33,6 +37,12 @@ constexpr uint8_t kTagQuerySeries = 0x71;     // 'q'
 constexpr uint8_t kTagSeriesResult = 0x72;    // 'r'
 constexpr uint8_t kTagMutation = 0x4D;        // 'M'
 constexpr uint8_t kTagMutationResult = 0x6D;  // 'm'
+constexpr uint8_t kTagShardAssign = 0x41;     // 'A'
+constexpr uint8_t kTagShardAck = 0x61;        // 'a'
+constexpr uint8_t kTagShardDecrypt = 0x44;    // 'D'
+constexpr uint8_t kTagShardDigests = 0x64;    // 'd'
+constexpr uint8_t kTagShardMutation = 0x58;   // 'X'
+constexpr uint8_t kTagWorkerHealth = 0x48;    // 'H'
 
 /// Validates the version/tag header; returns the (supported) version so
 /// message codecs can branch on layout differences.
@@ -748,6 +758,321 @@ Result<MutationResult> DeserializeMutationResult(const Bytes& wire) {
   }
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after mutation result");
+  }
+  return out;
+}
+
+// --- Distributed-execution messages (v7) ------------------------------------
+
+namespace {
+
+/// The v7 message family did not exist before; a lower version here means
+/// a mis-labeled or forged frame, not an old peer (mirrors the mutation
+/// min-version check).
+Status CheckDistVersion(uint8_t version) {
+  if (version < kDistMinVersion) {
+    return Status::InvalidArgument(
+        "distributed-execution messages require wire version " +
+        std::to_string(kDistMinVersion) + ", got " + std::to_string(version));
+  }
+  return Status::OK();
+}
+
+void WriteSjToken(WireWriter* w, const SjToken& token) {
+  w->U32(static_cast<uint32_t>(token.tk.size()));
+  for (const G1Affine& p : token.tk) WriteG1Point(w, p);
+}
+
+Result<SjToken> ReadSjToken(WireReader* r) {
+  auto dim = r->U32();
+  SJOIN_RETURN_IF_ERROR(dim.status());
+  SjToken token;
+  // No reserve(*dim): untrusted count, same as DeserializeQuerySeries.
+  for (uint32_t i = 0; i < *dim; ++i) {
+    auto p = ReadG1Point(r);
+    SJOIN_RETURN_IF_ERROR(p.status());
+    token.tk.push_back(*p);
+  }
+  return token;
+}
+
+Result<std::vector<StableRowId>> ReadIdList(WireReader* r) {
+  auto count = r->U32();
+  SJOIN_RETURN_IF_ERROR(count.status());
+  std::vector<StableRowId> ids;
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto id = r->U64();
+    SJOIN_RETURN_IF_ERROR(id.status());
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+void WriteIdList(WireWriter* w, const std::vector<StableRowId>& ids) {
+  w->U32(static_cast<uint32_t>(ids.size()));
+  for (StableRowId id : ids) w->U64(id);
+}
+
+}  // namespace
+
+Bytes SerializeShardAssignment(const ShardAssignment& assign) {
+  WireWriter w;
+  WriteHeader(&w, kTagShardAssign);
+  w.Str(assign.table);
+  w.U64(assign.generation);
+  w.U32(assign.num_shards);
+  w.U32(assign.shard);
+  // One count governs both aligned lists: (id, row) pairs interleaved, so
+  // a truncated payload can never desynchronize them.
+  w.U32(static_cast<uint32_t>(assign.rows.size()));
+  for (size_t i = 0; i < assign.rows.size(); ++i) {
+    w.U64(assign.row_ids[i]);
+    WriteEncryptedRow(&w, assign.rows[i]);
+  }
+  return w.Take();
+}
+
+Result<ShardAssignment> DeserializeShardAssignment(const Bytes& wire) {
+  WireReader r(wire);
+  auto version = ExpectHeader(&r, kTagShardAssign);
+  SJOIN_RETURN_IF_ERROR(version.status());
+  SJOIN_RETURN_IF_ERROR(CheckDistVersion(*version));
+  ShardAssignment out;
+  auto name = r.Str();
+  SJOIN_RETURN_IF_ERROR(name.status());
+  out.table = std::move(*name);
+  auto gen = r.U64();
+  SJOIN_RETURN_IF_ERROR(gen.status());
+  out.generation = *gen;
+  auto k = r.U32();
+  SJOIN_RETURN_IF_ERROR(k.status());
+  out.num_shards = *k;
+  auto shard = r.U32();
+  SJOIN_RETURN_IF_ERROR(shard.status());
+  out.shard = *shard;
+  auto count = r.U32();
+  SJOIN_RETURN_IF_ERROR(count.status());
+  // No reserve(*count): untrusted count, same as DeserializeQuerySeries.
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto id = r.U64();
+    SJOIN_RETURN_IF_ERROR(id.status());
+    out.row_ids.push_back(*id);
+    auto row = ReadEncryptedRow(&r, *version);
+    SJOIN_RETURN_IF_ERROR(row.status());
+    out.rows.push_back(std::move(*row));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after shard assignment");
+  }
+  return out;
+}
+
+Bytes SerializeShardAck(const ShardAck& ack) {
+  WireWriter w;
+  WriteHeader(&w, kTagShardAck);
+  w.U64(ack.generation);
+  w.U64(ack.rows_held);
+  return w.Take();
+}
+
+Result<ShardAck> DeserializeShardAck(const Bytes& wire) {
+  WireReader r(wire);
+  auto version = ExpectHeader(&r, kTagShardAck);
+  SJOIN_RETURN_IF_ERROR(version.status());
+  SJOIN_RETURN_IF_ERROR(CheckDistVersion(*version));
+  ShardAck out;
+  auto gen = r.U64();
+  SJOIN_RETURN_IF_ERROR(gen.status());
+  out.generation = *gen;
+  auto rows = r.U64();
+  SJOIN_RETURN_IF_ERROR(rows.status());
+  out.rows_held = *rows;
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after shard ack");
+  }
+  return out;
+}
+
+Bytes SerializeShardDecryptRequest(const ShardDecryptRequest& request) {
+  WireWriter w;
+  WriteHeader(&w, kTagShardDecrypt);
+  w.Str(request.table);
+  w.U64(request.generation);
+  w.U32(request.shard);
+  WriteSjToken(&w, request.token);
+  WriteIdList(&w, request.rows);
+  return w.Take();
+}
+
+Result<ShardDecryptRequest> DeserializeShardDecryptRequest(const Bytes& wire) {
+  WireReader r(wire);
+  auto version = ExpectHeader(&r, kTagShardDecrypt);
+  SJOIN_RETURN_IF_ERROR(version.status());
+  SJOIN_RETURN_IF_ERROR(CheckDistVersion(*version));
+  ShardDecryptRequest out;
+  auto name = r.Str();
+  SJOIN_RETURN_IF_ERROR(name.status());
+  out.table = std::move(*name);
+  auto gen = r.U64();
+  SJOIN_RETURN_IF_ERROR(gen.status());
+  out.generation = *gen;
+  auto shard = r.U32();
+  SJOIN_RETURN_IF_ERROR(shard.status());
+  out.shard = *shard;
+  auto token = ReadSjToken(&r);
+  SJOIN_RETURN_IF_ERROR(token.status());
+  out.token = std::move(*token);
+  auto rows = ReadIdList(&r);
+  SJOIN_RETURN_IF_ERROR(rows.status());
+  out.rows = std::move(*rows);
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after shard decrypt");
+  }
+  return out;
+}
+
+Bytes SerializeShardDecryptResponse(const ShardDecryptResponse& response) {
+  WireWriter w;
+  WriteHeader(&w, kTagShardDigests);
+  w.U32(static_cast<uint32_t>(response.have.size()));
+  for (uint8_t h : response.have) w.U8(h ? 1 : 0);
+  w.U32(static_cast<uint32_t>(response.digests.size()));
+  for (const Digest32& d : response.digests) w.Raw(d.data(), d.size());
+  w.U64(response.stats.decrypts_performed);
+  w.U64(response.stats.pairings_computed);
+  w.U64(response.stats.prepared_pairings);
+  w.U64(response.stats.prepared_rows_built);
+  w.U64(response.stats.prepared_cache_hits);
+  return w.Take();
+}
+
+Result<ShardDecryptResponse> DeserializeShardDecryptResponse(
+    const Bytes& wire) {
+  WireReader r(wire);
+  auto version = ExpectHeader(&r, kTagShardDigests);
+  SJOIN_RETURN_IF_ERROR(version.status());
+  SJOIN_RETURN_IF_ERROR(CheckDistVersion(*version));
+  ShardDecryptResponse out;
+  auto nhave = r.U32();
+  SJOIN_RETURN_IF_ERROR(nhave.status());
+  size_t present = 0;
+  for (uint32_t i = 0; i < *nhave; ++i) {
+    auto h = r.U8();
+    SJOIN_RETURN_IF_ERROR(h.status());
+    if (*h > 1) {
+      return Status::InvalidArgument("shard digest presence byte not 0/1");
+    }
+    present += *h;
+    out.have.push_back(*h);
+  }
+  auto ndigests = r.U32();
+  SJOIN_RETURN_IF_ERROR(ndigests.status());
+  if (*ndigests != present) {
+    return Status::InvalidArgument(
+        "shard digest count does not match presence bitmap");
+  }
+  for (uint32_t i = 0; i < *ndigests; ++i) {
+    Digest32 d;
+    SJOIN_RETURN_IF_ERROR(r.Raw(d.data(), d.size()));
+    out.digests.push_back(d);
+  }
+  auto read_u64 = [&](size_t* dst) -> Status {
+    auto v = r.U64();
+    SJOIN_RETURN_IF_ERROR(v.status());
+    *dst = static_cast<size_t>(*v);
+    return Status::OK();
+  };
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.decrypts_performed));
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.pairings_computed));
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.prepared_pairings));
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.prepared_rows_built));
+  SJOIN_RETURN_IF_ERROR(read_u64(&out.stats.prepared_cache_hits));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after shard digests");
+  }
+  return out;
+}
+
+Bytes SerializeShardMutation(const ShardMutation& mutation) {
+  WireWriter w;
+  WriteHeader(&w, kTagShardMutation);
+  w.Str(mutation.table);
+  w.U64(mutation.new_generation);
+  WriteIdList(&w, mutation.deletes);
+  // One count governs the three aligned insert lists (interleaved).
+  w.U32(static_cast<uint32_t>(mutation.inserts.size()));
+  for (size_t i = 0; i < mutation.inserts.size(); ++i) {
+    w.U64(mutation.insert_ids[i]);
+    w.U32(mutation.insert_shards[i]);
+    WriteEncryptedRow(&w, mutation.inserts[i]);
+  }
+  return w.Take();
+}
+
+Result<ShardMutation> DeserializeShardMutation(const Bytes& wire) {
+  WireReader r(wire);
+  auto version = ExpectHeader(&r, kTagShardMutation);
+  SJOIN_RETURN_IF_ERROR(version.status());
+  SJOIN_RETURN_IF_ERROR(CheckDistVersion(*version));
+  ShardMutation out;
+  auto name = r.Str();
+  SJOIN_RETURN_IF_ERROR(name.status());
+  out.table = std::move(*name);
+  auto gen = r.U64();
+  SJOIN_RETURN_IF_ERROR(gen.status());
+  out.new_generation = *gen;
+  auto deletes = ReadIdList(&r);
+  SJOIN_RETURN_IF_ERROR(deletes.status());
+  out.deletes = std::move(*deletes);
+  auto nins = r.U32();
+  SJOIN_RETURN_IF_ERROR(nins.status());
+  for (uint32_t i = 0; i < *nins; ++i) {
+    auto id = r.U64();
+    SJOIN_RETURN_IF_ERROR(id.status());
+    out.insert_ids.push_back(*id);
+    auto shard = r.U32();
+    SJOIN_RETURN_IF_ERROR(shard.status());
+    out.insert_shards.push_back(*shard);
+    auto row = ReadEncryptedRow(&r, *version);
+    SJOIN_RETURN_IF_ERROR(row.status());
+    out.inserts.push_back(std::move(*row));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after shard mutation");
+  }
+  return out;
+}
+
+Bytes SerializeWorkerHealthInfo(const WorkerHealthInfo& info) {
+  WireWriter w;
+  WriteHeader(&w, kTagWorkerHealth);
+  w.U64(info.tables);
+  w.U64(info.shards_held);
+  w.U64(info.rows_held);
+  w.U64(info.decrypt_requests);
+  w.U64(info.digests_computed);
+  return w.Take();
+}
+
+Result<WorkerHealthInfo> DeserializeWorkerHealthInfo(const Bytes& wire) {
+  WireReader r(wire);
+  auto version = ExpectHeader(&r, kTagWorkerHealth);
+  SJOIN_RETURN_IF_ERROR(version.status());
+  SJOIN_RETURN_IF_ERROR(CheckDistVersion(*version));
+  WorkerHealthInfo out;
+  auto read = [&](uint64_t* dst) -> Status {
+    auto v = r.U64();
+    SJOIN_RETURN_IF_ERROR(v.status());
+    *dst = *v;
+    return Status::OK();
+  };
+  SJOIN_RETURN_IF_ERROR(read(&out.tables));
+  SJOIN_RETURN_IF_ERROR(read(&out.shards_held));
+  SJOIN_RETURN_IF_ERROR(read(&out.rows_held));
+  SJOIN_RETURN_IF_ERROR(read(&out.decrypt_requests));
+  SJOIN_RETURN_IF_ERROR(read(&out.digests_computed));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after worker health");
   }
   return out;
 }

@@ -18,8 +18,13 @@
 // per-backend dispatch counters plus leakage-budget ledger snapshot on
 // series results (older payloads decode with no encodings, a sjoin-only
 // policy, and an empty ledger). Mutation messages themselves require v4
-// (the type did not exist before). Versions outside the window are
-// rejected with a versioned InvalidArgument error.
+// (the type did not exist before); v7 added the distributed-execution
+// messages (shard assignment, shard decrypt request/response, routed
+// mutation slice, worker health) and changed no existing layout, so
+// v2..v6 tables, queries, series, results and mutations keep decoding
+// unchanged -- the new message types require v7 the way mutations
+// require v4. Versions outside the window are rejected with a versioned
+// InvalidArgument error.
 #ifndef SJOIN_DB_WIRE_H_
 #define SJOIN_DB_WIRE_H_
 
@@ -112,6 +117,97 @@ Result<TableMutation> DeserializeTableMutation(const Bytes& wire);
 /// the stable ids assigned to the inserted rows.
 Bytes SerializeMutationResult(const MutationResult& result);
 Result<MutationResult> DeserializeMutationResult(const Bytes& wire);
+
+// --- Distributed-execution messages (v7) ------------------------------------
+//
+// The coordinator/worker vocabulary of src/dist (docs/ARCHITECTURE.md,
+// "Distributed execution"). Rows are named by STABLE id everywhere: the
+// worker's prepared-cache keys then match the single-node keys, and
+// routing survives compaction without positional bookkeeping.
+
+/// One placement shard of one table, uploaded to its owning worker. The
+/// worker's holding of (table, shard) becomes exactly `rows` -- an empty
+/// assignment drops the shard (it moved to another worker).
+struct ShardAssignment {
+  std::string table;
+  uint64_t generation = 0;
+  /// Cluster placement width K the coordinator partitioned under
+  /// (ShardedTable::ShardOfDigest); metadata for diagnostics.
+  uint32_t num_shards = 0;
+  uint32_t shard = 0;
+  std::vector<StableRowId> row_ids;  ///< aligned with `rows`
+  std::vector<EncryptedRow> rows;
+};
+
+/// Worker acknowledgement of a ShardAssignment or ShardMutation: the
+/// generation it now tracks the table at and its total row count across
+/// every shard it holds of that table.
+struct ShardAck {
+  uint64_t generation = 0;
+  uint64_t rows_held = 0;
+};
+
+/// One (decrypt-unit x shard) slice of a series' batched SJ.Dec pass:
+/// decrypt the named rows of `table` under `token`. Row order is
+/// meaningful -- the response digests align with it.
+struct ShardDecryptRequest {
+  std::string table;
+  /// The coordinator's pinned snapshot generation (diagnostic only: row
+  /// content is immutable per stable id, so any held row is valid).
+  uint64_t generation = 0;
+  uint32_t shard = 0;
+  SjToken token;
+  std::vector<StableRowId> rows;
+};
+
+/// Digests answering a ShardDecryptRequest. have[i] == 0 marks a row the
+/// worker no longer holds (a concurrent mutation slice deleted it after
+/// the coordinator pinned its snapshot); that row has no digests entry
+/// and the coordinator decrypts it locally from the pinned snapshot.
+struct ShardDecryptResponse {
+  std::vector<uint8_t> have;      ///< aligned with the request's rows
+  std::vector<Digest32> digests;  ///< one per have[i] != 0, in row order
+  ShardExecStats stats;           ///< this slice's decrypt counters
+};
+
+/// Routed slice of one TableMutation: the deletes and inserts that land
+/// on one worker's owned shards. insert_shards names each inserted row's
+/// placement shard (one worker may own several).
+struct ShardMutation {
+  std::string table;
+  uint64_t new_generation = 0;
+  std::vector<StableRowId> deletes;
+  std::vector<StableRowId> insert_ids;  ///< aligned with `inserts`
+  std::vector<uint32_t> insert_shards;  ///< aligned with `inserts`
+  std::vector<EncryptedRow> inserts;
+};
+
+/// Worker health / inventory snapshot (the kWorkerHealth probe).
+struct WorkerHealthInfo {
+  uint64_t tables = 0;
+  uint64_t shards_held = 0;
+  uint64_t rows_held = 0;
+  uint64_t decrypt_requests = 0;
+  uint64_t digests_computed = 0;
+};
+
+Bytes SerializeShardAssignment(const ShardAssignment& assign);
+Result<ShardAssignment> DeserializeShardAssignment(const Bytes& wire);
+
+Bytes SerializeShardAck(const ShardAck& ack);
+Result<ShardAck> DeserializeShardAck(const Bytes& wire);
+
+Bytes SerializeShardDecryptRequest(const ShardDecryptRequest& request);
+Result<ShardDecryptRequest> DeserializeShardDecryptRequest(const Bytes& wire);
+
+Bytes SerializeShardDecryptResponse(const ShardDecryptResponse& response);
+Result<ShardDecryptResponse> DeserializeShardDecryptResponse(const Bytes& wire);
+
+Bytes SerializeShardMutation(const ShardMutation& mutation);
+Result<ShardMutation> DeserializeShardMutation(const Bytes& wire);
+
+Bytes SerializeWorkerHealthInfo(const WorkerHealthInfo& info);
+Result<WorkerHealthInfo> DeserializeWorkerHealthInfo(const Bytes& wire);
 
 }  // namespace sjoin
 

@@ -1,0 +1,388 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "crypto/sha256.h"
+
+namespace sjoin {
+
+namespace {
+
+/// Rendezvous weight of (shard, worker): the owner is the worker with the
+/// highest weight. Hash-derived, so ownership is deterministic across
+/// coordinators and stable under membership change -- a worker joining or
+/// leaving only moves the shards whose argmax it was / becomes.
+uint64_t RendezvousScore(uint32_t shard, const std::string& worker_id) {
+  WireWriter w;
+  w.U32(shard);
+  w.Str(worker_id);
+  Digest32 d = Sha256::Hash(w.bytes());
+  uint64_t score = 0;
+  for (int i = 0; i < 8; ++i) score = (score << 8) | d[i];
+  return score;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorOptions opts)
+    : num_shards_(std::min<size_t>(std::max<size_t>(opts.num_shards, 1),
+                                   ShardedTable::kMaxShards)),
+      opts_(std::move(opts)) {}
+
+std::shared_ptr<Coordinator::Worker> Coordinator::OwnerAmong(
+    uint32_t shard,
+    const std::map<std::string, std::shared_ptr<Worker>>& workers) {
+  std::shared_ptr<Worker> best;
+  uint64_t best_score = 0;
+  for (const auto& [id, w] : workers) {
+    uint64_t score = RendezvousScore(shard, id);
+    // Strict '>' with ascending map order: a score tie resolves to the
+    // lexicographically smallest id, deterministically.
+    if (!best || score > best_score) {
+      best = w;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+Result<Bytes> Coordinator::WorkerRpc(Worker& w, FrameType request,
+                                     const Bytes& payload,
+                                     FrameType expected) {
+  std::lock_guard<std::mutex> lock(w.mu);
+  if (!w.client || !w.client->connected()) {
+    return Status::Unavailable("worker '" + w.id + "' is not connected");
+  }
+  Status sent = w.client->SendFrame(request, payload);
+  if (!sent.ok()) {
+    w.client->Close();
+    return Status::Unavailable("worker '" + w.id + "': " + sent.message());
+  }
+  auto frame = w.client->ReadFrame();
+  if (!frame.ok()) {
+    // The connection is desynchronized either way (a late response would
+    // answer the wrong request); close it so later RPCs fail fast until
+    // the worker is re-added.
+    w.client->Close();
+    if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+      return Status::DeadlineExceeded("worker '" + w.id + "': " +
+                                      frame.status().message());
+    }
+    return Status::Unavailable("worker '" + w.id + "': " +
+                               frame.status().message());
+  }
+  if (frame->type == FrameType::kError) {
+    return DecodeErrorPayload(frame->payload);
+  }
+  if (frame->type != expected) {
+    w.client->Close();
+    return Status::Unavailable(
+        "worker '" + w.id + "' answered with unexpected frame type " +
+        std::to_string(static_cast<int>(frame->type)));
+  }
+  return std::move(frame->payload);
+}
+
+Status Coordinator::UploadShard(Worker& w, const std::string& table,
+                                uint32_t shard) {
+  auto snap = engine_.table_store().Get(table);
+  SJOIN_RETURN_IF_ERROR(snap.status());
+  ShardAssignment a;
+  a.table = table;
+  a.generation = snap->generation;
+  a.num_shards = static_cast<uint32_t>(num_shards_);
+  a.shard = shard;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto& shards = row_shard_[table];
+    for (size_t p = 0; p < snap->table->rows.size(); ++p) {
+      StableRowId id = (*snap->row_ids)[p];
+      auto it = shards.find(id);
+      if (it != shards.end() && it->second == shard) {
+        a.row_ids.push_back(id);
+        a.rows.push_back(snap->table->rows[p]);
+      }
+    }
+  }
+  // An empty shard needs no upload: a worker holding nothing of it
+  // answers decrypt requests with an all-zero presence bitmap anyway.
+  if (a.rows.empty()) return Status::OK();
+  auto resp = WorkerRpc(w, FrameType::kShardAssign, SerializeShardAssignment(a),
+                        FrameType::kShardAck);
+  SJOIN_RETURN_IF_ERROR(resp.status());
+  auto ack = DeserializeShardAck(*resp);
+  SJOIN_RETURN_IF_ERROR(ack.status());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.shard_uploads;
+  stats_.rows_uploaded += a.rows.size();
+  return Status::OK();
+}
+
+Status Coordinator::DropShard(Worker& w, const std::string& table,
+                              uint32_t shard) {
+  bool held = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = row_shard_.find(table);
+    if (it != row_shard_.end()) {
+      for (const auto& [id, s] : it->second) {
+        if (s == shard) {
+          held = true;
+          break;
+        }
+      }
+    }
+  }
+  if (!held) return Status::OK();  // the previous owner held nothing
+  ShardAssignment a;
+  a.table = table;
+  a.num_shards = static_cast<uint32_t>(num_shards_);
+  a.shard = shard;
+  auto snap = engine_.table_store().Get(table);
+  if (snap.ok()) a.generation = snap->generation;
+  auto resp = WorkerRpc(w, FrameType::kShardAssign, SerializeShardAssignment(a),
+                        FrameType::kShardAck);
+  SJOIN_RETURN_IF_ERROR(resp.status());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.shard_drops;
+  return Status::OK();
+}
+
+Status Coordinator::StoreTable(EncryptedTable table) {
+  const std::string name = table.name;
+  SJOIN_RETURN_IF_ERROR(engine_.StoreTable(std::move(table)));
+  auto snap = engine_.table_store().Get(name);
+  SJOIN_RETURN_IF_ERROR(snap.status());
+  std::map<StableRowId, uint32_t> shards;
+  for (size_t p = 0; p < snap->table->rows.size(); ++p) {
+    shards[(*snap->row_ids)[p]] = static_cast<uint32_t>(
+        ShardedTable::ShardOfDigest(
+            ShardedTable::RowDigest(snap->table->rows[p]), num_shards_));
+  }
+  std::map<std::string, std::shared_ptr<Worker>> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    row_shard_[name] = std::move(shards);
+    workers = workers_;
+  }
+  Status first;
+  for (uint32_t s = 0; s < num_shards_ && !workers.empty(); ++s) {
+    auto owner = OwnerAmong(s, workers);
+    Status st = UploadShard(*owner, name, s);
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+Status Coordinator::AddWorker(const std::string& id, const std::string& host,
+                              uint16_t port) {
+  auto client = TcpClient::Connect(host, port, opts_.client);
+  SJOIN_RETURN_IF_ERROR(client.status());
+  auto w = std::make_shared<Worker>();
+  w->id = id;
+  w->client = std::make_unique<TcpClient>(std::move(*client));
+  std::map<std::string, std::shared_ptr<Worker>> before, after;
+  std::vector<std::string> tables;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (workers_.count(id)) {
+      return Status::AlreadyExists("worker '" + id + "' already registered");
+    }
+    before = workers_;
+    workers_[id] = w;
+    after = workers_;
+    for (const auto& [t, shards] : row_shard_) tables.push_back(t);
+  }
+  // Rebalance: exactly the shards whose rendezvous argmax the new worker
+  // is move to it; their previous owners drop them.
+  Status first;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    if (OwnerAmong(s, after) != w) continue;
+    auto old_owner = OwnerAmong(s, before);  // nullptr for the first worker
+    for (const std::string& t : tables) {
+      Status st = UploadShard(*w, t, s);
+      if (!st.ok() && first.ok()) first = st;
+      if (old_owner) {
+        st = DropShard(*old_owner, t, s);
+        if (!st.ok() && first.ok()) first = st;
+      }
+    }
+  }
+  return first;
+}
+
+Status Coordinator::RemoveWorker(const std::string& id) {
+  std::shared_ptr<Worker> w;
+  std::map<std::string, std::shared_ptr<Worker>> before, after;
+  std::vector<std::string> tables;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = workers_.find(id);
+    if (it == workers_.end()) {
+      return Status::NotFound("worker '" + id + "' is not registered");
+    }
+    w = it->second;
+    before = workers_;
+    workers_.erase(it);
+    after = workers_;
+    for (const auto& [t, shards] : row_shard_) tables.push_back(t);
+  }
+  {
+    // An in-flight RPC on another thread finishes (or fails) first; then
+    // the socket closes for good. No drops are sent to a removed worker.
+    std::lock_guard<std::mutex> wl(w->mu);
+    if (w->client) w->client->Close();
+  }
+  // Re-home exactly the shards the removed worker owned.
+  Status first;
+  for (uint32_t s = 0; s < num_shards_ && !after.empty(); ++s) {
+    if (OwnerAmong(s, before) != w) continue;
+    auto new_owner = OwnerAmong(s, after);
+    for (const std::string& t : tables) {
+      Status st = UploadShard(*new_owner, t, s);
+      if (!st.ok() && first.ok()) first = st;
+    }
+  }
+  return first;
+}
+
+std::vector<std::string> Coordinator::worker_ids() const {
+  std::vector<std::string> ids;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, w] : workers_) ids.push_back(id);
+  return ids;
+}
+
+Result<WorkerHealthInfo> Coordinator::WorkerHealth(const std::string& id) {
+  std::shared_ptr<Worker> w;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = workers_.find(id);
+    if (it == workers_.end()) {
+      return Status::NotFound("worker '" + id + "' is not registered");
+    }
+    w = it->second;
+  }
+  auto resp = WorkerRpc(*w, FrameType::kWorkerHealth, Bytes{},
+                        FrameType::kWorkerHealthResult);
+  SJOIN_RETURN_IF_ERROR(resp.status());
+  return DeserializeWorkerHealthInfo(*resp);
+}
+
+Result<MutationResult> Coordinator::ApplyMutation(
+    const TableMutation& mutation) {
+  std::lock_guard<std::mutex> serial(mutation_mu_);
+  auto result = engine_.ApplyMutation(mutation);
+  SJOIN_RETURN_IF_ERROR(result.status());
+
+  // Placement of the inserted rows, aligned with result->inserted_ids.
+  std::vector<uint32_t> insert_shards(mutation.inserts.size());
+  for (size_t i = 0; i < mutation.inserts.size(); ++i) {
+    insert_shards[i] = static_cast<uint32_t>(ShardedTable::ShardOfDigest(
+        ShardedTable::RowDigest(mutation.inserts[i]), num_shards_));
+  }
+
+  // Update the authoritative row -> shard map and slice the batch by
+  // owning worker: a worker receives exactly the deletes and inserts that
+  // land on shards it owns, nothing else.
+  std::map<std::shared_ptr<Worker>, ShardMutation> slices;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& shards = row_shard_[mutation.table];
+    for (StableRowId id : mutation.deletes) {
+      auto it = shards.find(id);
+      if (it == shards.end()) continue;
+      uint32_t s = it->second;
+      shards.erase(it);
+      if (!workers_.empty()) {
+        slices[OwnerAmong(s, workers_)].deletes.push_back(id);
+      }
+    }
+    for (size_t i = 0; i < mutation.inserts.size(); ++i) {
+      StableRowId id = result->inserted_ids[i];
+      shards[id] = insert_shards[i];
+      if (!workers_.empty()) {
+        ShardMutation& slice = slices[OwnerAmong(insert_shards[i], workers_)];
+        slice.insert_ids.push_back(id);
+        slice.insert_shards.push_back(insert_shards[i]);
+        slice.inserts.push_back(mutation.inserts[i]);
+      }
+    }
+  }
+  // Best effort: the local engine is authoritative, and a worker that
+  // missed a slice only costs local fallback decrypts (its stale rows are
+  // never requested -- decrypts name rows of a pinned snapshot).
+  for (auto& [w, slice] : slices) {
+    slice.table = mutation.table;
+    slice.new_generation = result->generation;
+    auto resp = WorkerRpc(*w, FrameType::kShardMutation,
+                          SerializeShardMutation(slice), FrameType::kShardAck);
+    if (resp.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.mutation_rpcs;
+    }
+  }
+  return result;
+}
+
+Result<EncryptedSeriesResult> Coordinator::ExecuteSeries(
+    const QuerySeriesTokens& series) {
+  bool have_workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    have_workers = !workers_.empty();
+  }
+  if (!have_workers) {
+    // No cluster: the coordinator IS a single-node server.
+    return engine_.ExecuteJoinSeriesSharded(series, opts_.exec);
+  }
+  return engine_.ExecuteJoinSeriesDelegated(
+      series, opts_.exec, num_shards_,
+      [this](const ShardDecryptRequest& req) -> Result<ShardDecryptResponse> {
+        std::shared_ptr<Worker> w;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          w = OwnerAmong(req.shard, workers_);
+          ++stats_.decrypt_rpcs;
+        }
+        if (!w) {
+          return Status::Unavailable("no worker owns shard " +
+                                     std::to_string(req.shard));
+        }
+        auto resp = WorkerRpc(*w, FrameType::kShardDecrypt,
+                              SerializeShardDecryptRequest(req),
+                              FrameType::kShardDigests);
+        SJOIN_RETURN_IF_ERROR(resp.status());
+        return DeserializeShardDecryptResponse(*resp);
+      });
+}
+
+Result<uint32_t> Coordinator::ShardOfRow(const std::string& table,
+                                         StableRowId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto t = row_shard_.find(table);
+  if (t == row_shard_.end()) {
+    return Status::NotFound("table '" + table + "' not stored");
+  }
+  auto r = t->second.find(id);
+  if (r == t->second.end()) {
+    return Status::NotFound("table '" + table + "' has no row " +
+                            std::to_string(id));
+  }
+  return r->second;
+}
+
+Result<std::string> Coordinator::OwnerOfShard(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto w = OwnerAmong(shard, workers_);
+  if (!w) return Status::NotFound("no workers registered");
+  return w->id;
+}
+
+Coordinator::Stats Coordinator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sjoin

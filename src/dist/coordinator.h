@@ -1,0 +1,162 @@
+// The coordinator half of distributed series execution: owns the full
+// engine (planning, SSE pre-filters, SJ.Match, leakage closure, budget
+// ledger all run here) and fans the batched SJ.Dec pass out to worker
+// TcpServers over the framed wire-v7 protocol, merging the returned
+// digests back by original row index. Digests depend only on
+// (ciphertext, token), so the merged per-query results are BYTE-IDENTICAL
+// to single-node ExecuteJoinSeriesSharded (tests/dist_test.cc pins this
+// for every worker count).
+//
+// Placement: every stored row is hashed to one of K placement shards
+// (ShardedTable::RowDigest -> ShardOfDigest, K = CoordinatorOptions::
+// num_shards, fixed for the coordinator's lifetime); shards are mapped to
+// workers by rendezvous (highest-random-weight) hashing, so adding or
+// removing one worker moves only ~K/W shards -- membership changes
+// re-upload exactly the moved shards, nothing else.
+//
+// Fault model: a worker RPC that fails at the transport (connect, torn
+// frame, EOF mid-response) surfaces as Unavailable for the series that
+// needed it; a worker that stalls past the client io timeout surfaces as
+// DeadlineExceeded. Other series -- and other workers -- are unaffected.
+// With no workers registered, ExecuteSeries falls back to local sharded
+// execution (the single-node path), so a coordinator is always usable.
+#ifndef SJOIN_DIST_COORDINATOR_H_
+#define SJOIN_DIST_COORDINATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/server.h"
+#include "net/tcp_client.h"
+
+namespace sjoin {
+
+struct CoordinatorOptions {
+  /// Cluster placement width K: every table is partitioned K ways by row
+  /// digest at upload time, and series routing must agree -- so K is
+  /// fixed for the coordinator's lifetime (clamped to [1, kMaxShards]).
+  /// More shards than workers is deliberate: rebalance granularity is a
+  /// shard, so K >= a few x the expected worker count keeps moves small.
+  size_t num_shards = 8;
+  /// Transport options for the per-worker connections (io_timeout_ms is
+  /// the slow-worker detector: a decrypt slice past it fails the series
+  /// with DeadlineExceeded).
+  TcpClientOptions client;
+  /// Local execution options (planning threads, match, budgets); also
+  /// the options of the no-worker local fallback.
+  ServerExecOptions exec;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions opts = {});
+
+  // --- Data plane ----------------------------------------------------------
+
+  /// Stores the table in the local engine, computes its row -> placement
+  /// shard map, and uploads each shard to its owning worker (no-op
+  /// shard-wise when no workers are registered: AddWorker uploads later).
+  Status StoreTable(EncryptedTable table);
+
+  /// Applies the mutation locally (authoritative), then routes the slice
+  /// of deletes and inserts each worker owns to exactly that worker.
+  /// Worker slice failures do not fail the mutation: the local engine is
+  /// the source of truth and a diverged worker only costs local fallback
+  /// decrypts (ShardDecryptResponse::have) until the next assignment.
+  Result<MutationResult> ApplyMutation(const TableMutation& mutation);
+
+  /// Executes the series with the SJ.Dec pass delegated to the workers
+  /// (EncryptedServer::ExecuteJoinSeriesDelegated); falls back to local
+  /// sharded execution when no workers are registered.
+  Result<EncryptedSeriesResult> ExecuteSeries(const QuerySeriesTokens& series);
+
+  // --- Membership ----------------------------------------------------------
+
+  /// Connects to a worker TcpServer and rebalances: shards whose
+  /// rendezvous owner becomes `id` are uploaded to it and dropped (empty
+  /// assignment) from their previous owners. AlreadyExists on a taken id.
+  Status AddWorker(const std::string& id, const std::string& host,
+                   uint16_t port);
+  /// Disconnects `id` and re-uploads the shards it owned to their new
+  /// owners. NotFound for unknown ids. Also the recovery path for a
+  /// crashed worker -- remove it, re-add it (or not), series work again.
+  Status RemoveWorker(const std::string& id);
+  std::vector<std::string> worker_ids() const;
+  /// Round-trips a kWorkerHealth probe to one worker.
+  Result<WorkerHealthInfo> WorkerHealth(const std::string& id);
+
+  // --- Introspection (tests, monitoring) -----------------------------------
+
+  /// Placement shard of a stored row; NotFound for unknown table/id.
+  Result<uint32_t> ShardOfRow(const std::string& table, StableRowId id) const;
+  /// Rendezvous owner of a shard; NotFound with no workers registered.
+  Result<std::string> OwnerOfShard(uint32_t shard) const;
+  size_t num_shards() const { return num_shards_; }
+
+  /// The local engine (leakage closure, budgets, table store). The
+  /// coordinator owns it; callers must not mutate tables behind its back.
+  EncryptedServer& engine() { return engine_; }
+
+  struct Stats {
+    uint64_t shard_uploads = 0;   // non-empty assignments sent
+    uint64_t rows_uploaded = 0;   // rows across those assignments
+    uint64_t shard_drops = 0;     // empty (drop) assignments sent
+    uint64_t decrypt_rpcs = 0;
+    uint64_t mutation_rpcs = 0;
+  };
+  Stats stats() const;
+
+ private:
+  /// One registered worker. `mu` serializes RPCs on the connection (the
+  /// transport is strictly request/response per connection); the struct
+  /// is shared_ptr so a concurrent RemoveWorker never invalidates a
+  /// connection an in-flight series is using -- the RPC completes or
+  /// fails on the closed socket, never on freed memory.
+  struct Worker {
+    std::string id;
+    std::mutex mu;
+    std::unique_ptr<TcpClient> client;
+  };
+
+  /// Rendezvous owner among `workers` (highest Sha256(shard, id) score;
+  /// deterministic, minimal movement on membership change). nullptr when
+  /// empty.
+  static std::shared_ptr<Worker> OwnerAmong(
+      uint32_t shard, const std::map<std::string, std::shared_ptr<Worker>>& workers);
+
+  /// One framed request/response exchange on `w`, serialized by w->mu.
+  /// Transport failures close the connection and map to Unavailable
+  /// (DeadlineExceeded passes through); a kError response decodes to the
+  /// worker-reported status.
+  Result<Bytes> WorkerRpc(Worker& w, FrameType request, const Bytes& payload,
+                          FrameType expected);
+
+  /// Builds the ShardAssignment of (table, shard) from the engine's
+  /// current snapshot and sends it to `w` (empty = drop). Caller must not
+  /// hold mu_.
+  Status UploadShard(Worker& w, const std::string& table, uint32_t shard);
+  Status DropShard(Worker& w, const std::string& table, uint32_t shard);
+
+  const size_t num_shards_;
+  const CoordinatorOptions opts_;
+  EncryptedServer engine_;
+
+  mutable std::mutex mu_;  // workers_, row_shard_, stats_
+  std::map<std::string, std::shared_ptr<Worker>> workers_;
+  /// Stable id -> placement shard per table (authoritative copy of what
+  /// was uploaded; mutation routing and the test hooks read it).
+  std::map<std::string, std::map<StableRowId, uint32_t>> row_shard_;
+  Stats stats_;
+
+  /// Serializes mutations end-to-end (local apply + worker slices), so
+  /// two racing mutations cannot interleave their slices per worker.
+  std::mutex mutation_mu_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_DIST_COORDINATOR_H_

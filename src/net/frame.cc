@@ -30,6 +30,8 @@ StatusCode ByteCode(uint8_t b) {
     case 3: return StatusCode::kAlreadyExists;
     case 4: return StatusCode::kFailedPrecondition;
     case 5: return StatusCode::kOutOfRange;
+    case 7: return StatusCode::kDeadlineExceeded;
+    case 8: return StatusCode::kUnavailable;
     default: return StatusCode::kInternal;
   }
 }

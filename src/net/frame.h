@@ -59,8 +59,20 @@ enum class FrameType : uint8_t {
   kError = 7,         // payload: EncodeErrorPayload (status code + message)
   kPing = 8,          // liveness probe; server echoes the payload back
   kPong = 9,
+  // Distributed-execution requests (coordinator -> worker; wire v7
+  // payloads, db/wire.h "Distributed-execution messages"). A server
+  // without a shard handler (TcpServerOptions::shard_handler) answers
+  // them with the same "not a request" error as any unknown type.
+  kShardAssign = 10,    // payload: SerializeShardAssignment
+  kShardDecrypt = 11,   // payload: SerializeShardDecryptRequest
+  kShardMutation = 12,  // payload: SerializeShardMutation
+  kWorkerHealth = 13,   // empty payload: health/inventory probe
+  // ... and their responses (worker -> coordinator, request order).
+  kShardAck = 14,            // payload: SerializeShardAck
+  kShardDigests = 15,        // payload: SerializeShardDecryptResponse
+  kWorkerHealthResult = 16,  // payload: SerializeWorkerHealthInfo
 };
-constexpr uint8_t kMaxFrameType = 9;
+constexpr uint8_t kMaxFrameType = 16;
 
 struct Frame {
   FrameType type = FrameType::kError;

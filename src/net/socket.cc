@@ -81,7 +81,7 @@ Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
       pr = ::poll(&p, 1, timeout_ms);
     } while (pr < 0 && errno == EINTR);
     if (pr == 0) {
-      return Status::FailedPrecondition(
+      return Status::DeadlineExceeded(
           "connect timed out after " + std::to_string(timeout_ms) + "ms");
     }
     if (pr < 0) return Errno("poll(connect)");
@@ -160,8 +160,8 @@ Status PollFor(int fd, short events, int timeout_ms, const char* what) {
   } while (pr < 0 && errno == EINTR);
   if (pr < 0) return Errno("poll");
   if (pr == 0) {
-    return Status::FailedPrecondition(std::string(what) + " timed out after " +
-                                      std::to_string(timeout_ms) + "ms");
+    return Status::DeadlineExceeded(std::string(what) + " timed out after " +
+                                    std::to_string(timeout_ms) + "ms");
   }
   return Status::OK();
 }

@@ -74,13 +74,13 @@ Result<IoResult> WriteSome(int fd, const uint8_t* buf, size_t len);
 
 /// Blocking-with-timeout helpers for the client side: poll for
 /// readability/writability, then transfer. A lapsed timeout is a
-/// FailedPrecondition (distinct from peer errors).
+/// DeadlineExceeded (distinct from peer errors).
 Status WriteAll(int fd, const uint8_t* buf, size_t len, int timeout_ms);
 Status ReadFull(int fd, uint8_t* buf, size_t len, int timeout_ms);
 
 /// Polls up to `timeout_ms` for readability, then reads whatever is
 /// available (at most `len`). Returns eof on orderly peer shutdown; a
-/// lapsed timeout is a FailedPrecondition.
+/// lapsed timeout is a DeadlineExceeded.
 Result<IoResult> ReadAvailable(int fd, uint8_t* buf, size_t len,
                                int timeout_ms);
 

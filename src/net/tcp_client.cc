@@ -1,5 +1,6 @@
 #include "net/tcp_client.h"
 
+#include <chrono>
 #include <utility>
 
 #include "db/wire.h"
@@ -46,10 +47,25 @@ Status TcpClient::SendRaw(const uint8_t* data, size_t len) {
 Result<Frame> TcpClient::ReadFrame() {
   if (!fd_.valid()) return Status::FailedPrecondition("client closed");
   uint8_t buf[16 * 1024];
+  // io_timeout_ms bounds the WHOLE call, not each poll: a server that
+  // trickles one byte per poll interval must still hit the deadline, so
+  // every iteration polls only for the time remaining.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opts_.io_timeout_ms);
   while (!reader_.HasFrame()) {
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         deadline - std::chrono::steady_clock::now())
+                         .count();
+    if (remaining <= 0) {
+      return Status::DeadlineExceeded(
+          "response timed out after " + std::to_string(opts_.io_timeout_ms) +
+          "ms (" + std::to_string(reader_.partial_bytes()) +
+          " bytes of a partial frame received)");
+    }
     // Read whatever arrives and let the incremental reader assemble the
     // frame across fragments.
-    auto io = ReadAvailable(fd_.get(), buf, sizeof(buf), opts_.io_timeout_ms);
+    auto io = ReadAvailable(fd_.get(), buf, sizeof(buf),
+                            static_cast<int>(remaining));
     SJOIN_RETURN_IF_ERROR(io.status());
     if (io->eof) {
       return Status::FailedPrecondition("connection closed by server");

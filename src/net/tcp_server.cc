@@ -173,6 +173,13 @@ void TcpServer::Loop() {
                           std::chrono::milliseconds(
                               opts_.write_stall_timeout_ms));
       }
+      // A draining connection with nothing left to flush closes on the
+      // very next pass -- without this, Stop() on a server with idle
+      // connections blocks in poll() for the whole drain budget.
+      if (conn->close_after_flush && conn->outbound.empty() &&
+          conn->ready.empty() && conn->in_flight == 0) {
+        consider(now, now);
+      }
       // A connection waiting only for in-flight work needs no timeout:
       // CompleteRequest wakes the loop.
     }
@@ -357,6 +364,16 @@ void TcpServer::HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
     std::lock_guard<std::mutex> cl(conn->mu);
     ++conn->frames_in;
   }
+  // Distributed-execution requests go to the installed shard handler;
+  // without one they drop through to the "not a request" error below.
+  const bool is_shard_request = frame.type == FrameType::kShardAssign ||
+                                frame.type == FrameType::kShardDecrypt ||
+                                frame.type == FrameType::kShardMutation ||
+                                frame.type == FrameType::kWorkerHealth;
+  if (is_shard_request && opts_.shard_handler != nullptr) {
+    DispatchShardRequest(conn, frame.type, std::move(frame.payload));
+    return;
+  }
   switch (frame.type) {
     case FrameType::kPing:
       QueueFrame(conn, FrameType::kPong, frame.payload);
@@ -450,6 +467,34 @@ void TcpServer::DispatchRequest(const std::shared_ptr<Conn>& conn,
     engine_->SubmitJoinSeriesAsync(std::move(*series), opts_.exec,
                                    std::move(done));
   }
+}
+
+void TcpServer::DispatchShardRequest(const std::shared_ptr<Conn>& conn,
+                                     FrameType type, Bytes payload) {
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> cl(conn->mu);
+    seq = conn->next_seq++;
+    ++conn->in_flight;
+  }
+  {
+    std::lock_guard<std::mutex> lock(outstanding_mu_);
+    ++outstanding_;
+  }
+  const uint64_t conn_id = conn->id;
+  // The handler responds from any thread (ShardWorker completes on the
+  // shared pool); CompleteRequest is thread-safe and the reorder buffer
+  // keeps responses in request order regardless.
+  opts_.shard_handler->Handle(
+      type, std::move(payload), [this, conn_id, seq](Result<Frame> r) {
+        if (!r.ok()) {
+          CompleteRequest(conn_id, seq, ErrorFrame(r.status()),
+                          /*is_error=*/true);
+        } else {
+          CompleteRequest(conn_id, seq, EncodeFrame(r->type, r->payload),
+                          /*is_error=*/false);
+        }
+      });
 }
 
 void TcpServer::CompleteRequest(uint64_t conn_id, uint64_t seq, Bytes framed,

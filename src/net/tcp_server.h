@@ -40,6 +40,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -52,6 +53,25 @@
 #include "net/socket.h"
 
 namespace sjoin {
+
+/// Handler for the distributed-execution request frames (kShardAssign,
+/// kShardDecrypt, kShardMutation, kWorkerHealth -- the coordinator ->
+/// worker vocabulary of src/dist). A TcpServer with no handler answers
+/// these types with the same "not a request" error as any unknown type,
+/// so a plain query server cannot be abused as a shard holder.
+///
+/// Threading contract: Handle() is called on the event-loop thread and
+/// must not block it -- hand heavy work (pairings) to a pool and return.
+/// `respond` must be invoked EXACTLY once, from any thread, with either
+/// the response frame (type + payload) or the Status the request failed
+/// with; the transport slots it into the connection's request-order
+/// pipeline. The handler must outlive the TcpServer's Stop().
+class ShardFrameHandler {
+ public:
+  virtual ~ShardFrameHandler() = default;
+  using Respond = std::function<void(Result<Frame>)>;
+  virtual void Handle(FrameType request, Bytes payload, Respond respond) = 0;
+};
 
 struct TcpServerOptions {
   /// IPv4 address to bind (numeric; loopback by default -- exposing an
@@ -82,6 +102,10 @@ struct TcpServerOptions {
   /// Execution options applied to every request this transport admits
   /// (thread count, cache budget, shard default, backend policy...).
   ServerExecOptions exec;
+  /// Not owned; must outlive the server. Installed by ShardWorker
+  /// (src/dist) to answer the distributed-execution request frames;
+  /// nullptr leaves those frames on the "not a request" error path.
+  ShardFrameHandler* shard_handler = nullptr;
 };
 
 class TcpServer {
@@ -187,6 +211,10 @@ class TcpServer {
   /// re-enters via CompleteRequest on a pool thread.
   void DispatchRequest(const std::shared_ptr<Conn>& conn, FrameType type,
                        Bytes payload);
+  /// Routes a distributed-execution request to opts_.shard_handler; its
+  /// respond callback re-enters via CompleteRequest from any thread.
+  void DispatchShardRequest(const std::shared_ptr<Conn>& conn, FrameType type,
+                            Bytes payload);
   /// Thread-safe response delivery: slots the framed response into the
   /// connection's request-order pipeline and wakes the loop. Dropped
   /// silently if the connection is gone.

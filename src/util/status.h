@@ -19,6 +19,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  // Appended after kInternal so the numeric values above (which the net
+  // layer's error frames encode as single bytes) never shift.
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Lightweight error carrier. An engaged message implies a non-OK code.
@@ -47,6 +51,12 @@ class Status {
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -63,6 +73,8 @@ class Status {
       case StatusCode::kFailedPrecondition: name = "FAILED_PRECONDITION"; break;
       case StatusCode::kOutOfRange: name = "OUT_OF_RANGE"; break;
       case StatusCode::kInternal: name = "INTERNAL"; break;
+      case StatusCode::kDeadlineExceeded: name = "DEADLINE_EXCEEDED"; break;
+      case StatusCode::kUnavailable: name = "UNAVAILABLE"; break;
     }
     return std::string(name) + ": " + message_;
   }

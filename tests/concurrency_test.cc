@@ -26,10 +26,12 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <future>
 #include <map>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <random>
 #include <string>
 #include <thread>
@@ -40,6 +42,9 @@
 #include "db/server.h"
 #include "db/session.h"
 #include "db/wire.h"
+#include "dist/coordinator.h"
+#include "dist/worker.h"
+#include "net/tcp_server.h"
 #include "util/thread_pool.h"
 
 namespace sjoin {
@@ -702,6 +707,190 @@ TEST(ConcurrencyHarnessTest, RandomizedInterleavingsMatchSerialReplay) {
           "  SJOIN_CONCURRENCY_SEED_BASE=%llu SJOIN_CONCURRENCY_SEEDS=1 "
           "./concurrency_test --gtest_filter="
           "ConcurrencyHarnessTest.RandomizedInterleavingsMatchSerialReplay\n",
+          static_cast<unsigned long long>(seed),
+          static_cast<unsigned long long>(seed));
+      break;
+    }
+  }
+}
+
+/// Distributed variant of the harness: two session threads drive one
+/// Coordinator's ExecuteSeries concurrently with a mutation stream through
+/// Coordinator::ApplyMutation, with the SJ.Dec pass delegated to two
+/// in-process workers behind real loopback TcpServers. Every recorded
+/// series must replay byte-identically on a fresh SINGLE-NODE server
+/// loaded at the generations it pinned -- concurrent distributed
+/// execution is indistinguishable, byte for byte, from serial local
+/// execution of the snapshot each series saw.
+void RunCoordinatorInterleaving(uint64_t seed) {
+  SCOPED_TRACE("coordinator seed " + std::to_string(seed));
+  constexpr size_t kRows = 6;
+  constexpr size_t kDistinct = 3;
+  constexpr int kSeriesThreads = 2;
+  constexpr int kOpsPerThread = 2;
+  constexpr int kMutations = 4;
+
+  EncryptedClient client({.num_attrs = 1, .max_in_clause = 1,
+                          .rng_seed = seed});
+  Coordinator coord({.num_shards = 8, .exec = {.num_threads = 2}});
+
+  struct WorkerProc {
+    EncryptedServer engine;
+    ShardWorker handler;
+    std::optional<TcpServer> server;
+  };
+  std::deque<WorkerProc> workers;
+  for (int w = 0; w < 2; ++w) {
+    WorkerProc& proc = workers.emplace_back();
+    TcpServerOptions opts;
+    opts.shard_handler = &proc.handler;
+    proc.server.emplace(&proc.engine, opts);
+    ASSERT_TRUE(proc.server->Start().ok());
+    ASSERT_TRUE(coord.AddWorker("w" + std::to_string(w + 1), "127.0.0.1",
+                                proc.server->port())
+                    .ok());
+  }
+
+  auto enc_x = client.EncryptTable(MakeKeyed("X", kRows, kDistinct), "k");
+  auto enc_y = client.EncryptTable(MakeKeyed("Y", kRows, kDistinct), "k");
+  ASSERT_TRUE(enc_x.ok() && enc_y.ok());
+  ASSERT_TRUE(coord.StoreTable(*enc_x).ok());
+  ASSERT_TRUE(coord.StoreTable(*enc_y).ok());
+  std::vector<const EncryptedTable*> tables = {&*enc_x, &*enc_y};
+
+  std::vector<QuerySeriesTokens> series_pool;
+  {
+    auto s1 = client.PrepareSeries({KeySpec("X", "Y")}, tables);
+    auto s2 = client.PrepareSeries({KeySpec("X", "Y"), KeySpec("Y", "X")},
+                                   tables);
+    auto s3 = client.PrepareSeries({KeySpec("Y", "Y")}, tables);
+    ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+    series_pool = {std::move(*s1), std::move(*s2), std::move(*s3)};
+  }
+
+  // Pre-encrypted single-row inserts, consumed at most once each (the
+  // client is single-threaded by contract).
+  std::map<std::string, std::vector<TableMutation>> insert_pool;
+  std::map<std::string, size_t> insert_next;
+  for (const EncryptedTable* enc : tables) {
+    insert_next[enc->name] = 0;
+    for (int i = 0; i < kMutations; ++i) {
+      Table fresh(enc->name, enc->schema);
+      ASSERT_TRUE(fresh
+                      .AppendRow({static_cast<int64_t>(i % kDistinct),
+                                  enc->name + "+d" + std::to_string(i)})
+                      .ok());
+      auto m = client.PrepareInsert(*enc, fresh);
+      ASSERT_TRUE(m.ok());
+      insert_pool[enc->name].push_back(std::move(*m));
+    }
+  }
+
+  std::map<std::string, std::unique_ptr<ShadowTable>> shadows;
+  shadows.emplace("X", std::make_unique<ShadowTable>(*enc_x));
+  shadows.emplace("Y", std::make_unique<ShadowTable>(*enc_y));
+
+  struct RecordedDistSeries {
+    const QuerySeriesTokens* series = nullptr;
+    EncryptedSeriesResult result;
+  };
+  std::vector<RecordedDistSeries> recorded;
+  std::mutex recorded_mu;
+
+  auto series_worker = [&](int tid) {
+    std::mt19937_64 rng(seed * 6151 + tid);
+    for (int op = 0; op < kOpsPerThread; ++op) {
+      RecordedDistSeries rec;
+      rec.series = &series_pool[rng() % series_pool.size()];
+      auto r = coord.ExecuteSeries(*rec.series);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      rec.result = std::move(*r);
+      std::lock_guard<std::mutex> lock(recorded_mu);
+      recorded.push_back(std::move(rec));
+    }
+  };
+  // The mutation stream races the series threads: deletes of live rows
+  // and fresh inserts, routed by the coordinator to the owning workers
+  // while delegated decrypt slices for older generations are in flight.
+  auto mutator = [&] {
+    std::mt19937_64 rng(seed * 9277 + 41);
+    for (int i = 0; i < kMutations; ++i) {
+      ShadowTable& shadow = *shadows.at((rng() % 2) ? "X" : "Y");
+      std::lock_guard<std::mutex> lock(shadow.mu);
+      TableMutation m;
+      m.table = shadow.base.name;
+      if (!shadow.live_ids.empty() && rng() % 2) {
+        size_t pick = rng() % shadow.live_ids.size();
+        m.deletes.push_back(shadow.live_ids[pick]);
+        shadow.live_ids.erase(shadow.live_ids.begin() + pick);
+      }
+      std::vector<EncryptedRow> inserted;
+      if (m.deletes.empty() || rng() % 2) {
+        size_t next = insert_next[shadow.base.name]++;
+        const TableMutation& batch = insert_pool.at(shadow.base.name)[next];
+        m.inserts = batch.inserts;
+        inserted = batch.inserts;
+      }
+      auto applied = coord.ApplyMutation(m);
+      ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+      for (StableRowId id : applied->inserted_ids) {
+        shadow.live_ids.push_back(id);
+      }
+      shadow.deltas.push_back(
+          AppliedDelta{applied->generation, m.deletes, inserted});
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSeriesThreads; ++t) {
+    threads.emplace_back(series_worker, t);
+  }
+  threads.emplace_back(mutator);
+  for (auto& t : threads) t.join();
+
+  // The runs above must actually have delegated (this is the distributed
+  // interleaving case, not a rerun of the local fallback).
+  EXPECT_GT(coord.stats().decrypt_rpcs, 0u);
+
+  for (size_t i = 0; i < recorded.size(); ++i) {
+    SCOPED_TRACE("recorded dist series " + std::to_string(i));
+    const RecordedDistSeries& rec = recorded[i];
+    EncryptedServer replay;
+    ASSERT_FALSE(rec.result.pinned_generations.empty());
+    for (const auto& [name, gen] : rec.result.pinned_generations) {
+      ASSERT_TRUE(replay.StoreTable(shadows.at(name)->AtGeneration(gen)).ok());
+    }
+    auto serial = replay.ExecuteJoinSeriesSharded(*rec.series, {});
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    EXPECT_EQ(ResultBytes(rec.result), ResultBytes(*serial))
+        << "distributed concurrent series differs from the serial "
+           "single-node replay of the generations it pinned";
+  }
+}
+
+TEST(ConcurrencyHarnessTest, CoordinatorInterleavingsMatchSerialReplay) {
+  // Own seed knob: each seed stands up real TcpServers and worker pools,
+  // so the deep-soak SJOIN_CONCURRENCY_SEEDS=100 the TSan job sets for
+  // the in-process harness must not multiply this case too.
+  uint64_t base = 2000;
+  int seeds = 2;
+  if (const char* env = std::getenv("SJOIN_DIST_CONCURRENCY_SEED_BASE")) {
+    base = std::strtoull(env, nullptr, 10);
+  }
+  if (const char* env = std::getenv("SJOIN_DIST_CONCURRENCY_SEEDS")) {
+    seeds = std::atoi(env);
+    if (seeds < 1) seeds = 1;
+  }
+  for (int i = 0; i < seeds; ++i) {
+    uint64_t seed = base + static_cast<uint64_t>(i);
+    RunCoordinatorInterleaving(seed);
+    if (::testing::Test::HasFailure()) {
+      std::fprintf(
+          stderr,
+          "\n[concurrency harness] coordinator seed %llu failed; reproduce "
+          "with:\n  SJOIN_DIST_CONCURRENCY_SEED_BASE=%llu "
+          "SJOIN_DIST_CONCURRENCY_SEEDS=1 ./concurrency_test "
+          "--gtest_filter=ConcurrencyHarnessTest."
+          "CoordinatorInterleavingsMatchSerialReplay\n",
           static_cast<unsigned long long>(seed),
           static_cast<unsigned long long>(seed));
       break;

@@ -1,0 +1,739 @@
+// Distributed execution (ctest label "dist"):
+//
+//  - Byte-identity: a Coordinator fanning the SJ.Dec pass out to W
+//    in-process worker TcpServers produces per-query results
+//    byte-identical (SerializeJoinResult) to single-node
+//    ExecuteJoinSeriesSharded, for W in {1, 2, 3, 5}, cold and warm
+//    worker caches, and with zero workers (local fallback).
+//  - Fault injection against a scripted FakeWorker: a worker that dies
+//    mid-series surfaces a clean Unavailable while a concurrent series
+//    on healthy workers is unaffected; garbage bytes and a torn
+//    response frame surface as Unavailable; a stalled worker surfaces
+//    as DeadlineExceeded within the client io timeout.
+//  - Membership: adding/removing a worker re-uploads exactly the moved
+//    shards (rendezvous hashing; asserted against the coordinator's
+//    upload/drop counters and the workers' per-shard holdings), and
+//    series stay byte-identical after every rebalance.
+//  - Mutation routing: a mutation's deletes and inserts land on exactly
+//    the workers owning their placement shards, worker inventories sum
+//    to the table's row count, and a worker that silently lost rows
+//    only costs the coordinator local fallback decrypts -- never a
+//    wrong result.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <future>
+#include <map>
+#include <optional>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/client.h"
+#include "db/server.h"
+#include "db/sharded_table.h"
+#include "db/wire.h"
+#include "dist/coordinator.h"
+#include "dist/worker.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/tcp_client.h"
+#include "net/tcp_server.h"
+
+namespace sjoin {
+namespace {
+
+// --- Shared fixtures -----------------------------------------------------------
+
+Table MakeKeyed(const std::string& name, size_t rows, size_t distinct) {
+  Table t(name, Schema({{"k", ValueKind::kInt64},
+                        {"payload", ValueKind::kString}}));
+  for (size_t i = 0; i < rows; ++i) {
+    SJOIN_CHECK(t.AppendRow({static_cast<int64_t>(i % distinct),
+                             name + "#" + std::to_string(i)})
+                    .ok());
+  }
+  return t;
+}
+
+JoinQuerySpec KeySpec(const std::string& a, const std::string& b) {
+  JoinQuerySpec q;
+  q.table_a = a;
+  q.table_b = b;
+  q.join_column_a = q.join_column_b = "k";
+  return q;
+}
+
+/// Serialized per-query results: the bit-identity token (timings and
+/// host-local fields like pinned_generations are not part of it).
+std::vector<Bytes> ResultBytes(const EncryptedSeriesResult& r) {
+  std::vector<Bytes> out;
+  out.reserve(r.results.size());
+  for (const EncryptedJoinResult& q : r.results) {
+    out.push_back(SerializeJoinResult(q));
+  }
+  return out;
+}
+
+/// One in-process "worker process": a ShardWorker behind its own
+/// TcpServer (the backing engine is required by the transport but never
+/// receives a request -- every frame routes to the shard handler).
+struct WorkerProc {
+  EncryptedServer engine;
+  ShardWorker handler;
+  std::optional<TcpServer> server;
+
+  uint16_t Start() {
+    TcpServerOptions opts;
+    opts.shard_handler = &handler;
+    server.emplace(&engine, opts);
+    SJOIN_CHECK(server->Start().ok());
+    return server->port();
+  }
+};
+
+/// A coordinator cluster plus a single-node twin: both store identical
+/// table uploads and apply identical mutations, so executing the SAME
+/// prepared series on both must produce byte-identical results.
+struct DistEnv {
+  EncryptedClient client{
+      {.num_attrs = 1, .max_in_clause = 1, .rng_seed = 4242}};
+  EncryptedServer single;
+  std::optional<Coordinator> coord;
+  std::deque<EncryptedTable> tables;   // deque: stable refs across Upload
+  std::deque<WorkerProc> workers;      // deque: handlers must not move
+  std::vector<std::string> worker_ids;
+
+  explicit DistEnv(size_t num_shards = 8, TcpClientOptions client_opts = {}) {
+    CoordinatorOptions opts;
+    opts.num_shards = num_shards;
+    opts.client = client_opts;
+    coord.emplace(opts);
+  }
+
+  const EncryptedTable* Upload(const std::string& name, size_t rows,
+                               size_t distinct) {
+    auto enc = client.EncryptTable(MakeKeyed(name, rows, distinct), "k");
+    SJOIN_CHECK(enc.ok());
+    return Store(std::move(*enc));
+  }
+
+  const EncryptedTable* Store(EncryptedTable enc) {
+    SJOIN_CHECK(coord->StoreTable(enc).ok());
+    SJOIN_CHECK(single.StoreTable(enc).ok());
+    tables.push_back(std::move(enc));
+    return &tables.back();
+  }
+
+  std::string AddWorker() {
+    workers.emplace_back();
+    uint16_t port = workers.back().Start();
+    std::string id = "w" + std::to_string(workers.size());
+    SJOIN_CHECK(coord->AddWorker(id, "127.0.0.1", port).ok());
+    worker_ids.push_back(id);
+    return id;
+  }
+
+  QuerySeriesTokens Series(const std::vector<JoinQuerySpec>& specs,
+                           const std::vector<const EncryptedTable*>& tabs) {
+    auto s = client.PrepareSeries(specs, tabs);
+    SJOIN_CHECK(s.ok());
+    return *s;
+  }
+
+  /// Applies the mutation to the cluster AND the twin; both must agree
+  /// on the acknowledgement (generation, assigned ids).
+  void Mutate(const TableMutation& m) {
+    auto dist = coord->ApplyMutation(m);
+    auto local = single.ApplyMutation(m);
+    SJOIN_CHECK(dist.ok());
+    SJOIN_CHECK(local.ok());
+    SJOIN_CHECK(SerializeMutationResult(*dist) ==
+                SerializeMutationResult(*local));
+  }
+};
+
+void ExpectMatchesSingleNode(DistEnv& env, const QuerySeriesTokens& series) {
+  auto dist = env.coord->ExecuteSeries(series);
+  auto local = env.single.ExecuteJoinSeriesSharded(series, {});
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+  EXPECT_EQ(ResultBytes(*dist), ResultBytes(*local));
+}
+
+/// Rows per placement shard of one table, from the coordinator's
+/// authoritative row -> shard map (initial upload assigns ids 0..n-1).
+std::map<uint32_t, uint64_t> RowsPerShard(DistEnv& env,
+                                          const std::string& table,
+                                          size_t nrows) {
+  std::map<uint32_t, uint64_t> out;
+  for (size_t id = 0; id < nrows; ++id) {
+    auto shard = env.coord->ShardOfRow(table, id);
+    SJOIN_CHECK(shard.ok());
+    ++out[*shard];
+  }
+  return out;
+}
+
+// --- Byte-identity across worker counts ----------------------------------------
+
+/// The W-sweep property: random-sized tables, a mixed series (forward,
+/// reverse, self join), W workers -- merged digests must reproduce the
+/// single-node bytes exactly.
+void RunWorkerSweep(size_t num_workers, uint64_t seed) {
+  SCOPED_TRACE("workers " + std::to_string(num_workers));
+  std::mt19937_64 rng(seed);
+  DistEnv env(/*num_shards=*/8);
+  const EncryptedTable* x =
+      env.Upload("X", 5 + rng() % 8, 2 + rng() % 3);
+  const EncryptedTable* y =
+      env.Upload("Y", 4 + rng() % 8, 2 + rng() % 3);
+  for (size_t i = 0; i < num_workers; ++i) env.AddWorker();
+
+  QuerySeriesTokens series = env.Series(
+      {KeySpec("X", "Y"), KeySpec("Y", "X"), KeySpec("X", "X")}, {x, y});
+  ExpectMatchesSingleNode(env, series);
+  EXPECT_GT(env.coord->stats().decrypt_rpcs, 0u)
+      << "series did not exercise the delegated path";
+}
+
+TEST(DistByteIdentity, OneWorkerMatchesSingleNode) { RunWorkerSweep(1, 101); }
+TEST(DistByteIdentity, TwoWorkersMatchSingleNode) { RunWorkerSweep(2, 202); }
+TEST(DistByteIdentity, ThreeWorkersMatchSingleNode) { RunWorkerSweep(3, 303); }
+TEST(DistByteIdentity, FiveWorkersMatchSingleNode) { RunWorkerSweep(5, 505); }
+
+TEST(DistByteIdentity, WarmWorkerCachesStayByteIdentical) {
+  DistEnv env(8);
+  const EncryptedTable* x = env.Upload("X", 8, 3);
+  const EncryptedTable* y = env.Upload("Y", 6, 3);
+  env.AddWorker();
+  env.AddWorker();
+  QuerySeriesTokens series =
+      env.Series({KeySpec("X", "Y"), KeySpec("Y", "X")}, {x, y});
+  // Cold pass builds the workers' prepared rows; the warm pass hits them.
+  ExpectMatchesSingleNode(env, series);
+  uint64_t cold_digests = 0;
+  for (auto& w : env.workers) {
+    cold_digests += w.handler.Health().digests_computed;
+  }
+  ExpectMatchesSingleNode(env, series);
+  uint64_t warm_digests = 0;
+  for (auto& w : env.workers) {
+    warm_digests += w.handler.Health().digests_computed;
+  }
+  // The digest cache is per-series, so the warm pass decrypts the same
+  // rows again -- this time off the workers' prepared-row caches.
+  EXPECT_EQ(warm_digests, 2 * cold_digests);
+}
+
+TEST(DistByteIdentity, ZeroWorkersFallBackToLocalExecution) {
+  DistEnv env(8);
+  const EncryptedTable* x = env.Upload("X", 6, 2);
+  const EncryptedTable* y = env.Upload("Y", 5, 2);
+  QuerySeriesTokens series = env.Series({KeySpec("X", "Y")}, {x, y});
+  ExpectMatchesSingleNode(env, series);
+  EXPECT_EQ(env.coord->stats().decrypt_rpcs, 0u);
+  EXPECT_EQ(env.coord->stats().shard_uploads, 0u);
+}
+
+TEST(DistByteIdentity, DelegatedStatsAgreeWithWorkerCounters) {
+  DistEnv env(8);
+  const EncryptedTable* x = env.Upload("X", 9, 3);
+  const EncryptedTable* y = env.Upload("Y", 7, 3);
+  env.AddWorker();
+  env.AddWorker();
+  QuerySeriesTokens series = env.Series({KeySpec("X", "Y")}, {x, y});
+  auto dist = env.coord->ExecuteSeries(series);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+
+  uint64_t delegated = 0;
+  for (const ShardExecStats& s : dist->stats.shard_stats) {
+    delegated += s.decrypts_performed;
+  }
+  uint64_t worker_digests = 0, worker_requests = 0;
+  for (auto& w : env.workers) {
+    WorkerHealthInfo h = w.handler.Health();
+    worker_digests += h.digests_computed;
+    worker_requests += h.decrypt_requests;
+  }
+  // Nothing diverged, so every digest of the pass was computed remotely,
+  // and every routed unit became exactly one worker request.
+  EXPECT_EQ(delegated, worker_digests);
+  EXPECT_EQ(env.coord->stats().decrypt_rpcs, worker_requests);
+  EXPECT_GT(worker_requests, 0u);
+}
+
+TEST(DistByteIdentity, WorkerMissingRowsFallBackToLocalDecrypts) {
+  DistEnv env(/*num_shards=*/4);
+  const EncryptedTable* x = env.Upload("X", 10, 3);
+  const EncryptedTable* y = env.Upload("Y", 8, 3);
+  env.AddWorker();
+
+  // Delete two rows behind the coordinator's back (a mutation slice the
+  // coordinator never sent): the worker must answer have[i] = 0 for them
+  // and the coordinator must fill the holes from its pinned snapshot.
+  auto direct = TcpClient::Connect("127.0.0.1", env.workers[0].server->port());
+  ASSERT_TRUE(direct.ok());
+  ShardMutation rogue;
+  rogue.table = "X";
+  rogue.new_generation = 100;
+  rogue.deletes = {0, 1};
+  ASSERT_TRUE(direct
+                  ->SendFrame(FrameType::kShardMutation,
+                              SerializeShardMutation(rogue))
+                  .ok());
+  auto ack = direct->ReadFrame();
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  ASSERT_EQ(ack->type, FrameType::kShardAck);
+  auto decoded = DeserializeShardAck(ack->payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->rows_held, 8u);
+
+  QuerySeriesTokens series = env.Series({KeySpec("X", "Y")}, {x, y});
+  auto dist = env.coord->ExecuteSeries(series);
+  auto local = env.single.ExecuteJoinSeriesSharded(series, {});
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(ResultBytes(*dist), ResultBytes(*local));
+
+  // The two holes were decrypted locally: the worker computed exactly
+  // (total decrypts of the pass) - 2 digests.
+  uint64_t total = 0;
+  for (const ShardExecStats& s : dist->stats.shard_stats) {
+    total += s.decrypts_performed;
+  }
+  EXPECT_EQ(env.workers[0].handler.Health().digests_computed + 2, total);
+}
+
+// --- Fault injection -----------------------------------------------------------
+
+/// A scripted worker endpoint: speaks just enough of the protocol to be
+/// registered (hello, shard-assignment acks), then injects one of the
+/// failure modes when the first decrypt request arrives.
+class FakeWorker {
+ public:
+  enum class Mode {
+    kDieOnDecrypt,      // close the connection mid-series
+    kGarbageOnDecrypt,  // answer with bytes that are not a frame
+    kTornOnDecrypt,     // answer with half a valid frame, then close
+    kStallOnDecrypt,    // never answer
+  };
+
+  explicit FakeWorker(Mode mode) : mode_(mode) {
+    auto listen = ListenTcp("127.0.0.1", 0, 4);
+    SJOIN_CHECK(listen.ok());
+    listen_ = std::move(*listen);
+    auto port = LocalPort(listen_.get());
+    SJOIN_CHECK(port.ok());
+    port_ = *port;
+    thread_ = std::thread([this] { Serve(); });
+  }
+
+  ~FakeWorker() {
+    stop_.store(true);
+    thread_.join();
+  }
+
+  uint16_t port() const { return port_; }
+  int decrypt_requests() const { return decrypts_.load(); }
+
+ private:
+  void Serve() {
+    int raw = -1;
+    while (!stop_.load()) {
+      raw = accept(listen_.get(), nullptr, nullptr);
+      if (raw >= 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (raw < 0) return;
+    UniqueFd conn(raw);
+    WireWriter hello;
+    hello.U8(kFrameVersion);
+    hello.U64(1);  // session id; the coordinator only records it
+    if (!Send(conn.get(), EncodeFrame(FrameType::kHello, hello.bytes()))) {
+      return;
+    }
+    FrameReader reader;
+    uint8_t buf[4096];
+    while (!stop_.load()) {
+      auto r = ReadAvailable(conn.get(), buf, sizeof buf, 50);
+      if (!r.ok()) {
+        if (r.status().code() == StatusCode::kDeadlineExceeded) continue;
+        return;
+      }
+      if (r->eof) return;
+      if (!reader.Feed(buf, r->n).ok()) return;
+      while (reader.HasFrame()) {
+        if (!Respond(conn.get(), reader.Next())) return;
+      }
+    }
+  }
+
+  bool Respond(int fd, const Frame& f) {
+    switch (f.type) {
+      case FrameType::kShardAssign:
+      case FrameType::kShardMutation:
+        return Send(fd, EncodeFrame(FrameType::kShardAck,
+                                    SerializeShardAck(ShardAck{})));
+      case FrameType::kWorkerHealth:
+        return Send(fd, EncodeFrame(FrameType::kWorkerHealthResult,
+                                    SerializeWorkerHealthInfo({})));
+      case FrameType::kShardDecrypt: {
+        decrypts_.fetch_add(1);
+        switch (mode_) {
+          case Mode::kDieOnDecrypt:
+            return false;  // EOF mid-request: the worker "crashed"
+          case Mode::kGarbageOnDecrypt: {
+            Bytes junk(64, 0x5a);  // wrong magic: poisons the reader
+            Send(fd, junk);
+            return false;
+          }
+          case Mode::kTornOnDecrypt: {
+            Bytes frame =
+                EncodeFrame(FrameType::kShardDigests,
+                            SerializeShardDecryptResponse({}));
+            frame.resize(frame.size() / 2);
+            Send(fd, frame);
+            return false;  // EOF off a frame boundary
+          }
+          case Mode::kStallOnDecrypt:
+            return true;  // keep the connection open, answer nothing
+        }
+        return false;
+      }
+      default:
+        return true;
+    }
+  }
+
+  static bool Send(int fd, const Bytes& b) {
+    return WriteAll(fd, b.data(), b.size(), 2000).ok();
+  }
+
+  const Mode mode_;
+  UniqueFd listen_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> decrypts_{0};
+  std::thread thread_;
+};
+
+uint32_t PlacementShard(const EncryptedRow& row, size_t num_shards) {
+  return static_cast<uint32_t>(
+      ShardedTable::ShardOfDigest(ShardedTable::RowDigest(row), num_shards));
+}
+
+TEST(DistFaults, WorkerDyingMidSeriesIsUnavailableOthersUnaffected) {
+  DistEnv env(/*num_shards=*/8);
+  std::string healthy = env.AddWorker();
+  FakeWorker fake(FakeWorker::Mode::kDieOnDecrypt);
+  ASSERT_TRUE(env.coord->AddWorker("zz-fake", "127.0.0.1", fake.port()).ok());
+
+  // Two tables partitioned BY OWNER: every row of X lands on a shard the
+  // fake worker owns, every row of Y on a shard the healthy worker owns
+  // -- so the X series needs the dying worker and the Y series does not.
+  auto raw_x = env.client.EncryptTable(MakeKeyed("X", 24, 4), "k");
+  auto raw_y = env.client.EncryptTable(MakeKeyed("Y", 24, 4), "k");
+  ASSERT_TRUE(raw_x.ok() && raw_y.ok());
+  EncryptedTable only_fake = *raw_x;
+  EncryptedTable only_healthy = *raw_y;
+  only_fake.rows.clear();
+  only_healthy.rows.clear();
+  for (const EncryptedRow& row : raw_x->rows) {
+    auto owner =
+        env.coord->OwnerOfShard(PlacementShard(row, env.coord->num_shards()));
+    ASSERT_TRUE(owner.ok());
+    if (*owner == "zz-fake") only_fake.rows.push_back(row);
+  }
+  for (const EncryptedRow& row : raw_y->rows) {
+    auto owner =
+        env.coord->OwnerOfShard(PlacementShard(row, env.coord->num_shards()));
+    ASSERT_TRUE(owner.ok());
+    if (*owner == healthy) only_healthy.rows.push_back(row);
+  }
+  ASSERT_GE(only_fake.rows.size(), 2u) << "fake worker owns too few shards";
+  ASSERT_GE(only_healthy.rows.size(), 2u)
+      << "healthy worker owns too few shards";
+  const EncryptedTable* x = env.Store(std::move(only_fake));
+  const EncryptedTable* y = env.Store(std::move(only_healthy));
+
+  QuerySeriesTokens doomed = env.Series({KeySpec("X", "X")}, {x});
+  QuerySeriesTokens fine = env.Series({KeySpec("Y", "Y")}, {y});
+  auto doomed_future = std::async(std::launch::async, [&] {
+    return env.coord->ExecuteSeries(doomed);
+  });
+  auto fine_future = std::async(std::launch::async, [&] {
+    return env.coord->ExecuteSeries(fine);
+  });
+  auto dead = doomed_future.get();
+  auto alive = fine_future.get();
+
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), StatusCode::kUnavailable)
+      << dead.status().ToString();
+  ASSERT_TRUE(alive.ok()) << alive.status().ToString();
+  auto local = env.single.ExecuteJoinSeriesSharded(fine, {});
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(ResultBytes(*alive), ResultBytes(*local));
+
+  // Removing the dead worker rehomes its shards; the doomed series runs.
+  ASSERT_TRUE(env.coord->RemoveWorker("zz-fake").ok());
+  ExpectMatchesSingleNode(env, doomed);
+}
+
+TEST(DistFaults, GarbageResponseFromWorkerIsUnavailable) {
+  DistEnv env(/*num_shards=*/4);
+  FakeWorker fake(FakeWorker::Mode::kGarbageOnDecrypt);
+  ASSERT_TRUE(env.coord->AddWorker("wg", "127.0.0.1", fake.port()).ok());
+  const EncryptedTable* x = env.Upload("X", 6, 2);
+  auto r = env.coord->ExecuteSeries(env.Series({KeySpec("X", "X")}, {x}));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable)
+      << r.status().ToString();
+  EXPECT_GE(fake.decrypt_requests(), 1);
+}
+
+TEST(DistFaults, TornResponseFrameFromWorkerIsUnavailable) {
+  DistEnv env(/*num_shards=*/4);
+  FakeWorker fake(FakeWorker::Mode::kTornOnDecrypt);
+  ASSERT_TRUE(env.coord->AddWorker("wt", "127.0.0.1", fake.port()).ok());
+  const EncryptedTable* x = env.Upload("X", 6, 2);
+  auto r = env.coord->ExecuteSeries(env.Series({KeySpec("X", "X")}, {x}));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable)
+      << r.status().ToString();
+}
+
+TEST(DistFaults, StalledWorkerIsDeadlineExceeded) {
+  DistEnv env(/*num_shards=*/4,
+              TcpClientOptions{.io_timeout_ms = 250});
+  FakeWorker fake(FakeWorker::Mode::kStallOnDecrypt);
+  ASSERT_TRUE(env.coord->AddWorker("ws", "127.0.0.1", fake.port()).ok());
+  const EncryptedTable* x = env.Upload("X", 5, 2);
+  auto begin = std::chrono::steady_clock::now();
+  auto r = env.coord->ExecuteSeries(env.Series({KeySpec("X", "X")}, {x}));
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - begin)
+                     .count();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+      << r.status().ToString();
+  EXPECT_LT(elapsed, 5000) << "timeout did not fire within the io budget";
+}
+
+// --- Membership ----------------------------------------------------------------
+
+TEST(DistMembership, AddWorkerUploadsOnlyTheMovedShards) {
+  DistEnv env(/*num_shards=*/16);
+  env.AddWorker();
+  env.AddWorker();
+  const EncryptedTable* x = env.Upload("X", 24, 4);
+  std::map<uint32_t, uint64_t> per_shard = RowsPerShard(env, "X", 24);
+
+  std::map<uint32_t, std::string> owner_before;
+  for (uint32_t s = 0; s < 16; ++s) {
+    owner_before[s] = *env.coord->OwnerOfShard(s);
+  }
+  Coordinator::Stats before = env.coord->stats();
+  std::string w3 = env.AddWorker();
+
+  uint64_t moved_shards = 0, expected_uploads = 0, expected_rows = 0;
+  for (uint32_t s = 0; s < 16; ++s) {
+    std::string now = *env.coord->OwnerOfShard(s);
+    if (now == owner_before[s]) continue;
+    // Rendezvous hashing: a membership ADD only moves shards TO the new
+    // worker; no shard changes hands between the old workers.
+    EXPECT_EQ(now, w3) << "shard " << s << " moved to an old worker";
+    ++moved_shards;
+    auto rows = per_shard.find(s);
+    if (rows != per_shard.end()) {
+      ++expected_uploads;
+      expected_rows += rows->second;
+      EXPECT_EQ(env.workers.back().handler.RowsHeld("X", s), rows->second);
+    }
+  }
+  EXPECT_GT(moved_shards, 0u);
+  EXPECT_LT(moved_shards, 16u) << "everything moved: not minimal movement";
+
+  Coordinator::Stats after = env.coord->stats();
+  EXPECT_EQ(after.shard_uploads - before.shard_uploads, expected_uploads);
+  EXPECT_EQ(after.rows_uploaded - before.rows_uploaded, expected_rows);
+  EXPECT_EQ(after.shard_drops - before.shard_drops, expected_uploads)
+      << "every moved non-empty shard is dropped from its old owner";
+
+  ExpectMatchesSingleNode(env, env.Series({KeySpec("X", "X")}, {x}));
+}
+
+TEST(DistMembership, RemoveWorkerRehomesOnlyItsShards) {
+  DistEnv env(/*num_shards=*/16);
+  env.AddWorker();
+  std::string w2 = env.AddWorker();
+  env.AddWorker();
+  const EncryptedTable* x = env.Upload("X", 20, 3);
+  std::map<uint32_t, uint64_t> per_shard = RowsPerShard(env, "X", 20);
+
+  std::map<uint32_t, std::string> owner_before;
+  for (uint32_t s = 0; s < 16; ++s) {
+    owner_before[s] = *env.coord->OwnerOfShard(s);
+  }
+  Coordinator::Stats before = env.coord->stats();
+  ASSERT_TRUE(env.coord->RemoveWorker(w2).ok());
+
+  uint64_t expected_uploads = 0, expected_rows = 0;
+  for (uint32_t s = 0; s < 16; ++s) {
+    std::string now = *env.coord->OwnerOfShard(s);
+    if (owner_before[s] != w2) {
+      EXPECT_EQ(now, owner_before[s])
+          << "shard " << s << " moved although its owner stayed";
+      continue;
+    }
+    EXPECT_NE(now, w2);
+    auto rows = per_shard.find(s);
+    if (rows != per_shard.end()) {
+      ++expected_uploads;
+      expected_rows += rows->second;
+    }
+  }
+  Coordinator::Stats after = env.coord->stats();
+  EXPECT_EQ(after.shard_uploads - before.shard_uploads, expected_uploads);
+  EXPECT_EQ(after.rows_uploaded - before.rows_uploaded, expected_rows);
+  EXPECT_EQ(after.shard_drops, before.shard_drops)
+      << "nothing to drop from a worker that is gone";
+  EXPECT_EQ(env.coord->worker_ids().size(), 2u);
+
+  ExpectMatchesSingleNode(env, env.Series({KeySpec("X", "X")}, {x}));
+}
+
+TEST(DistMembership, MembershipErrorsAreCleanAndNonDestructive) {
+  DistEnv env(8);
+  std::string w1 = env.AddWorker();
+
+  EXPECT_EQ(env.coord
+                ->AddWorker(w1, "127.0.0.1", env.workers[0].server->port())
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(env.coord->RemoveWorker("nobody").code(), StatusCode::kNotFound);
+
+  // A dead endpoint: the connect fails and the worker is NOT registered.
+  uint16_t dead_port = 0;
+  {
+    auto l = ListenTcp("127.0.0.1", 0, 1);
+    ASSERT_TRUE(l.ok());
+    dead_port = *LocalPort(l->get());
+  }  // listener closed: the port now refuses connections
+  EXPECT_FALSE(env.coord->AddWorker("dead", "127.0.0.1", dead_port).ok());
+  EXPECT_EQ(env.coord->worker_ids(), std::vector<std::string>{w1});
+
+  EXPECT_EQ(env.coord->ShardOfRow("ghost", 0).status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(env.coord->RemoveWorker(w1).ok());
+  EXPECT_EQ(env.coord->OwnerOfShard(0).status().code(), StatusCode::kNotFound);
+}
+
+// --- Mutation routing ----------------------------------------------------------
+
+TEST(DistMutations, SlicesLandOnExactlyTheOwningWorkers) {
+  DistEnv env(/*num_shards=*/8);
+  env.AddWorker();
+  env.AddWorker();
+  env.AddWorker();
+  const EncryptedTable* x = env.Upload("X", 12, 3);
+
+  std::map<std::string, int64_t> expected_delta;
+  for (StableRowId id : {StableRowId{0}, StableRowId{1}}) {
+    uint32_t shard = *env.coord->ShardOfRow("X", id);
+    expected_delta[*env.coord->OwnerOfShard(shard)] -= 1;
+  }
+  std::vector<uint64_t> held_before;
+  for (auto& w : env.workers) {
+    held_before.push_back(w.handler.Health().rows_held);
+  }
+
+  auto ins = env.client.PrepareInsert(*x, MakeKeyed("X", 3, 3));
+  ASSERT_TRUE(ins.ok());
+  TableMutation m = *ins;
+  m.deletes = {0, 1};
+  auto result = env.coord->ApplyMutation(m);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->inserted_ids.size(), 3u);
+  for (StableRowId id : result->inserted_ids) {
+    uint32_t shard = *env.coord->ShardOfRow("X", id);
+    expected_delta[*env.coord->OwnerOfShard(shard)] += 1;
+  }
+
+  uint64_t total_held = 0;
+  for (size_t i = 0; i < env.workers.size(); ++i) {
+    WorkerHealthInfo h = env.workers[i].handler.Health();
+    int64_t actual = static_cast<int64_t>(h.rows_held) -
+                     static_cast<int64_t>(held_before[i]);
+    EXPECT_EQ(actual, expected_delta[env.worker_ids[i]])
+        << "worker " << env.worker_ids[i]
+        << " holds the wrong slice of the mutation";
+    total_held += h.rows_held;
+    // The RPC answer agrees with the in-process inventory.
+    auto rpc = env.coord->WorkerHealth(env.worker_ids[i]);
+    ASSERT_TRUE(rpc.ok()) << rpc.status().ToString();
+    EXPECT_EQ(rpc->rows_held, h.rows_held);
+  }
+  EXPECT_EQ(total_held, 12u - 2u + 3u);
+  EXPECT_GT(env.coord->stats().mutation_rpcs, 0u);
+}
+
+TEST(DistMutations, SeriesAfterMutationsMatchSingleNode) {
+  DistEnv env(/*num_shards=*/8);
+  const EncryptedTable* x = env.Upload("X", 8, 3);
+  const EncryptedTable* y = env.Upload("Y", 6, 3);
+  env.AddWorker();
+  env.AddWorker();
+  QuerySeriesTokens series =
+      env.Series({KeySpec("X", "Y"), KeySpec("Y", "X")}, {x, y});
+  ExpectMatchesSingleNode(env, series);
+
+  auto ins = env.client.PrepareInsert(*x, MakeKeyed("X", 2, 3));
+  ASSERT_TRUE(ins.ok());
+  env.Mutate(*ins);
+  auto del = env.client.PrepareDelete("Y", {0, 2});
+  ASSERT_TRUE(del.ok());
+  env.Mutate(*del);
+
+  // Tokens are table-level: the SAME prepared series executes against
+  // the mutated generation on both sides, byte-identically.
+  ExpectMatchesSingleNode(env, series);
+
+  auto del_x = env.client.PrepareDelete("X", {1});
+  ASSERT_TRUE(del_x.ok());
+  env.Mutate(*del_x);
+  ExpectMatchesSingleNode(env, series);
+}
+
+TEST(DistMutations, HealthProbeReflectsInventory) {
+  DistEnv env(/*num_shards=*/8);
+  std::string w1 = env.AddWorker();
+  const EncryptedTable* x = env.Upload("X", 9, 3);
+
+  auto before = env.coord->WorkerHealth(w1);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(before->tables, 1u);
+  EXPECT_EQ(before->rows_held, 9u);
+  EXPECT_EQ(before->decrypt_requests, 0u);
+  uint64_t across_shards = 0;
+  for (uint32_t s = 0; s < 8; ++s) {
+    across_shards += env.workers[0].handler.RowsHeld("X", s);
+  }
+  EXPECT_EQ(across_shards, 9u);
+
+  ExpectMatchesSingleNode(env, env.Series({KeySpec("X", "X")}, {x}));
+  auto after = env.coord->WorkerHealth(w1);
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->decrypt_requests, 0u);
+  // Self join: both sides decrypt all 9 rows under their own token.
+  EXPECT_EQ(after->digests_computed, 18u);
+}
+
+}  // namespace
+}  // namespace sjoin

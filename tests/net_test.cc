@@ -22,6 +22,8 @@
 //    requests and flushes their responses before closing.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -921,7 +923,81 @@ TEST(TcpFault, ConnectionsPastTheCapAreShedAtTheDoor) {
   EXPECT_TRUE(first->Ping().ok());
 }
 
+TEST(TcpFault, ServerTricklingAResponseIsDeadlineExceeded) {
+  // A server that answers the hello but then trickles the response one
+  // byte at a time must fail the call with DeadlineExceeded within the
+  // OVERALL io budget -- regression: the read deadline used to reset on
+  // every received fragment, so a peer trickling bytes faster than the
+  // timeout could stall a client forever.
+  auto listen = ListenTcp("127.0.0.1", 0, 1);
+  ASSERT_TRUE(listen.ok());
+  auto port = LocalPort(listen->get());
+  ASSERT_TRUE(port.ok());
+  std::atomic<bool> stop{false};
+  std::thread server([&] {
+    int raw = -1;
+    while (!stop.load()) {
+      raw = accept(listen->get(), nullptr, nullptr);
+      if (raw >= 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (raw < 0) return;
+    UniqueFd conn(raw);
+    WireWriter hello;
+    hello.U8(kFrameVersion);
+    hello.U64(7);
+    Bytes frame = EncodeFrame(FrameType::kHello, hello.bytes());
+    (void)WriteAll(conn.get(), frame.data(), frame.size(), 1000);
+    // A well-formed pong header promising 1 KiB, then one payload byte
+    // every 20 ms: every read makes progress, the frame never completes.
+    Bytes pong = EncodeFrame(FrameType::kPong, Bytes(1024));
+    (void)WriteAll(conn.get(), pong.data(), kFrameHeaderSize, 1000);
+    size_t off = kFrameHeaderSize;
+    while (!stop.load() && off < pong.size()) {
+      if (!WriteAll(conn.get(), pong.data() + off, 1, 1000).ok()) return;
+      ++off;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  TcpClientOptions copts;
+  copts.io_timeout_ms = 300;
+  auto client = TcpClient::Connect("127.0.0.1", *port, copts);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto begin = std::chrono::steady_clock::now();
+  Status st = client->Ping();
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - begin)
+                     .count();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.ToString();
+  EXPECT_LT(elapsed, 5000) << "the overall deadline did not fire";
+  stop.store(true);
+  server.join();
+}
+
 // --- Transport lifecycle -------------------------------------------------------
+
+TEST(TcpLifecycle, StopDoesNotWaitTheDrainBudgetForIdleConnections) {
+  // Stop() must flush and drain, but an idle connection has nothing to
+  // flush -- regression: the drain poll used to sleep the full
+  // drain_timeout_ms before noticing such connections can close now.
+  LoopbackEnv env;
+  env.Upload("X", 2, 1);
+  TcpServerOptions opts;
+  opts.drain_timeout_ms = 10000;
+  env.Start(opts);
+  auto c = env.Dial();
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c->Ping().ok());
+
+  auto begin = std::chrono::steady_clock::now();
+  env.server->Stop();
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - begin)
+                     .count();
+  EXPECT_LT(elapsed, 2000)
+      << "Stop waited out the drain budget for an idle connection";
+}
 
 TEST(TcpLifecycle, StopDrainsInFlightRequestsAndFlushesResponses) {
   LoopbackEnv env;

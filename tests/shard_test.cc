@@ -345,7 +345,8 @@ TEST(ShardWireTest, V2QuerySeriesStillDecodes) {
 }
 
 TEST(ShardWireTest, VersionsOutsideTheWindowRejectedWithVersionedError) {
-  for (uint8_t version : {uint8_t{1}, uint8_t{7}, uint8_t{9}}) {
+  // One below the window (v1) and two above the current ceiling (v7).
+  for (uint8_t version : {uint8_t{1}, uint8_t{8}, uint8_t{9}}) {
     WireWriter w;
     w.U8(version);
     w.U8(0x72);

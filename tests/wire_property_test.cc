@@ -182,6 +182,91 @@ MutationResult RandMutationResult(Rng& rng) {
   return r;
 }
 
+// Distributed-execution messages (wire v7, src/dist).
+
+Digest32 RandDigest(Rng& rng) {
+  Digest32 d;
+  Bytes b = rng.NextBytes(d.size());
+  std::copy(b.begin(), b.end(), d.begin());
+  return d;
+}
+
+ShardAssignment RandShardAssignment(Rng& rng) {
+  ShardAssignment a;
+  a.table = "T" + std::to_string(rng.NextUint64Below(10));
+  a.generation = rng.NextUint64Below(50);
+  a.num_shards = 1 + static_cast<uint32_t>(rng.NextUint64Below(16));
+  a.shard = static_cast<uint32_t>(rng.NextUint64Below(a.num_shards));
+  size_t n = rng.NextUint64Below(3);
+  size_t dim = 1 + rng.NextUint64Below(2);
+  for (size_t i = 0; i < n; ++i) {
+    a.row_ids.push_back(rng.NextUint64());
+    a.rows.push_back(RandRow(rng, dim));
+  }
+  return a;
+}
+
+ShardAck RandShardAck(Rng& rng) {
+  ShardAck ack;
+  ack.generation = rng.NextUint64();
+  ack.rows_held = rng.NextUint64Below(1000);
+  return ack;
+}
+
+ShardDecryptRequest RandShardDecryptRequest(Rng& rng) {
+  ShardDecryptRequest r;
+  r.table = "T" + std::to_string(rng.NextUint64Below(10));
+  r.generation = rng.NextUint64Below(50);
+  r.shard = static_cast<uint32_t>(rng.NextUint64Below(16));
+  size_t dim = 1 + rng.NextUint64Below(2);
+  for (size_t i = 0; i < dim; ++i) r.token.tk.push_back(RandG1(rng));
+  size_t n = rng.NextUint64Below(4);
+  for (size_t i = 0; i < n; ++i) r.rows.push_back(rng.NextUint64());
+  return r;
+}
+
+ShardDecryptResponse RandShardDecryptResponse(Rng& rng) {
+  ShardDecryptResponse r;
+  size_t n = rng.NextUint64Below(5);
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t have = rng.NextUint64Below(2) != 0;
+    r.have.push_back(have);
+    if (have) r.digests.push_back(RandDigest(rng));
+  }
+  r.stats.decrypts_performed = rng.NextUint64Below(100);
+  r.stats.pairings_computed = rng.NextUint64Below(100);
+  r.stats.prepared_pairings = rng.NextUint64Below(100);
+  r.stats.prepared_rows_built = rng.NextUint64Below(100);
+  r.stats.prepared_cache_hits = rng.NextUint64Below(100);
+  return r;
+}
+
+ShardMutation RandShardMutation(Rng& rng) {
+  ShardMutation m;
+  m.table = "T" + std::to_string(rng.NextUint64Below(10));
+  m.new_generation = rng.NextUint64Below(50);
+  size_t ndel = rng.NextUint64Below(3);
+  for (size_t i = 0; i < ndel; ++i) m.deletes.push_back(rng.NextUint64());
+  size_t nins = rng.NextUint64Below(2);
+  size_t dim = 1 + rng.NextUint64Below(2);
+  for (size_t i = 0; i < nins; ++i) {
+    m.insert_ids.push_back(rng.NextUint64());
+    m.insert_shards.push_back(static_cast<uint32_t>(rng.NextUint64Below(16)));
+    m.inserts.push_back(RandRow(rng, dim));
+  }
+  return m;
+}
+
+WorkerHealthInfo RandWorkerHealthInfo(Rng& rng) {
+  WorkerHealthInfo h;
+  h.tables = rng.NextUint64Below(10);
+  h.shards_held = rng.NextUint64Below(100);
+  h.rows_held = rng.NextUint64Below(10000);
+  h.decrypt_requests = rng.NextUint64Below(10000);
+  h.digests_computed = rng.NextUint64Below(10000);
+  return h;
+}
+
 // --- The property drivers ------------------------------------------------------
 
 /// Round trip: decode(encode(msg)) must succeed and re-encode to the very
@@ -300,6 +385,60 @@ TEST(WirePropertyTest, MutationResultRoundTripAndCorruption) {
   }
 }
 
+// Distributed-execution messages (v7): same properties -- byte-exact
+// round trips, every strict truncation errors, bit flips never crash.
+
+TEST(WirePropertyTest, ShardAssignmentRoundTripAndCorruption) {
+  for (int i = 0; i < kIterations; ++i) {
+    Rng rng(5700 + i);
+    CheckMessage(rng, 5700 + i, RandShardAssignment, SerializeShardAssignment,
+                 DeserializeShardAssignment, "shard assignment");
+  }
+}
+
+TEST(WirePropertyTest, ShardAckRoundTripAndCorruption) {
+  for (int i = 0; i < kIterations; ++i) {
+    Rng rng(5800 + i);
+    CheckMessage(rng, 5800 + i, RandShardAck, SerializeShardAck,
+                 DeserializeShardAck, "shard ack");
+  }
+}
+
+TEST(WirePropertyTest, ShardDecryptRequestRoundTripAndCorruption) {
+  for (int i = 0; i < kIterations; ++i) {
+    Rng rng(5900 + i);
+    CheckMessage(rng, 5900 + i, RandShardDecryptRequest,
+                 SerializeShardDecryptRequest, DeserializeShardDecryptRequest,
+                 "shard decrypt request");
+  }
+}
+
+TEST(WirePropertyTest, ShardDecryptResponseRoundTripAndCorruption) {
+  for (int i = 0; i < kIterations; ++i) {
+    Rng rng(6000 + i);
+    CheckMessage(rng, 6000 + i, RandShardDecryptResponse,
+                 SerializeShardDecryptResponse,
+                 DeserializeShardDecryptResponse, "shard decrypt response");
+  }
+}
+
+TEST(WirePropertyTest, ShardMutationRoundTripAndCorruption) {
+  for (int i = 0; i < kIterations; ++i) {
+    Rng rng(6100 + i);
+    CheckMessage(rng, 6100 + i, RandShardMutation, SerializeShardMutation,
+                 DeserializeShardMutation, "shard mutation");
+  }
+}
+
+TEST(WirePropertyTest, WorkerHealthInfoRoundTripAndCorruption) {
+  for (int i = 0; i < kIterations; ++i) {
+    Rng rng(6200 + i);
+    CheckMessage(rng, 6200 + i, RandWorkerHealthInfo,
+                 SerializeWorkerHealthInfo, DeserializeWorkerHealthInfo,
+                 "worker health");
+  }
+}
+
 // --- Version-window edges (the v5 session id) ----------------------------------
 
 TEST(WirePropertyTest, V4QuerySeriesDecodesWithDefaultSession) {
@@ -345,6 +484,52 @@ TEST(WirePropertyTest, SessionIdSurvivesTheWire) {
   auto mb = DeserializeTableMutation(SerializeTableMutation(m));
   ASSERT_TRUE(mb.ok());
   EXPECT_EQ(mb->session_id, 17u);
+}
+
+// --- Version-window edges (the v7 distributed messages) ------------------------
+
+TEST(WirePropertyTest, PreV7PayloadsStillDecodeUnderAV6Stamp) {
+  // v7 adds new message types but changes no existing layout: any pre-v7
+  // message re-stamped to version 6 must decode to the same fields.
+  Rng rng(6300);
+  TableMutation m = RandMutation(rng);
+  Bytes wire = SerializeTableMutation(m);
+  ASSERT_EQ(wire[0], 7);  // current wire version
+  wire[0] = 6;
+  auto back = DeserializeTableMutation(wire);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  wire[0] = 7;
+  EXPECT_EQ(SerializeTableMutation(*back), wire);
+
+  QuerySeriesTokens s = RandSeries(rng);
+  Bytes swire = SerializeQuerySeries(s);
+  swire[0] = 6;
+  auto sback = DeserializeQuerySeries(swire);
+  ASSERT_TRUE(sback.ok()) << sback.status().ToString();
+  EXPECT_EQ(sback->session_id, s.session_id);
+  EXPECT_EQ(sback->queries.size(), s.queries.size());
+}
+
+TEST(WirePropertyTest, DistMessagesRejectPreV7Stamps) {
+  // A distributed-execution message stamped with any pre-v7 version must
+  // be refused: a v6 peer cannot have produced one, so the stamp marks a
+  // confused or malicious sender.
+  Rng rng(6400);
+  Bytes assign = SerializeShardAssignment(RandShardAssignment(rng));
+  Bytes ack = SerializeShardAck(RandShardAck(rng));
+  Bytes req = SerializeShardDecryptRequest(RandShardDecryptRequest(rng));
+  Bytes resp = SerializeShardDecryptResponse(RandShardDecryptResponse(rng));
+  Bytes mut = SerializeShardMutation(RandShardMutation(rng));
+  Bytes health = SerializeWorkerHealthInfo(RandWorkerHealthInfo(rng));
+  for (uint8_t version : {uint8_t{2}, uint8_t{6}}) {
+    assign[0] = ack[0] = req[0] = resp[0] = mut[0] = health[0] = version;
+    EXPECT_FALSE(DeserializeShardAssignment(assign).ok());
+    EXPECT_FALSE(DeserializeShardAck(ack).ok());
+    EXPECT_FALSE(DeserializeShardDecryptRequest(req).ok());
+    EXPECT_FALSE(DeserializeShardDecryptResponse(resp).ok());
+    EXPECT_FALSE(DeserializeShardMutation(mut).ok());
+    EXPECT_FALSE(DeserializeWorkerHealthInfo(health).ok());
+  }
 }
 
 TEST(WirePropertyTest, ClientStampsBoundSessionIntoBatches) {
