@@ -5,7 +5,11 @@
 // Paper setup: m = 9 attribute slots (vector dimension m(t+1)+3), times
 // reported in milliseconds. Paper anchors: TokenGen < 2ms (flat), Enc 3.4ms
 // (t=1) -> 9.6ms (t=10, linear), Dec 21.2ms (t=1) -> 53ms (t=10).
+//
+// `--json` emits the same series as one machine-readable object (points +
+// paper anchors) for scripted before/after comparisons.
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -16,61 +20,53 @@
 namespace sjoin {
 namespace {
 
-void Run() {
-  benchutil::PrintHeader(
-      "Figure 2: crypto operations per Customers row vs IN-clause size");
+struct FigRow {
+  size_t t;
+  double tokengen_ms, enc_ms, dec_ms, paper_dec_ms;
+};
+
+// One measured point per IN-clause size t; shared by the table and --json
+// printers.
+FigRow MeasurePoint(const Table& customers, size_t join_idx, size_t t);
+
+void Run(bool json) {
+  if (!json) {
+    benchutil::PrintHeader(
+        "Figure 2: crypto operations per Customers row vs IN-clause size");
+  }
 
   // One real Customers row provides the attribute values.
   Table customers = GenerateCustomers({.scale_factor = 0.0001});  // 15 rows
   const size_t join_idx = *customers.schema().ColumnIndex("custkey");
 
-  std::printf("%3s  %14s  %13s  %13s   %s\n", "t", "TokenGen(ms)",
-              "Encrypt(ms)", "Decrypt(ms)", "paper Dec(ms)");
+  if (json) {
+    std::printf("{\n  \"bench\": \"fig2_crypto_ops\",\n  \"points\": [");
+  } else {
+    std::printf("%3s  %14s  %13s  %13s   %s\n", "t", "TokenGen(ms)",
+                "Encrypt(ms)", "Decrypt(ms)", "paper Dec(ms)");
+  }
   for (size_t t = 1; t <= 10; ++t) {
-    Rng rng(7000 + t);
-    SecureJoin::MasterKey msk = SecureJoin::Setup(
-        {.num_attrs = benchutil::kPaperNumAttrs, .max_in_clause = t}, &rng);
-
-    // Row encoding: hash of join value + embedded attributes.
-    Fr join_hash =
-        HashToFr("sjoin/join-value", customers.At(0, join_idx).ToBytes());
-    std::vector<Fr> attrs;
-    for (size_t c = 0; c < customers.schema().NumColumns(); ++c) {
-      if (c == join_idx) continue;
-      attrs.push_back(HashToFr("sjoin/attr:" +
-                                   customers.schema().column(c).name,
-                               customers.At(0, c).ToBytes()));
+    FigRow r = MeasurePoint(customers, join_idx, t);
+    if (json) {
+      std::printf(
+          "%s\n    {\"t\": %zu, \"tokengen_ms\": %.3f, \"enc_ms\": %.3f, "
+          "\"dec_ms\": %.3f, \"paper_dec_ms\": %.1f}",
+          t == 1 ? "" : ",", r.t, r.tokengen_ms, r.enc_ms, r.dec_ms,
+          r.paper_dec_ms);
+    } else {
+      std::printf("%3zu  %14.2f  %13.2f  %13.2f   %.1f\n", r.t, r.tokengen_ms,
+                  r.enc_ms, r.dec_ms, r.paper_dec_ms);
     }
-    // Customers has 8 non-join attributes; pad to the shared m = 9 slots
-    // (the client layer does the same for the narrower table).
-    attrs.resize(benchutil::kPaperNumAttrs);
-
-    // IN clause with t values on the selectivity attribute.
-    SjPredicates preds(benchutil::kPaperNumAttrs);
-    for (size_t z = 0; z < t; ++z) {
-      preds.back().push_back(
-          HashToFr("sjoin/attr:selectivity", "s-val-" + std::to_string(z)));
-    }
-    Fr k = rng.NextFrNonZero();
-
-    double tokengen_ms =
-        1e3 * benchutil::TimePerCall(
-                  [&] { SecureJoin::GenToken(msk, preds, k, &rng); }, 3, 0.1);
-    double enc_ms =
-        1e3 * benchutil::TimePerCall(
-                  [&] { SecureJoin::EncryptRow(msk, join_hash, attrs, &rng); },
-                  3, 0.15);
-    SjToken token = SecureJoin::GenToken(msk, preds, k, &rng);
-    SjRowCiphertext ct = SecureJoin::EncryptRow(msk, join_hash, attrs, &rng);
-    double dec_ms =
-        1e3 * benchutil::TimePerCall([&] { SecureJoin::Decrypt(token, ct); },
-                                     3, 0.4);
-
-    double paper_dec = benchutil::Interp(static_cast<double>(t), 1,
-                                         benchutil::kPaperDecMsT1, 10,
-                                         benchutil::kPaperDecMsT10);
-    std::printf("%3zu  %14.2f  %13.2f  %13.2f   %.1f\n", t, tokengen_ms,
-                enc_ms, dec_ms, paper_dec);
+  }
+  if (json) {
+    std::printf(
+        "\n  ],\n  \"paper_anchors\": {\"tokengen_ms_max\": %.1f, "
+        "\"enc_ms_t1\": %.1f, \"enc_ms_t10\": %.1f, \"dec_ms_t1\": %.1f, "
+        "\"dec_ms_t10\": %.1f}\n}\n",
+        benchutil::kPaperTokenGenMsMax, benchutil::kPaperEncMsT1,
+        benchutil::kPaperEncMsT10, benchutil::kPaperDecMsT1,
+        benchutil::kPaperDecMsT10);
+    return;
   }
   std::printf(
       "\npaper anchors: TokenGen < %.1fms (flat), Enc %.1f..%.1fms (linear), "
@@ -84,10 +80,55 @@ void Run() {
       "(multi-pairing of dimension m(t+1)+3).\n");
 }
 
+FigRow MeasurePoint(const Table& customers, size_t join_idx, size_t t) {
+  Rng rng(7000 + t);
+  SecureJoin::MasterKey msk = SecureJoin::Setup(
+      {.num_attrs = benchutil::kPaperNumAttrs, .max_in_clause = t}, &rng);
+
+  // Row encoding: hash of join value + embedded attributes.
+  Fr join_hash =
+      HashToFr("sjoin/join-value", customers.At(0, join_idx).ToBytes());
+  std::vector<Fr> attrs;
+  for (size_t c = 0; c < customers.schema().NumColumns(); ++c) {
+    if (c == join_idx) continue;
+    attrs.push_back(HashToFr("sjoin/attr:" + customers.schema().column(c).name,
+                             customers.At(0, c).ToBytes()));
+  }
+  // Customers has 8 non-join attributes; pad to the shared m = 9 slots
+  // (the client layer does the same for the narrower table).
+  attrs.resize(benchutil::kPaperNumAttrs);
+
+  // IN clause with t values on the selectivity attribute.
+  SjPredicates preds(benchutil::kPaperNumAttrs);
+  for (size_t z = 0; z < t; ++z) {
+    preds.back().push_back(
+        HashToFr("sjoin/attr:selectivity", "s-val-" + std::to_string(z)));
+  }
+  Fr k = rng.NextFrNonZero();
+
+  FigRow r{};
+  r.t = t;
+  r.tokengen_ms =
+      1e3 * benchutil::TimePerCall(
+                [&] { SecureJoin::GenToken(msk, preds, k, &rng); }, 3, 0.1);
+  r.enc_ms =
+      1e3 * benchutil::TimePerCall(
+                [&] { SecureJoin::EncryptRow(msk, join_hash, attrs, &rng); },
+                3, 0.15);
+  SjToken token = SecureJoin::GenToken(msk, preds, k, &rng);
+  SjRowCiphertext ct = SecureJoin::EncryptRow(msk, join_hash, attrs, &rng);
+  r.dec_ms = 1e3 * benchutil::TimePerCall(
+                       [&] { SecureJoin::Decrypt(token, ct); }, 3, 0.4);
+  r.paper_dec_ms =
+      benchutil::Interp(static_cast<double>(t), 1, benchutil::kPaperDecMsT1,
+                        10, benchutil::kPaperDecMsT10);
+  return r;
+}
+
 }  // namespace
 }  // namespace sjoin
 
-int main() {
-  sjoin::Run();
+int main(int argc, char** argv) {
+  sjoin::Run(argc > 1 && std::strcmp(argv[1], "--json") == 0);
   return 0;
 }

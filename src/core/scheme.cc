@@ -1,5 +1,6 @@
 #include "core/scheme.h"
 
+#include <algorithm>
 #include <cstring>
 #include <unordered_map>
 
@@ -118,26 +119,89 @@ Digest32 SecureJoin::DecryptToDigest(const SjToken& token,
   return Sha256::Hash(bytes.data(), bytes.size());
 }
 
+namespace {
+
+Digest32 DigestOfGt(const GT& g) {
+  auto bytes = g.ToBytes();
+  return Sha256::Hash(bytes.data(), bytes.size());
+}
+
+// Shared chunking core of the two batch kernels: `miller(i)` produces row
+// i's Miller-loop accumulator; each chunk then runs one amortized
+// FinalExponentiationBatch. Chunks (not rows) are the unit of parallelism,
+// so the batch width also bounds each task's working set.
+template <typename MillerFn>
+std::vector<Digest32> DecryptBatchedImpl(size_t num_rows, int num_threads,
+                                         size_t batch_rows,
+                                         const MillerFn& miller) {
+  if (batch_rows == 0) batch_rows = 1;
+  std::vector<Digest32> out(num_rows);
+  const size_t num_chunks = (num_rows + batch_rows - 1) / batch_rows;
+  // ParallelFor resolves num_threads <= 0 to hardware concurrency, clamps
+  // the width to the chunk count, and runs small batches inline.
+  ThreadPool::Shared().ParallelFor(
+      num_chunks, num_threads, [&](size_t c) {
+        const size_t lo = c * batch_rows;
+        const size_t hi = std::min(lo + batch_rows, num_rows);
+        std::vector<Fp12> ml(hi - lo);
+        for (size_t i = lo; i < hi; ++i) ml[i - lo] = miller(i);
+        std::vector<Digest32> digests = SecureJoin::DigestMillerBatch(ml);
+        std::copy(digests.begin(), digests.end(), out.begin() + lo);
+      });
+  return out;
+}
+
+}  // namespace
+
+Fp12 SecureJoin::DecryptRowMiller(const SjToken& token,
+                                  const SjRowCiphertext& ct) {
+  return ModifiedIpe::DecryptMiller(token.tk, ct.c);
+}
+
+Fp12 SecureJoin::DecryptRowMillerPrepared(const SjToken& token,
+                                          const SjPreparedRow& row) {
+  return ModifiedIpe::DecryptMillerPrepared(token.tk, row.c);
+}
+
+std::vector<Digest32> SecureJoin::DigestMillerBatch(
+    std::span<const Fp12> millers) {
+  std::vector<Fp12> exp = FinalExponentiationBatch(millers);
+  std::vector<Digest32> out;
+  out.reserve(exp.size());
+  for (const Fp12& e : exp) out.push_back(DigestOfGt(GT(e)));
+  return out;
+}
+
 std::vector<Digest32> SecureJoin::DecryptRows(
     const SjToken& token, std::span<const SjRowCiphertext> rows,
     int num_threads) {
-  // ParallelFor resolves num_threads <= 0 to hardware concurrency, clamps
-  // the width to the row count, and runs small batches inline.
-  std::vector<Digest32> out(rows.size());
-  ThreadPool::Shared().ParallelFor(
-      rows.size(), num_threads,
-      [&](size_t i) { out[i] = DecryptToDigest(token, rows[i]); });
-  return out;
+  return DecryptRowsBatch(token, rows, num_threads);
+}
+
+std::vector<Digest32> SecureJoin::DecryptRowsBatch(
+    const SjToken& token, std::span<const SjRowCiphertext> rows,
+    int num_threads, size_t batch_rows) {
+  return DecryptBatchedImpl(rows.size(), num_threads, batch_rows,
+                            [&](size_t i) {
+                              return ModifiedIpe::DecryptMiller(token.tk,
+                                                                rows[i].c);
+                            });
 }
 
 std::vector<Digest32> SecureJoin::DecryptRowsPrepared(
     const SjToken& token, std::span<const SjPreparedRow> rows,
     int num_threads) {
-  std::vector<Digest32> out(rows.size());
-  ThreadPool::Shared().ParallelFor(
-      rows.size(), num_threads,
-      [&](size_t i) { out[i] = DecryptToDigestPrepared(token, rows[i]); });
-  return out;
+  return DecryptRowsPreparedBatch(token, rows, num_threads);
+}
+
+std::vector<Digest32> SecureJoin::DecryptRowsPreparedBatch(
+    const SjToken& token, std::span<const SjPreparedRow> rows,
+    int num_threads, size_t batch_rows) {
+  return DecryptBatchedImpl(rows.size(), num_threads, batch_rows,
+                            [&](size_t i) {
+                              return ModifiedIpe::DecryptMillerPrepared(
+                                  token.tk, rows[i].c);
+                            });
 }
 
 namespace {

@@ -105,10 +105,28 @@ class SecureJoin {
   static Digest32 DecryptToDigest(const SjToken& token,
                                   const SjRowCiphertext& ct);
 
+  /// Default row-batch width of the batched decrypt kernel: matches the
+  /// server's per-task row granularity, and at 8 rows the shared Fp12
+  /// inversion of the batched final exponentiation is already ~1/8 of the
+  /// per-row inversion bill (diminishing returns beyond).
+  static constexpr size_t kDefaultDecryptBatchRows = 8;
+
   /// Parallel bulk decryption (num_threads <= 0 means hardware concurrency).
+  /// Routes through the batched kernel (DecryptRowsBatch); element-wise
+  /// byte-identical to per-row DecryptToDigest.
   static std::vector<Digest32> DecryptRows(
       const SjToken& token, std::span<const SjRowCiphertext> rows,
       int num_threads = 1);
+
+  /// Batched SJ.Dec kernel: rows are decrypted in chunks of `batch_rows`;
+  /// each chunk runs its Miller loops per row, then one
+  /// FinalExponentiationBatch call shares a single Fp12 inversion across
+  /// the chunk's easy parts. Inverses are unique, so every digest equals
+  /// the per-row DecryptToDigest output byte for byte; chunks are
+  /// distributed over the thread pool.
+  static std::vector<Digest32> DecryptRowsBatch(
+      const SjToken& token, std::span<const SjRowCiphertext> rows,
+      int num_threads = 1, size_t batch_rows = kDefaultDecryptBatchRows);
 
   /// Hoists the G2-side Miller-loop work of one row out of SJ.Dec (see
   /// SjPreparedRow). Token-independent: one prepared row serves every
@@ -121,10 +139,31 @@ class SecureJoin {
                                           const SjPreparedRow& row);
 
   /// Parallel bulk decryption over prepared rows; element-wise equal to
-  /// DecryptRows over the rows the preparations came from.
+  /// DecryptRows over the rows the preparations came from. Routes through
+  /// the batched kernel (DecryptRowsPreparedBatch).
   static std::vector<Digest32> DecryptRowsPrepared(
       const SjToken& token, std::span<const SjPreparedRow> rows,
       int num_threads = 1);
+
+  /// Batched SJ.Dec over prepared rows (see DecryptRowsBatch); element-wise
+  /// byte-identical to per-row DecryptToDigestPrepared.
+  static std::vector<Digest32> DecryptRowsPreparedBatch(
+      const SjToken& token, std::span<const SjPreparedRow> rows,
+      int num_threads = 1, size_t batch_rows = kDefaultDecryptBatchRows);
+
+  /// Miller-loop half of SJ.Dec for one row (pre-final-exponentiation
+  /// accumulator). Building blocks for callers whose rows mix cold and
+  /// prepared paths (the server's cache-aware decrypt loops): collect one
+  /// Fp12 per row from either variant, then DigestMillerBatch.
+  static Fp12 DecryptRowMiller(const SjToken& token,
+                               const SjRowCiphertext& ct);
+  static Fp12 DecryptRowMillerPrepared(const SjToken& token,
+                                       const SjPreparedRow& row);
+
+  /// Batched final exponentiation + digest over collected Miller outputs:
+  /// element i equals the DecryptToDigest/DecryptToDigestPrepared output
+  /// of the row that produced millers[i], byte for byte.
+  static std::vector<Digest32> DigestMillerBatch(std::span<const Fp12> millers);
 
   /// SJ.Match (server, query result).
   static bool Match(const GT& da, const GT& db) { return da == db; }

@@ -42,12 +42,13 @@ namespace sjoin {
 /// does not matter, only the orders of magnitude separating a pairing
 /// from a tag comparison (see docs/TUNING.md, "Cost model calibration").
 struct BackendCostModel {
-  /// Full SJ.Dec (Miller loop) per cold row (measured ~13.9 ms).
-  double pairing_cold_ms_per_row = 14.0;
+  /// Full SJ.Dec (Miller loop) per cold row (measured ~11.8 ms with the
+  /// batch-optimized pairing core; ~13.9 ms before it).
+  double pairing_cold_ms_per_row = 12.0;
   /// SJ.Dec through a warm prepared row (line evaluation only; measured
-  /// ~3.5 ms). The sjoin estimate uses this optimistic bound, biasing
+  /// ~2.4 ms). The sjoin estimate uses this optimistic bound, biasing
   /// dispatch toward sjoin.
-  double pairing_prepared_ms_per_row = 3.5;
+  double pairing_prepared_ms_per_row = 2.5;
   /// DET tag hash-join work per selected row (measured ~0.0002 ms; the
   /// default keeps a 5x safety margin).
   double tag_join_ms_per_row = 0.001;

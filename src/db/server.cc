@@ -572,23 +572,40 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeries(
   std::atomic<size_t> pairings_cold{0};
   std::atomic<size_t> prepared_built{0};
   std::atomic<size_t> prepared_hits{0};
+  // Chunked by opts.decrypt_batch_rows: each chunk's rows run their Miller
+  // loops (cold or prepared, per the cache), then one batched final
+  // exponentiation serves the whole chunk (byte-identical per row; see
+  // FinalExponentiationBatch). Chunks are the unit of pool parallelism.
+  const size_t batch = std::max<size_t>(1, opts.decrypt_batch_rows);
+  const size_t num_chunks = (state.pending.size() + batch - 1) / batch;
   ThreadPool::Shared().ParallelFor(
-      state.pending.size(), opts.num_threads, [&](size_t i) {
-        auto [unit, row] = state.pending[i];
-        const SjRowCiphertext& ct = unit->table->rows[row].sj;
-        std::shared_ptr<const SjPreparedRow> prep;
-        bool built = false;
-        if (opts.prepared_cache_bytes > 0) {
-          prep = prepared_cache_.Get(unit->table->name,
-                                     (*unit->row_ids)[row], ct, &built);
+      num_chunks, opts.num_threads, [&](size_t c) {
+        const size_t lo = c * batch;
+        const size_t hi = std::min(lo + batch, state.pending.size());
+        std::vector<Fp12> millers;
+        millers.reserve(hi - lo);
+        for (size_t i = lo; i < hi; ++i) {
+          auto [unit, row] = state.pending[i];
+          const SjRowCiphertext& ct = unit->table->rows[row].sj;
+          std::shared_ptr<const SjPreparedRow> prep;
+          bool built = false;
+          if (opts.prepared_cache_bytes > 0) {
+            prep = prepared_cache_.Get(unit->table->name,
+                                       (*unit->row_ids)[row], ct, &built);
+          }
+          if (prep) {
+            millers.push_back(
+                SecureJoin::DecryptRowMillerPrepared(*unit->token, *prep));
+            (built ? prepared_built : prepared_hits).fetch_add(1);
+          } else {
+            millers.push_back(SecureJoin::DecryptRowMiller(*unit->token, ct));
+            pairings_cold.fetch_add(1);
+          }
         }
-        if (prep) {
-          unit->digests[row] =
-              SecureJoin::DecryptToDigestPrepared(*unit->token, *prep);
-          (built ? prepared_built : prepared_hits).fetch_add(1);
-        } else {
-          unit->digests[row] = SecureJoin::DecryptToDigest(*unit->token, ct);
-          pairings_cold.fetch_add(1);
+        std::vector<Digest32> digests = SecureJoin::DigestMillerBatch(millers);
+        for (size_t i = lo; i < hi; ++i) {
+          auto [unit, row] = state.pending[i];
+          unit->digests[row] = digests[i - lo];
         }
       });
   out.stats.pairings_computed = pairings_cold.load();
@@ -723,8 +740,19 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesSharded(
         PreparedRowCache* cache =
             use_prepared ? (*caches)[wu.shard].get() : nullptr;
         ShardExecStats local;
+        // One batched final exponentiation per decrypt_batch_rows rows
+        // (work units are already kRowsPerTask-sized, so most units form a
+        // single batch); byte-identical to the per-row path.
+        const size_t batch = std::max<size_t>(1, opts.decrypt_batch_rows);
         std::vector<Digest32> digests;
         digests.reserve(wu.rows.size());
+        std::vector<Fp12> millers;
+        millers.reserve(std::min(batch, wu.rows.size()));
+        auto flush = [&] {
+          std::vector<Digest32> d = SecureJoin::DigestMillerBatch(millers);
+          digests.insert(digests.end(), d.begin(), d.end());
+          millers.clear();
+        };
         for (size_t row : wu.rows) {
           const SjRowCiphertext& ct = wu.unit->table->rows[row].sj;
           std::shared_ptr<const SjPreparedRow> prep;
@@ -734,16 +762,18 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesSharded(
                               (*wu.unit->row_ids)[row], ct, &built);
           }
           if (prep) {
-            digests.push_back(
-                SecureJoin::DecryptToDigestPrepared(*wu.unit->token, *prep));
+            millers.push_back(
+                SecureJoin::DecryptRowMillerPrepared(*wu.unit->token, *prep));
             ++(built ? local.prepared_rows_built : local.prepared_cache_hits);
           } else {
-            digests.push_back(
-                SecureJoin::DecryptToDigest(*wu.unit->token, ct));
+            millers.push_back(
+                SecureJoin::DecryptRowMiller(*wu.unit->token, ct));
             ++local.pairings_computed;
           }
           ++local.decrypts_performed;
+          if (millers.size() >= batch) flush();
         }
+        if (!millers.empty()) flush();
         MergeShardDigests(wu, digests);
         local.prepared_pairings =
             local.prepared_rows_built + local.prepared_cache_hits;

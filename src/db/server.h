@@ -65,6 +65,11 @@ struct ServerExecOptions {
   /// Cost constants the executor compares backends with; defaults are
   /// calibrated from `bench_sec65_comparison --json` (docs/TUNING.md).
   BackendCostModel cost_model{};
+  /// Rows per batched-final-exponentiation chunk in the SJ.Dec pass (also
+  /// the unit of thread-pool parallelism on the unsharded path). Byte-
+  /// identical for any value; 0 degrades to per-row final exponentiation.
+  /// See docs/TUNING.md.
+  size_t decrypt_batch_rows = SecureJoin::kDefaultDecryptBatchRows;
 };
 
 class EncryptedServer {

@@ -144,22 +144,34 @@ ShardDecryptResponse ShardWorker::Decrypt(const ShardDecryptRequest& req) {
     table_id = TableIdFor(req.table);
   }
   const bool use_cache = opts_.prepared_cache_bytes > 0;
+  // Miller loops per row (cold or prepared), one batched final
+  // exponentiation per decrypt_batch_rows chunk; byte-identical to the
+  // per-row path (see FinalExponentiationBatch).
+  const size_t batch = std::max<size_t>(1, opts_.decrypt_batch_rows);
   resp.digests.reserve(held.size());
+  std::vector<Fp12> millers;
+  millers.reserve(std::min(batch, held.size()));
+  auto flush = [&] {
+    std::vector<Digest32> d = SecureJoin::DigestMillerBatch(millers);
+    resp.digests.insert(resp.digests.end(), d.begin(), d.end());
+    millers.clear();
+  };
   for (const auto& [id, ct] : held) {
     std::shared_ptr<const SjPreparedRow> prep;
     bool built = false;
     if (use_cache) prep = cache_.Get(req.table, id, ct, &built);
     if (prep) {
-      resp.digests.push_back(
-          SecureJoin::DecryptToDigestPrepared(req.token, *prep));
+      millers.push_back(SecureJoin::DecryptRowMillerPrepared(req.token, *prep));
       ++(built ? resp.stats.prepared_rows_built
                : resp.stats.prepared_cache_hits);
     } else {
-      resp.digests.push_back(SecureJoin::DecryptToDigest(req.token, ct));
+      millers.push_back(SecureJoin::DecryptRowMiller(req.token, ct));
       ++resp.stats.pairings_computed;
     }
     ++resp.stats.decrypts_performed;
+    if (millers.size() >= batch) flush();
   }
+  if (!millers.empty()) flush();
   resp.stats.prepared_pairings =
       resp.stats.prepared_rows_built + resp.stats.prepared_cache_hits;
   digests_computed_.fetch_add(held.size(), std::memory_order_relaxed);

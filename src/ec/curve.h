@@ -38,12 +38,15 @@ struct AffinePoint {
 };
 
 /// Computes the width-4 signed windowed NAF of a 256-bit scalar.
-/// Digits are odd in [-15, 15] or zero; at most 257 digits.
+/// Digits are odd in [-15, 15] or zero; at most 258 digits.
 /// Returns the number of digits.
 inline size_t ComputeWnaf4(const U256& scalar, std::array<int8_t, 260>* naf) {
   U256 k = scalar;
+  // The negative-digit adjustment adds up to 8 to k, which can carry out of
+  // 256 bits when the scalar is near 2^256; the flag holds that 2^256 bit
+  // until the next right shift folds it back in.
+  bool carry_out = false;
   size_t n = 0;
-  auto is_zero = [](const U256& v) { return v.IsZero(); };
   auto shr1 = [](U256* v) {
     for (int i = 0; i < 3; ++i) {
       v->w[i] = (v->w[i] >> 1) | (v->w[i + 1] << 63);
@@ -57,6 +60,7 @@ inline size_t ComputeWnaf4(const U256& scalar, std::array<int8_t, 260>* naf) {
       v->w[i] = static_cast<uint64_t>(cur);
       carry = cur >> 64;
     }
+    return carry != 0;
   };
   auto sub_small = [](U256* v, uint64_t s) {
     uint128_t borrow = s;
@@ -66,13 +70,13 @@ inline size_t ComputeWnaf4(const U256& scalar, std::array<int8_t, 260>* naf) {
       borrow = (cur >> 64) & 1;
     }
   };
-  while (!is_zero(k)) {
+  while (!k.IsZero() || carry_out) {
     int8_t digit = 0;
     if (k.w[0] & 1) {
       uint64_t mod16 = k.w[0] & 0xf;
       if (mod16 >= 8) {
         digit = static_cast<int8_t>(static_cast<int64_t>(mod16) - 16);
-        add_small(&k, static_cast<uint64_t>(16 - mod16));
+        carry_out |= add_small(&k, static_cast<uint64_t>(16 - mod16));
       } else {
         digit = static_cast<int8_t>(mod16);
         sub_small(&k, mod16);
@@ -80,6 +84,10 @@ inline size_t ComputeWnaf4(const U256& scalar, std::array<int8_t, 260>* naf) {
     }
     (*naf)[n++] = digit;
     shr1(&k);
+    if (carry_out) {
+      k.w[3] |= uint64_t{1} << 63;
+      carry_out = false;
+    }
   }
   return n;
 }
@@ -106,6 +114,17 @@ class Point {
   }
   static Point FromAffine(const F& x, const F& y) {
     return FromAffine(Affine::From(x, y));
+  }
+
+  /// Raw Jacobian construction (caller guarantees the coordinates are a
+  /// valid curve point); used by the GLV endomorphism, which maps
+  /// (X, Y, Z) -> (beta X, Y, Z) without leaving Jacobian form.
+  static Point FromJacobian(const F& x, const F& y, const F& z) {
+    Point p;
+    p.x_ = x;
+    p.y_ = y;
+    p.z_ = z;
+    return p;
   }
 
   const F& X() const { return x_; }
@@ -214,8 +233,15 @@ class Point {
     return p;
   }
 
-  /// Variable-base scalar multiplication, width-4 wNAF.
-  Point ScalarMul(const U256& scalar) const {
+  /// Variable-base scalar multiplication. The generic implementation is
+  /// the width-4 wNAF below; G1 specializes this to the GLV two-dimensional
+  /// decomposition (ec/glv.h), which halves the doubling chain. Both
+  /// compute the same group element (tests pin GLV against ScalarMulWnaf).
+  Point ScalarMul(const U256& scalar) const { return ScalarMulWnaf(scalar); }
+
+  /// Width-4 wNAF scalar multiplication (the generic path; also the
+  /// reference the GLV specialization is property-tested against).
+  Point ScalarMulWnaf(const U256& scalar) const {
     if (IsInfinity() || scalar.IsZero()) return Infinity();
     std::array<int8_t, 260> naf;
     size_t n = ComputeWnaf4(scalar, &naf);

@@ -14,6 +14,12 @@ struct G1Curve {
 using G1 = Point<G1Curve>;
 using G1Affine = AffinePoint<Fp>;
 
+/// G1 scalar multiplication routes through the GLV endomorphism
+/// decomposition (ec/glv.cc): k*P = k1*P + k2*phi(P) with |k1|, |k2| about
+/// sqrt(r), interleaved over one half-length doubling chain.
+template <>
+Point<G1Curve> Point<G1Curve>::ScalarMul(const U256& scalar) const;
+
 /// The standard generator g1 = (1, 2).
 const G1& G1Generator();
 

@@ -1,0 +1,249 @@
+// GLV endomorphism constants and two-dimensional scalar decomposition for
+// G1 (see glv.h). Everything is derived at first use from p and r:
+//
+//   beta   = g^((p-1)/3) in Fp for the first small non-cube g (nontrivial
+//            because the exponentiation of a non-cube has order 3),
+//   lambda = h^((r-1)/3) mod r likewise, then matched against beta by
+//            checking phi(G) == lambda * G (the other cube root is
+//            lambda^2 = -1 - lambda; exactly one matches a given beta),
+//   lattice basis: the classic extended-Euclid construction (Gallant-
+//            Lambert-Vanstone; Guide to ECC, Alg. 3.74) applied to (r,
+//            lambda), stopping at the first remainder below sqrt(r).
+//
+// Decomposition writes k = k1 + k2 * lambda (mod r) with |k1|, |k2| on the
+// order of sqrt(r) (~128 bits); the derivation aborts the process if any
+// self-check fails, so no wrong constant can silently produce wrong points.
+#include "ec/glv.h"
+
+#include <array>
+#include <utility>
+
+#include "bigint/bigint.h"
+#include "util/status.h"
+
+namespace sjoin {
+namespace {
+
+BigInt U256ToBigInt(const U256& v) {
+  uint8_t be[32];
+  for (int i = 0; i < 4; ++i) {
+    uint64_t w = v.w[3 - i];
+    for (int j = 0; j < 8; ++j) {
+      be[i * 8 + j] = static_cast<uint8_t>(w >> (56 - 8 * j));
+    }
+  }
+  return BigInt::FromBytesBE(be, 32);
+}
+
+U256 BigIntToU256(const BigInt& b) {
+  SJOIN_CHECK(b.BitLength() <= 256);
+  std::vector<uint8_t> be = b.ToBytesBE(32);
+  U256 v{};
+  for (int i = 0; i < 4; ++i) {
+    uint64_t w = 0;
+    for (int j = 0; j < 8; ++j) {
+      w = (w << 8) | be[i * 8 + j];
+    }
+    v.w[3 - i] = w;
+  }
+  return v;
+}
+
+// Minimal signed big integer: value = neg ? -mag : mag (mag == 0 => !neg).
+struct SInt {
+  BigInt mag;
+  bool neg = false;
+
+  static SInt Of(const BigInt& m, bool n = false) {
+    return SInt{m, !m.IsZero() && n};
+  }
+  SInt operator-() const { return Of(mag, !neg); }
+  SInt operator*(const SInt& o) const { return Of(mag * o.mag, neg != o.neg); }
+  SInt operator+(const SInt& o) const {
+    if (neg == o.neg) return Of(mag + o.mag, neg);
+    if (mag >= o.mag) return Of(mag - o.mag, neg);
+    return Of(o.mag - mag, o.neg);
+  }
+  SInt operator-(const SInt& o) const { return *this + (-o); }
+};
+
+// round(x / d) for x >= 0, d > 0: floor((2x + d) / (2d)).
+BigInt RoundDiv(const BigInt& x, const BigInt& d) {
+  return ((x << 1) + d) / (d << 1);
+}
+
+struct GlvConstants {
+  BigInt r;
+  Fp beta;      // phi(x, y) = (beta x, y)
+  BigInt lambda;
+  Fr lambda_fr;
+  // Reduced lattice basis of { (a, b) : a + b*lambda == 0 mod r }.
+  BigInt a1, a2;  // remainders of the EEA; always nonnegative
+  SInt b1, b2;
+};
+
+// First g in 2, 3, ... with g^((m-1)/3) != 1 mod m, for prime m = 1 mod 3;
+// the result is then a nontrivial cube root of unity.
+BigInt CubeRootOfUnity(const BigInt& m) {
+  BigInt one(1);
+  BigInt exp = (m - one) / BigInt(3);
+  for (uint64_t g = 2;; ++g) {
+    BigInt root = BigInt(g).PowMod(exp, m);
+    if (root != one) return root;
+  }
+}
+
+const GlvConstants& Constants() {
+  static const GlvConstants* kC = [] {
+    auto* c = new GlvConstants();
+    c->r = BigInt::FromDecimal(kBn254RDecimal);
+    const BigInt p = BigInt::FromDecimal(kBn254PDecimal);
+    const BigInt one(1);
+
+    c->beta = Fp::FromBigInt(CubeRootOfUnity(p));
+    // beta^2 + beta + 1 == 0 for a nontrivial cube root of unity.
+    SJOIN_CHECK((c->beta.Square() + c->beta + Fp::One()).IsZero());
+
+    c->lambda = CubeRootOfUnity(c->r);
+    SJOIN_CHECK((c->lambda * c->lambda + c->lambda + one) % c->r == BigInt());
+
+    // Match lambda to beta: phi(G) must equal lambda * G; otherwise the
+    // eigenvalue is the other root lambda^2 = -1 - lambda (mod r).
+    const G1& g = G1Generator();
+    G1 phi_g = G1::FromJacobian(g.X() * c->beta, g.Y(), g.Z());
+    if (phi_g != g.ScalarMulWnaf(BigIntToU256(c->lambda))) {
+      c->lambda = (c->lambda * c->lambda) % c->r;
+      SJOIN_CHECK(phi_g == g.ScalarMulWnaf(BigIntToU256(c->lambda)));
+    }
+    c->lambda_fr = Fr::FromBigInt(c->lambda);
+
+    // Extended Euclid on (r, lambda): remainders rem with s*r + t*lambda
+    // == rem. Stop at the first remainder below sqrt(r); the pairs
+    // (rem, -t) at that step and one of its neighbors form a short basis
+    // of the lattice of (a, b) with a + b*lambda == 0 (mod r).
+    BigInt r_prev = c->r, r_cur = c->lambda;
+    SInt t_prev = SInt::Of(BigInt()), t_cur = SInt::Of(one);
+    while (!(r_cur * r_cur < c->r)) {
+      auto [q, rem] = r_prev.DivMod(r_cur);
+      SInt t_next = t_prev - SInt::Of(q) * t_cur;
+      r_prev = std::exchange(r_cur, rem);
+      t_prev = std::exchange(t_cur, t_next);
+    }
+    c->a1 = r_cur;
+    c->b1 = -t_cur;
+    // Second basis vector: the shorter (by squared norm) of the step
+    // before and the step after.
+    auto [q, rem] = r_prev.DivMod(r_cur);
+    SInt t_next = t_prev - SInt::Of(q) * t_cur;
+    BigInt norm_before = r_prev * r_prev + t_prev.mag * t_prev.mag;
+    BigInt norm_after = rem * rem + t_next.mag * t_next.mag;
+    if (norm_after < norm_before) {
+      c->a2 = rem;
+      c->b2 = -t_next;
+    } else {
+      c->a2 = r_prev;
+      c->b2 = -t_prev;
+    }
+
+    // Self-check the decomposition identity on the basis: a + b*lambda
+    // == 0 (mod r) for both vectors.
+    auto on_lattice = [&](const BigInt& a, const SInt& b) {
+      SInt v = SInt::Of(a) + b * SInt::Of(c->lambda);
+      return (v.mag % c->r).IsZero();
+    };
+    SJOIN_CHECK(on_lattice(c->a1, c->b1));
+    SJOIN_CHECK(on_lattice(c->a2, c->b2));
+    return c;
+  }();
+  return *kC;
+}
+
+// k = k1 + k2 * lambda (mod r) with short signed k1, k2 (Alg. 3.74):
+// (c1, c2) = round((k, 0) * B^-1) against the basis B = {(a1,b1),(a2,b2)},
+// then (k1, k2) = (k, 0) - c1*(a1, b1) - c2*(a2, b2).
+void Decompose(const BigInt& k, SInt* k1, SInt* k2) {
+  const GlvConstants& C = Constants();
+  SInt c1 = SInt::Of(RoundDiv(C.b2.mag * k, C.r), C.b2.neg);
+  SInt c2 = SInt::Of(RoundDiv(C.b1.mag * k, C.r), !C.b1.neg);
+  *k1 = SInt::Of(k) - c1 * SInt::Of(C.a1) - c2 * SInt::Of(C.a2);
+  *k2 = -(c1 * C.b1) - c2 * C.b2;
+  // The rounding bounds both components by ~sqrt(r) * basis norm; anything
+  // near 256 bits means a broken basis, not a long input.
+  SJOIN_CHECK(k1->mag.BitLength() <= 160 && k2->mag.BitLength() <= 160);
+}
+
+}  // namespace
+
+G1 GlvEndomorphism(const G1& p) {
+  if (p.IsInfinity()) return p;
+  return G1::FromJacobian(p.X() * Constants().beta, p.Y(), p.Z());
+}
+
+const Fr& GlvLambda() { return Constants().lambda_fr; }
+
+G1 ScalarMulGlv(const G1& p, const U256& k) {
+  if (p.IsInfinity() || k.IsZero()) return G1::Infinity();
+  const GlvConstants& C = Constants();
+  BigInt kr = U256ToBigInt(k) % C.r;  // G1 has prime order r, cofactor 1
+  if (kr.IsZero()) return G1::Infinity();
+  SInt k1, k2;
+  Decompose(kr, &k1, &k2);
+
+  // Two half-length wNAF walks over one shared doubling chain.
+  const G1 p1 = k1.neg ? p.Negate() : p;
+  G1 p2 = GlvEndomorphism(p);
+  if (k2.neg) p2 = p2.Negate();
+
+  std::array<int8_t, 260> naf1{}, naf2{};
+  const size_t l1 =
+      k1.mag.IsZero() ? 0 : ComputeWnaf4(BigIntToU256(k1.mag), &naf1);
+  const size_t l2 =
+      k2.mag.IsZero() ? 0 : ComputeWnaf4(BigIntToU256(k2.mag), &naf2);
+
+  // Odd multiples 1P, 3P, ..., 15P of each half's base.
+  std::array<G1, 8> tab1, tab2;
+  if (l1 > 0) {
+    tab1[0] = p1;
+    G1 twice = p1.Double();
+    for (size_t i = 1; i < 8; ++i) tab1[i] = tab1[i - 1].Add(twice);
+  }
+  if (l2 > 0) {
+    tab2[0] = p2;
+    G1 twice = p2.Double();
+    for (size_t i = 1; i < 8; ++i) tab2[i] = tab2[i - 1].Add(twice);
+  }
+
+  G1 acc = G1::Infinity();
+  for (size_t i = std::max(l1, l2); i > 0; --i) {
+    acc = acc.Double();
+    if (i <= l1) {
+      int8_t d = naf1[i - 1];
+      if (d > 0) {
+        acc = acc.Add(tab1[static_cast<size_t>(d / 2)]);
+      } else if (d < 0) {
+        acc = acc.Add(tab1[static_cast<size_t>(-d / 2)].Negate());
+      }
+    }
+    if (i <= l2) {
+      int8_t d = naf2[i - 1];
+      if (d > 0) {
+        acc = acc.Add(tab2[static_cast<size_t>(d / 2)]);
+      } else if (d < 0) {
+        acc = acc.Add(tab2[static_cast<size_t>(-d / 2)].Negate());
+      }
+    }
+  }
+  return acc;
+}
+
+G1 ScalarMulGlv(const G1& p, const Fr& k) {
+  return ScalarMulGlv(p, k.ToCanonical());
+}
+
+// G1's ScalarMul entry point (declared in g1.h) routes through GLV.
+template <>
+Point<G1Curve> Point<G1Curve>::ScalarMul(const U256& scalar) const {
+  return ScalarMulGlv(*this, scalar);
+}
+
+}  // namespace sjoin

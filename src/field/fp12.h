@@ -5,8 +5,19 @@
 // used as the pairing target group; slot k of an element (k = 0..5, the
 // coefficient of w^k) is reachable via the (c0,c1) x (a,b,c) decomposition:
 //   w^0 -> c0.a, w^1 -> c1.a, w^2 -> c0.b, w^3 -> c1.b, w^4 -> c0.c, w^5 -> c1.c
+//
+// Multiplication routes through the lazy-reduction Fp6/Fp2 layers. Two
+// pairing-specific fast paths live here as well:
+//   - MulBySparse5: multiplication by a product of two Miller-loop lines
+//     (slots w^0..w^4 populated, w^5 zero) -- the loops merge line pairs
+//     so each merged product costs about one plain MulByLine.
+//   - CyclotomicSquare: Granger-Scott squaring via three Fp4 squarings,
+//     valid (and byte-identical to Square) on the cyclotomic subgroup,
+//     where the final-exponentiation hard part lives.
 #ifndef SJOIN_FIELD_FP12_H_
 #define SJOIN_FIELD_FP12_H_
+
+#include <utility>
 
 #include "field/fp6.h"
 
@@ -33,7 +44,7 @@ class Fp12 {
   Fp12 operator-(const Fp12& o) const { return Fp12(c0_ - o.c0_, c1_ - o.c1_); }
   Fp12 operator-() const { return Fp12(-c0_, -c1_); }
 
-  /// Karatsuba multiplication: 3 Fp6 multiplications.
+  /// Karatsuba multiplication: 3 Fp6 multiplications (lazy inside).
   Fp12 operator*(const Fp12& o) const {
     Fp6 t0 = c0_ * o.c0_;
     Fp6 t1 = c1_ * o.c1_;
@@ -43,6 +54,16 @@ class Fp12 {
   }
   Fp12& operator*=(const Fp12& o) { return *this = *this * o; }
 
+  /// Schoolbook reference (per-product reduction all the way down);
+  /// property-tested against the lazy operator*.
+  Fp12 MulReference(const Fp12& o) const {
+    Fp6 t0 = c0_.MulReference(o.c0_);
+    Fp6 t1 = c1_.MulReference(o.c1_);
+    Fp6 r0 = t0 + t1.MulByV();
+    Fp6 r1 = (c0_ + c1_).MulReference(o.c0_ + o.c1_) - t0 - t1;
+    return Fp12(r0, r1);
+  }
+
   /// Complex squaring: 2 Fp6 multiplications.
   Fp12 Square() const {
     Fp6 t = c0_ * c1_;
@@ -51,12 +72,50 @@ class Fp12 {
     return Fp12(r0, r1);
   }
 
+  /// Granger-Scott squaring for elements of the cyclotomic subgroup
+  /// (unit-norm elements after the easy final-exponentiation part): three
+  /// Fp4 squarings instead of two full Fp6 multiplications. Equal to
+  /// Square() -- exactly, hence byte-identical -- on that subgroup;
+  /// tests/pairing_test.cc pins this.
+  Fp12 CyclotomicSquare() const {
+    // Fp4 pairs along w-powers (k, k+3): (w0, w3), (w1, w4), (w2, w5).
+    Fp2 z0 = c0_.a(), z4 = c0_.b(), z3 = c0_.c();
+    Fp2 z2 = c1_.a(), z1 = c1_.b(), z5 = c1_.c();
+
+    auto [t0, t1] = Fp4Square(z0, z1);
+    z0 = (t0 - z0).Double() + t0;  // 3*t0 - 2*z0
+    z1 = (t1 + z1).Double() + t1;  // 3*t1 + 2*z1
+
+    auto [u0, u1] = Fp4Square(z2, z3);
+    auto [u2, u3] = Fp4Square(z4, z5);
+    z4 = (u0 - z4).Double() + u0;
+    z5 = (u1 + z5).Double() + u1;
+    Fp2 xi_u3 = u3.MulByXi();
+    z2 = (xi_u3 + z2).Double() + xi_u3;
+    z3 = (u2 - z3).Double() + u2;
+
+    return Fp12(Fp6(z0, z4, z3), Fp6(z2, z1, z5));
+  }
+
   /// Sparse multiplication by a Miller-loop line a0 + (b0 + b1*v)*w with
-  /// a0, b0, b1 in Fp2 (15 Fp2 multiplications instead of ~27).
+  /// a0, b0, b1 in Fp2 (lazy sparse Fp6 products inside).
   Fp12 MulByLine(const Fp2& a0, const Fp2& b0, const Fp2& b1) const {
     Fp6 t0 = c0_.MulBy0(a0);
     Fp6 t1 = c1_.MulBy01(b0, b1);
     Fp6 r1 = (c0_ + c1_).MulBy01(a0 + b0, b1) - t0 - t1;
+    Fp6 r0 = t0 + t1.MulByV();
+    return Fp12(r0, r1);
+  }
+
+  /// Sparse multiplication by s0 + s1 w + s2 w^2 + s3 w^3 + s4 w^4 (the
+  /// shape of a product of two lines; see MergeLines in pairing.cc). In
+  /// tower terms the multiplier is (s0, s2, s4) + (s1, s3, 0) w.
+  Fp12 MulBySparse5(const Fp2& s0, const Fp2& s1, const Fp2& s2,
+                    const Fp2& s3, const Fp2& s4) const {
+    Fp6 y0(s0, s2, s4);
+    Fp6 t0 = c0_ * y0;
+    Fp6 t1 = c1_.MulBy01(s1, s3);
+    Fp6 r1 = (c0_ + c1_) * Fp6(s0 + s1, s2 + s3, s4) - t0 - t1;
     Fp6 r0 = t0 + t1.MulByV();
     return Fp12(r0, r1);
   }
@@ -103,6 +162,18 @@ class Fp12 {
   }
 
  private:
+  /// (a + b W)^2 in Fp4 = Fp2[W]/(W^2 - xi): returns (a^2 + xi b^2, 2ab).
+  static std::pair<Fp2, Fp2> Fp4Square(const Fp2& a, const Fp2& b) {
+    Fp2Wide ta = a.SquareWideLazy();  // (4, 2) p^2
+    Fp2Wide tb = b.SquareWideLazy();
+    Fp2 sa = Fp2::Redc(ta);
+    Fp2 sb = Fp2::Redc(tb);
+    // 2ab = (a+b)^2 - a^2 - b^2, wide: offset 8p^2 covers ta + tb.
+    Fp2 cross = Fp2::Redc(
+        (a + b).SquareWideLazy().Offset(fpw::kP2x8) - ta - tb);
+    return {sa + sb.MulByXi(), cross};
+  }
+
   Fp6 c0_;
   Fp6 c1_;
 };

@@ -1,4 +1,9 @@
 // Cubic extension Fp6 = Fp2[v] / (v^3 - xi), xi = 9 + u.
+//
+// The multiplication paths accumulate Fp2 products in the wide (unreduced)
+// domain of fp2.h and reduce once per output coefficient. xi-multiplications
+// happen on reduced values only (9x in the wide domain would overrun the
+// accumulator headroom); xi-free Karatsuba combinations stay wide.
 #ifndef SJOIN_FIELD_FP6_H_
 #define SJOIN_FIELD_FP6_H_
 
@@ -35,33 +40,63 @@ class Fp6 {
   Fp6 operator-() const { return Fp6(-a_, -b_, -c_); }
   Fp6 Double() const { return Fp6(a_.Double(), b_.Double(), c_.Double()); }
 
-  /// Full multiplication (Karatsuba-style, 6 Fp2 multiplications).
+  /// Full multiplication: Karatsuba over lazy Fp2 products -- 18 MulWide and
+  /// 10 RedcWide (the schoolbook form costs 18 reduced muls, i.e. 18 of each,
+  /// plus many canonical add/subs).
   Fp6 operator*(const Fp6& o) const {
-    Fp2 t0 = a_ * o.a_;
-    Fp2 t1 = b_ * o.b_;
-    Fp2 t2 = c_ * o.c_;
-    Fp2 r0 = t0 + ((b_ + c_) * (o.b_ + o.c_) - t1 - t2).MulByXi();
-    Fp2 r1 = (a_ + b_) * (o.a_ + o.b_) - t0 - t1 + t2.MulByXi();
-    Fp2 r2 = (a_ + c_) * (o.a_ + o.c_) - t0 - t2 + t1;
+    // All pairwise products, wide; every Fp2Wide here is (a < 2p^2, b < 2p^2).
+    Fp2Wide t0 = a_.MulWideLazy(o.a_);
+    Fp2Wide t1 = b_.MulWideLazy(o.b_);
+    Fp2Wide t2 = c_.MulWideLazy(o.c_);
+    Fp2Wide s23 = (b_ + c_).MulWideLazy(o.b_ + o.c_);
+    Fp2Wide s12 = (a_ + b_).MulWideLazy(o.a_ + o.b_);
+    Fp2Wide s13 = (a_ + c_).MulWideLazy(o.a_ + o.c_);
+    // u = s23 - t1 - t2 (+4p^2): congruent to b*oc + c*ob, < 6p^2.
+    Fp2 u = Fp2::Redc(s23.Offset(fpw::kP2x4) - t1 - t2);
+    Fp2 t2c = Fp2::Redc(t2);
+    // r0 = t0 + xi*u.
+    Fp2 r0 = Fp2::Redc(t0) + u.MulByXi();
+    // r1 = s12 - t0 - t1 (+4p^2, < 6p^2) + xi*t2.
+    Fp2 r1 = Fp2::Redc(s12.Offset(fpw::kP2x4) - t0 - t1) + t2c.MulByXi();
+    // r2 = s13 + t1 - t0 - t2 (+4p^2): < 8p^2.
+    Fp2 r2 = Fp2::Redc((s13 + t1).Offset(fpw::kP2x4) - t0 - t2);
     return Fp6(r0, r1, r2);
   }
   Fp6& operator*=(const Fp6& o) { return *this = *this * o; }
+
+  /// Schoolbook reference (per-product reduction); property-tested against
+  /// the lazy operator*.
+  Fp6 MulReference(const Fp6& o) const {
+    Fp2 t0 = a_.MulReference(o.a_);
+    Fp2 t1 = b_.MulReference(o.b_);
+    Fp2 t2 = c_.MulReference(o.c_);
+    Fp2 r0 = t0 + ((b_ + c_).MulReference(o.b_ + o.c_) - t1 - t2).MulByXi();
+    Fp2 r1 = (a_ + b_).MulReference(o.a_ + o.b_) - t0 - t1 + t2.MulByXi();
+    Fp2 r2 = (a_ + c_).MulReference(o.a_ + o.c_) - t0 - t2 + t1;
+    return Fp6(r0, r1, r2);
+  }
 
   Fp6 Square() const { return *this * *this; }
 
   /// Multiplication by v: (a, b, c) -> (xi*c, a, b).
   Fp6 MulByV() const { return Fp6(c_.MulByXi(), a_, b_); }
 
-  /// Sparse multiplication by (s, 0, 0): 3 Fp2 multiplications.
+  /// Sparse multiplication by (s, 0, 0): 3 lazy Fp2 multiplications.
   Fp6 MulBy0(const Fp2& s) const { return Fp6(a_ * s, b_ * s, c_ * s); }
 
-  /// Sparse multiplication by (s0 + s1*v): 6 Fp2 multiplications.
+  /// Sparse multiplication by (s0 + s1*v): 15 MulWide + 8 RedcWide (the
+  /// schoolbook form is 6 reduced Fp2 muls = 18 of each).
   Fp6 MulBy01(const Fp2& s0, const Fp2& s1) const {
-    Fp2 t0 = a_ * s0;
-    Fp2 t1 = b_ * s1;
-    Fp2 r0 = t0 + (c_ * s1).MulByXi();
-    Fp2 r1 = a_ * s1 + b_ * s0;
-    Fp2 r2 = t1 + c_ * s0;
+    Fp2Wide t0 = a_.MulWideLazy(s0);   // (2, 2) p^2
+    Fp2Wide t1 = b_.MulWideLazy(s1);
+    Fp2Wide tc = c_.MulWideLazy(s1);
+    // r0 = t0 + xi*(c*s1).
+    Fp2 r0 = Fp2::Redc(t0) + Fp2::Redc(tc).MulByXi();
+    // r1 = a*s1 + b*s0 = (a+b)(s0+s1) - t0 - t1 (+4p^2, < 6p^2).
+    Fp2Wide s_ab = (a_ + b_).MulWideLazy(s0 + s1);
+    Fp2 r1 = Fp2::Redc(s_ab.Offset(fpw::kP2x4) - t0 - t1);
+    // r2 = t1 + c*s0, both wide: < 4p^2.
+    Fp2 r2 = Fp2::Redc(t1 + c_.MulWideLazy(s0));
     return Fp6(r0, r1, r2);
   }
 

@@ -1,0 +1,200 @@
+// BMI2/ADX backend at Fp2 granularity (see mont_accel.h for the dispatch
+// rationale). The kernels are compiled with per-function target attributes,
+// so the translation unit itself builds for the baseline ISA and the binary
+// stays runnable on CPUs without BMI2/ADX (they keep the scalar backend).
+//
+// Fp2Mul / Fp2Sqr replicate Fp2::MulWideLazy / Fp2::SquareWideLazy +
+// fpw::Reduce step for step -- same Karatsuba split, same p^2 correction
+// constant, same bound restoration, same Montgomery reduction -- so the
+// (unique canonical) outputs match the scalar path byte for byte.
+#include "field/mont_accel.h"
+
+#include <cstdlib>
+
+#include "field/bn254.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <cpuid.h>
+#include <x86intrin.h>
+#define SJOIN_MONT_ACCEL_X86 1
+#endif
+
+namespace sjoin {
+namespace mont_accel {
+namespace {
+
+// p^2 for the lazy Karatsuba correction (same constant as fpw::kP2;
+// recomputed here because fp2.h includes this backend's header).
+inline constexpr U512 kP2 = MulWide(kBn254FpParams.p, kBn254FpParams.p);
+
+#ifdef SJOIN_MONT_ACCEL_X86
+
+// a + b*c + *carry; returns the low word, leaves the high word in *carry.
+// The high word of b*c is at most 2^64 - 2, so absorbing both add carries
+// cannot overflow it.
+__attribute__((target("bmi2,adx"))) inline uint64_t Mac(uint64_t a, uint64_t b,
+                                                        uint64_t c,
+                                                        uint64_t* carry) {
+  unsigned long long hi;
+  unsigned long long lo = _mulx_u64(b, c, &hi);
+  unsigned char k = _addcarry_u64(0, lo, a, &lo);
+  hi += k;
+  k = _addcarry_u64(0, lo, *carry, &lo);
+  hi += k;
+  *carry = hi;
+  return lo;
+}
+
+__attribute__((target("bmi2,adx"))) U512 MulWA(const U256& a, const U256& b) {
+  U512 r{};
+  for (int i = 0; i < 4; ++i) {
+    uint64_t c = 0;
+    for (int j = 0; j < 4; ++j) {
+      r.w[i + j] = Mac(r.w[i + j], a.w[i], b.w[j], &c);
+    }
+    r.w[i + 4] = c;
+  }
+  return r;
+}
+
+__attribute__((target("bmi2,adx"))) U256 RedcA(const U512& in,
+                                               const MontParams& P) {
+  uint64_t t[8] = {in.w[0], in.w[1], in.w[2], in.w[3],
+                   in.w[4], in.w[5], in.w[6], in.w[7]};
+  uint64_t extra = 0;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t m = t[i] * P.inv;
+    uint64_t c = 0;
+    for (int j = 0; j < 4; ++j) {
+      t[i + j] = Mac(t[i + j], m, P.p.w[j], &c);
+    }
+    unsigned char k = _addcarry_u64(
+        0, t[i + 4], c, reinterpret_cast<unsigned long long*>(&t[i + 4]));
+    for (int j = i + 5; j < 8 && k; ++j) {
+      k = _addcarry_u64(k, t[j], 0,
+                        reinterpret_cast<unsigned long long*>(&t[j]));
+    }
+    extra += k;  // still set after t[7]: carry out of the 512-bit window
+  }
+  U256 r{{t[4], t[5], t[6], t[7]}};
+  if (extra != 0 || U256GreaterEq(r, P.p)) {
+    U256 reduced{};
+    U256SubWithBorrow(r, P.p, &reduced);
+    return reduced;
+  }
+  return r;
+}
+
+// Restores RedcA's precondition (v < p * 2^256) after lazy accumulation;
+// mirrors fpw::Reduce.
+__attribute__((target("bmi2,adx"))) inline U256 ReduceA(U512 v,
+                                                        const MontParams& P) {
+  while (U512GreaterEqShifted(v, P.p)) ReduceWideOnce(&v, P.p);
+  return RedcA(v, P);
+}
+
+// Lazy Karatsuba Fp2 product, one outlined call: 3 MulWA + combine + 2
+// reductions. Mirrors Fp2::MulWideLazy + Fp2::Redc exactly.
+__attribute__((target("bmi2,adx"))) void Fp2MulImpl(const U256 x[2],
+                                                    const U256 y[2],
+                                                    U256 out[2]) {
+  const MontParams& P = kBn254FpParams;
+  U512 t0 = MulWA(x[0], y[0]);  // < p^2
+  U512 t1 = MulWA(x[1], y[1]);  // < p^2
+  U256 xs, ys;
+  U256AddWithCarry(x[0], x[1], &xs);  // < 2p < 2^255: no carry out
+  U256AddWithCarry(y[0], y[1], &ys);
+  U512 t2 = MulWA(xs, ys);
+  // a = t0 + (p^2 - t1): congruent to a*a' - b*b', < 2p^2.
+  U512 wa, corr;
+  U512SubWithBorrow(kP2, t1, &corr);
+  U512AddWithCarry(t0, corr, &wa);
+  // b = t2 - t0 - t1 = a*b' + b*a' exactly (nonnegative), < 2p^2.
+  U512 wb;
+  U512SubWithBorrow(t2, t0, &wb);
+  U512SubWithBorrow(wb, t1, &wb);
+  out[0] = ReduceA(wa, P);
+  out[1] = ReduceA(wb, P);
+}
+
+// Lazy complex Fp2 squaring: 2 MulWA + 2 reductions. Mirrors
+// Fp2::SquareWideLazy + Fp2::Redc exactly.
+__attribute__((target("bmi2,adx"))) void Fp2SqrImpl(const U256 x[2],
+                                                    U256 out[2]) {
+  const MontParams& P = kBn254FpParams;
+  // (a + b)(a + p - b) === a^2 - b^2 (mod p); both factors < 2p, so < 4p^2.
+  U256 s, pb, d;
+  U256AddWithCarry(x[0], x[1], &s);
+  U256SubWithBorrow(P.p, x[1], &pb);
+  U256AddWithCarry(x[0], pb, &d);
+  U512 t0 = MulWA(s, d);
+  U512 t1 = MulWA(x[0], x[1]);
+  out[0] = ReduceA(t0, P);
+  out[1] = ReduceA(U512Double(t1), P);
+}
+
+bool DetectAccel() {
+  const char* force = std::getenv("SJOIN_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' && force[0] != '0') return false;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  const bool bmi2 = (ebx & (1u << 8)) != 0;
+  const bool adx = (ebx & (1u << 19)) != 0;
+  return bmi2 && adx;
+}
+
+#else  // !SJOIN_MONT_ACCEL_X86
+
+// Scalar renditions of the same algorithm; never called (kEnabled is
+// false on non-x86), but must link.
+U256 ReduceScalar(U512 v, const MontParams& P) {
+  while (U512GreaterEqShifted(v, P.p)) ReduceWideOnce(&v, P.p);
+  return RedcWideScalar(v, P);
+}
+
+void Fp2MulImpl(const U256 x[2], const U256 y[2], U256 out[2]) {
+  const MontParams& P = kBn254FpParams;
+  U512 t0 = MulWide(x[0], y[0]);
+  U512 t1 = MulWide(x[1], y[1]);
+  U256 xs, ys;
+  U256AddWithCarry(x[0], x[1], &xs);
+  U256AddWithCarry(y[0], y[1], &ys);
+  U512 t2 = MulWide(xs, ys);
+  U512 wa, corr;
+  U512SubWithBorrow(kP2, t1, &corr);
+  U512AddWithCarry(t0, corr, &wa);
+  U512 wb;
+  U512SubWithBorrow(t2, t0, &wb);
+  U512SubWithBorrow(wb, t1, &wb);
+  out[0] = ReduceScalar(wa, P);
+  out[1] = ReduceScalar(wb, P);
+}
+
+void Fp2SqrImpl(const U256 x[2], U256 out[2]) {
+  const MontParams& P = kBn254FpParams;
+  U256 s, pb, d;
+  U256AddWithCarry(x[0], x[1], &s);
+  U256SubWithBorrow(P.p, x[1], &pb);
+  U256AddWithCarry(x[0], pb, &d);
+  U512 t0 = MulWide(s, d);
+  U512 t1 = MulWide(x[0], x[1]);
+  out[0] = ReduceScalar(t0, P);
+  out[1] = ReduceScalar(U512Double(t1), P);
+}
+
+bool DetectAccel() { return false; }
+
+#endif
+
+}  // namespace
+
+const bool kEnabled = DetectAccel();
+
+void Fp2Mul(const U256 x[2], const U256 y[2], U256 out[2]) {
+  Fp2MulImpl(x, y, out);
+}
+
+void Fp2Sqr(const U256 x[2], U256 out[2]) { Fp2SqrImpl(x, out); }
+
+}  // namespace mont_accel
+}  // namespace sjoin

@@ -1,0 +1,37 @@
+// Coarse-grained BMI2/ADX backend for the lazy Fp2 layer.
+//
+// Dispatch granularity is a whole Fp2 multiplication/squaring, not a single
+// 256-bit primitive: at -O3 the scalar CIOS code inlines into the tower's
+// hot loops, and an outlined call per multiply costs more than mulx saves.
+// One call per Fp2 op amortizes the call over 3 wide multiplies + 2 wide
+// reductions, which is the smallest unit where the accel path at least
+// breaks even on every supported CPU.
+//
+// Both entry points compute exactly the lazy Karatsuba algorithm of
+// Fp2::MulWideLazy / Fp2::SquareWideLazy followed by fpw::Reduce, so their
+// outputs are byte-identical to the scalar path on every input. kEnabled is
+// a dynamically initialized constant: TUs whose static initializers run
+// field arithmetic before it is set read the zero-initialized `false` and
+// take the scalar path, which is byte-identical, so static initialization
+// order cannot change any result. SJOIN_FORCE_SCALAR=1 pins `false`.
+#ifndef SJOIN_FIELD_MONT_ACCEL_H_
+#define SJOIN_FIELD_MONT_ACCEL_H_
+
+#include "field/u256.h"
+
+namespace sjoin {
+namespace mont_accel {
+
+extern const bool kEnabled;
+
+/// Lazy Fp2 product: out = x * y in Fp2 = Fp[u]/(u^2+1). Operands and
+/// result are Montgomery-form coefficient pairs (a, b); aliasing allowed.
+void Fp2Mul(const U256 x[2], const U256 y[2], U256 out[2]);
+
+/// Lazy Fp2 squaring: out = x^2; aliasing allowed.
+void Fp2Sqr(const U256 x[2], U256 out[2]);
+
+}  // namespace mont_accel
+}  // namespace sjoin
+
+#endif  // SJOIN_FIELD_MONT_ACCEL_H_

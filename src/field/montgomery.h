@@ -3,10 +3,20 @@
 // All Montgomery parameters are derived at compile time from the decimal
 // modulus string (no hand-copied magic constants); tests/field_test.cc
 // re-derives them with BigInt and asserts equality.
+//
+// The primitives here are the portable scalar CIOS code (also the constexpr
+// path) and are always inlined into the lazy tower's hot loops. A BMI2/ADX
+// (mulx + adc chains) backend exists at Fp2 granularity in mont_accel.{h,cc},
+// selected once at startup by CPUID and disabled by SJOIN_FORCE_SCALAR=1;
+// dispatch is deliberately NOT per-primitive -- an outlined call per 256-bit
+// multiply costs more than mulx saves once the scalar code is inlined at -O3.
+// Montgomery reduction has a unique canonical output, so backend choice is
+// byte-identical on every input; CI runs the suites under both.
 #ifndef SJOIN_FIELD_MONTGOMERY_H_
 #define SJOIN_FIELD_MONTGOMERY_H_
 
 #include "field/u256.h"
+#include "field/u512.h"
 
 namespace sjoin {
 
@@ -59,8 +69,9 @@ consteval MontParams DeriveMontParams(const char* modulus_decimal) {
 }
 
 /// Montgomery product a*b*R^{-1} mod p (CIOS method, Koc-Acar-Kaliski).
-/// Inputs must be < p; the output is < p.
-inline U256 MontMul(const U256& a, const U256& b, const MontParams& P) {
+/// Inputs must be < p; the output is < p. Portable scalar backend.
+constexpr U256 MontMulScalar(const U256& a, const U256& b,
+                             const MontParams& P) {
   uint64_t t[6] = {0, 0, 0, 0, 0, 0};
   for (int i = 0; i < 4; ++i) {
     // t += a[i] * b
@@ -94,6 +105,53 @@ inline U256 MontMul(const U256& a, const U256& b, const MontParams& P) {
     return reduced;
   }
   return r;
+}
+
+/// Montgomery reduction of a double-width value: in * R^{-1} mod p, < p.
+/// Requires in < p * 2^256 (use ReduceWideOnce to restore that bound after
+/// lazy accumulation); then in + m*p < 2p * 2^256, so one final conditional
+/// subtraction suffices. Portable scalar backend.
+constexpr U256 RedcWideScalar(const U512& in, const MontParams& P) {
+  uint64_t t[8] = {in.w[0], in.w[1], in.w[2], in.w[3],
+                   in.w[4], in.w[5], in.w[6], in.w[7]};
+  uint64_t extra = 0;  // carry beyond t[7]
+  for (int i = 0; i < 4; ++i) {
+    uint64_t m = t[i] * P.inv;
+    uint128_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      uint128_t cur = static_cast<uint128_t>(m) * P.p.w[j] + t[i + j] + carry;
+      t[i + j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    for (int k = i + 4; k < 8 && carry != 0; ++k) {
+      uint128_t cur = static_cast<uint128_t>(t[k]) + carry;
+      t[k] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    extra += static_cast<uint64_t>(carry);
+  }
+  U256 r{{t[4], t[5], t[6], t[7]}};
+  if (extra != 0 || U256GreaterEq(r, P.p)) {
+    U256 reduced{};
+    U256SubWithBorrow(r, P.p, &reduced);
+    return reduced;
+  }
+  return r;
+}
+
+/// Montgomery product a*b*R^{-1} mod p; inputs < p, output < p.
+inline U256 MontMul(const U256& a, const U256& b, const MontParams& P) {
+  return MontMulScalar(a, b, P);
+}
+
+/// Full 256x256 -> 512 product (alias of the constexpr MulWide in u512.h;
+/// kept as the named entry point the lazy tower calls).
+inline U512 MulWideRt(const U256& a, const U256& b) { return MulWide(a, b); }
+
+/// Montgomery reduction of a double-width value.
+/// Requires in < p * 2^256; output < p.
+inline U256 RedcWide(const U512& in, const MontParams& P) {
+  return RedcWideScalar(in, P);
 }
 
 inline U256 MontAdd(const U256& a, const U256& b, const MontParams& P) {

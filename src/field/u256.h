@@ -4,6 +4,7 @@
 #ifndef SJOIN_FIELD_U256_H_
 #define SJOIN_FIELD_U256_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace sjoin {

@@ -1,0 +1,109 @@
+// Fixed-width 512-bit little-endian limb vectors: the double-width
+// accumulator domain of the lazy-reduction field tower.
+//
+// A U512 holds an UNREDUCED product of Montgomery residues (or a signed
+// combination of such products offset by multiples of p^2). The field
+// layers accumulate in this domain -- adds, subtractions-with-correction,
+// doublings -- and reduce ONCE per output coefficient with RedcWide, which
+// needs its input below p * 2^256 (ReduceWideOnce restores that bound
+// cheaply by subtracting p from the upper limbs only).
+//
+// These are raw integer utilities, like u256.h; the reduction strategy and
+// its bound discipline live in the Fp2/Fp6 wide helpers (fp2.h).
+#ifndef SJOIN_FIELD_U512_H_
+#define SJOIN_FIELD_U512_H_
+
+#include "field/u256.h"
+
+namespace sjoin {
+
+/// 512-bit unsigned integer, little-endian 64-bit limbs.
+struct U512 {
+  uint64_t w[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+  constexpr bool operator==(const U512& o) const {
+    for (int i = 0; i < 8; ++i) {
+      if (w[i] != o.w[i]) return false;
+    }
+    return true;
+  }
+  constexpr bool operator!=(const U512& o) const { return !(*this == o); }
+};
+
+/// Full 256x256 -> 512-bit product (schoolbook, constexpr; inlines well at
+/// -O3 -- the BMI2/ADX backend in mont_accel.cc dispatches at whole-Fp2
+/// granularity instead of replacing this primitive).
+constexpr U512 MulWide(const U256& a, const U256& b) {
+  U512 r{};
+  for (int i = 0; i < 4; ++i) {
+    uint128_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      uint128_t cur =
+          static_cast<uint128_t>(a.w[i]) * b.w[j] + r.w[i + j] + carry;
+      r.w[i + j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    r.w[i + 4] = static_cast<uint64_t>(carry);
+  }
+  return r;
+}
+
+/// a + b; returns the carry-out bit (callers arrange bounds so it is 0).
+constexpr uint64_t U512AddWithCarry(const U512& a, const U512& b, U512* out) {
+  uint128_t carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    uint128_t cur = static_cast<uint128_t>(a.w[i]) + b.w[i] + carry;
+    out->w[i] = static_cast<uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  return static_cast<uint64_t>(carry);
+}
+
+/// a - b; returns the borrow-out bit (callers subtract only values that are
+/// provably <= a, so it is 0).
+constexpr uint64_t U512SubWithBorrow(const U512& a, const U512& b, U512* out) {
+  uint128_t borrow = 0;
+  for (int i = 0; i < 8; ++i) {
+    uint128_t cur = static_cast<uint128_t>(a.w[i]) - b.w[i] - borrow;
+    out->w[i] = static_cast<uint64_t>(cur);
+    borrow = (cur >> 64) & 1;
+  }
+  return static_cast<uint64_t>(borrow);
+}
+
+/// 2a (callers keep a < 2^511 so the doubling cannot carry out).
+constexpr U512 U512Double(const U512& a) {
+  U512 r{};
+  uint64_t carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    r.w[i] = (a.w[i] << 1) | carry;
+    carry = a.w[i] >> 63;
+  }
+  return r;
+}
+
+/// v >= p * 2^256, i.e. the upper four limbs (as a U256) >= p.
+constexpr bool U512GreaterEqShifted(const U512& v, const U256& p) {
+  U256 hi{{v.w[4], v.w[5], v.w[6], v.w[7]}};
+  return U256GreaterEq(hi, p);
+}
+
+/// Subtracts p * 2^256 once if v >= p * 2^256: touches only the upper four
+/// limbs and leaves v mod p unchanged. One application restores the RedcWide
+/// precondition v < p * 2^256 for any v < 2 p * 2^256 (the wide helpers'
+/// accumulation bounds guarantee that).
+constexpr void ReduceWideOnce(U512* v, const U256& p) {
+  if (U512GreaterEqShifted(*v, p)) {
+    U256 hi{{v->w[4], v->w[5], v->w[6], v->w[7]}};
+    U256 reduced{};
+    U256SubWithBorrow(hi, p, &reduced);
+    v->w[4] = reduced.w[0];
+    v->w[5] = reduced.w[1];
+    v->w[6] = reduced.w[2];
+    v->w[7] = reduced.w[3];
+  }
+}
+
+}  // namespace sjoin
+
+#endif  // SJOIN_FIELD_U512_H_

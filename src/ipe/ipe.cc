@@ -98,13 +98,18 @@ std::vector<G2Affine> ModifiedIpe::Encrypt(const IpeMasterKey& msk,
 
 GT ModifiedIpe::Decrypt(std::span<const G1Affine> token,
                         std::span<const G2Affine> ct) {
+  return GT(FinalExponentiation(DecryptMiller(token, ct)));
+}
+
+Fp12 ModifiedIpe::DecryptMiller(std::span<const G1Affine> token,
+                                std::span<const G2Affine> ct) {
   SJOIN_CHECK(token.size() == ct.size());
   std::vector<std::pair<G1Affine, G2Affine>> pairs;
   pairs.reserve(token.size());
   for (size_t i = 0; i < token.size(); ++i) {
     pairs.emplace_back(token[i], ct[i]);
   }
-  return MultiPair(pairs);
+  return MultiMillerLoop(pairs);
 }
 
 std::vector<G2Prepared> ModifiedIpe::PrepareCiphertext(
@@ -117,13 +122,18 @@ std::vector<G2Prepared> ModifiedIpe::PrepareCiphertext(
 
 GT ModifiedIpe::DecryptPrepared(std::span<const G1Affine> token,
                                 std::span<const G2Prepared> ct) {
+  return GT(FinalExponentiation(DecryptMillerPrepared(token, ct)));
+}
+
+Fp12 ModifiedIpe::DecryptMillerPrepared(std::span<const G1Affine> token,
+                                        std::span<const G2Prepared> ct) {
   SJOIN_CHECK(token.size() == ct.size());
   std::vector<std::pair<G1Affine, const G2Prepared*>> pairs;
   pairs.reserve(token.size());
   for (size_t i = 0; i < token.size(); ++i) {
     pairs.emplace_back(token[i], &ct[i]);
   }
-  return MultiPairPrepared(pairs);
+  return MultiMillerLoopPrepared(pairs);
 }
 
 }  // namespace sjoin

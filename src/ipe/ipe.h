@@ -89,6 +89,14 @@ class ModifiedIpe {
   static GT Decrypt(std::span<const G1Affine> token,
                     std::span<const G2Affine> ct);
 
+  /// Miller-loop half of Decrypt: the pre-final-exponentiation Fp12
+  /// accumulator. Decrypt(tk, ct) == GT(FinalExponentiation(
+  /// DecryptMiller(tk, ct))); batch decryption uses this to run one
+  /// amortized final exponentiation over many rows
+  /// (FinalExponentiationBatch in pairing.h).
+  static Fp12 DecryptMiller(std::span<const G1Affine> token,
+                            std::span<const G2Affine> ct);
+
   /// Per-slot Miller-loop line tables of a ciphertext; costs one
   /// Decrypt's worth of G2 work, amortized over later DecryptPrepared
   /// calls with any token.
@@ -98,6 +106,10 @@ class ModifiedIpe {
   /// ciphertext the preparation came from.
   static GT DecryptPrepared(std::span<const G1Affine> token,
                             std::span<const G2Prepared> ct);
+
+  /// Miller-loop half of DecryptPrepared (see DecryptMiller).
+  static Fp12 DecryptMillerPrepared(std::span<const G1Affine> token,
+                                    std::span<const G2Prepared> ct);
 };
 
 }  // namespace sjoin

@@ -36,43 +36,154 @@ namespace {
 // in (xP, yP) at evaluation time. This keeps the plain and prepared Miller
 // loops on one set of formulas -- G2Prepared::Prepare records exactly the
 // triples the plain loop would derive inline.
+//
+// The point update is fused with the line derivation: the tangent formulas
+// already need X^2, Y^2 and Y*Z, which are exactly the squarings dbl-2009-l
+// starts from, and the chord formulas share Z^2 and rr with madd-2007-bl.
+// Fusing removes 2-3 Fp2 squarings/multiplications per step that the
+// G2::Double / G2::AddMixed entry points would recompute. Field elements
+// are canonical, so computing the same coordinate values yields the same
+// bytes as the unfused G2 methods (tests pin T against G2 arithmetic).
 // ---------------------------------------------------------------------------
 
+// Running Jacobian point on the twist; (X, Y, Z) ~ (X/Z^2, Y/Z^3), Z == 0
+// is the identity (coordinates (1, 1, 0), matching Point<G2Curve>()).
+struct G2Jacobian {
+  Fp2 X, Y, Z;
+};
+
+const G2Jacobian kG2JacobianInfinity = {Fp2::One(), Fp2::One(), Fp2::Zero()};
+
+// Plain dbl-2009-l doubling (degenerate chord case only; the hot doubling
+// path is fused into DoublingStep below). Coordinates match G2::Double().
+void JacobianDouble(G2Jacobian* t) {
+  if (t->Z.IsZero() || t->Y.IsZero()) {
+    *t = kG2JacobianInfinity;
+    return;
+  }
+  const Fp2 X = t->X, Y = t->Y, Z = t->Z;
+  Fp2 A = X.Square();
+  Fp2 B = Y.Square();
+  Fp2 C = B.Square();
+  Fp2 D = ((X + B).Square() - A - C).Double();
+  Fp2 E = A.Double() + A;  // 3 X^2
+  Fp2 Fq = E.Square();
+  t->X = Fq - D.Double();
+  t->Y = E * (D - t->X) - C.Double().Double().Double();  // 8C
+  t->Z = (Y * Z).Double();
+}
+
 // Doubling step: consumes T (Jacobian on the twist), outputs 2T and the
-// tangent-line coefficients at T.
-void DoublingStep(G2* t, LineCoeffs* line) {
-  const Fp2 X = t->X(), Y = t->Y(), Z = t->Z();
-  Fp2 XX = X.Square();
-  Fp2 YY = Y.Square();
+// tangent-line coefficients at T. X^2, Y^2, 3X^2 and Y*Z feed both the
+// line and the dbl-2009-l update.
+void DoublingStep(G2Jacobian* t, LineCoeffs* line) {
+  const Fp2 X = t->X, Y = t->Y, Z = t->Z;
+  Fp2 A = X.Square();            // X^2
+  Fp2 B = Y.Square();            // Y^2
   Fp2 ZZ = Z.Square();
-  Fp2 three_xx = XX.Double() + XX;
+  Fp2 E = A.Double() + A;        // 3 X^2
+  Fp2 YZ = Y * Z;
 
-  line->c0 = (Y * Z * ZZ).Double();        // 2 Y Z^3
-  line->c1 = -(three_xx * ZZ);             // -3 X^2 Z^2
-  line->c2 = three_xx * X - YY.Double();   // 3 X^3 - 2 Y^2
+  line->c0 = (YZ * ZZ).Double();  // 2 Y Z^3
+  line->c1 = -(E * ZZ);           // -3 X^2 Z^2
+  line->c2 = E * X - B.Double();  // 3 X^3 - 2 Y^2
 
-  *t = t->Double();
+  if (Z.IsZero() || Y.IsZero()) {
+    *t = kG2JacobianInfinity;
+    return;
+  }
+  Fp2 C = B.Square();
+  Fp2 D = ((X + B).Square() - A - C).Double();
+  Fp2 Fq = E.Square();
+  t->X = Fq - D.Double();
+  t->Y = E * (D - t->X) - C.Double().Double().Double();  // 8C
+  t->Z = YZ.Double();
 }
 
 // Addition step: consumes T and affine Q, outputs T+Q and the chord-line
-// coefficients through them.
-void AdditionStep(G2* t, const G2Affine& q, LineCoeffs* line) {
-  const Fp2 Z = t->Z();
+// coefficients through them. Z^2 and rr feed both the line and the
+// madd-2007-bl update.
+void AdditionStep(G2Jacobian* t, const G2Affine& q, LineCoeffs* line) {
+  const Fp2 X = t->X, Y = t->Y, Z = t->Z;
   Fp2 ZZ = Z.Square();
-  Fp2 rr = (q.y * Z * ZZ - t->Y()).Double();  // 2 (y2 Z^3 - Y)
+  Fp2 rr = (q.y * Z * ZZ - Y).Double();  // 2 (y2 Z^3 - Y)
 
-  *t = t->AddMixed(q);
-  const Fp2& z3 = t->Z();  // 2 Z (x2 Z^2 - X)
+  if (q.infinity) {
+    // T unchanged (identity addend); matches AddMixed's early return.
+  } else if (Z.IsZero()) {
+    t->X = q.x;
+    t->Y = q.y;
+    t->Z = Fp2::One();
+  } else {
+    Fp2 u2 = q.x * ZZ;
+    Fp2 h = u2 - X;
+    if (h.IsZero()) {
+      // Degenerate chord (never produced by Miller loops over valid
+      // order-r points); matches AddMixed's fallbacks.
+      if (rr.IsZero()) {
+        JacobianDouble(t);
+      } else {
+        *t = kG2JacobianInfinity;
+      }
+    } else {
+      Fp2 hh = h.Square();
+      Fp2 i = hh.Double().Double();
+      Fp2 j = h * i;
+      Fp2 v = X * i;
+      Fp2 x3 = rr.Square() - j - v.Double();
+      t->Y = rr * (v - x3) - (Y * j).Double();
+      t->Z = (Z + h).Square() - ZZ - hh;  // 2 Z (x2 Z^2 - X)
+      t->X = x3;
+    }
+  }
 
-  line->c0 = z3;
+  line->c0 = t->Z;
   line->c1 = -rr;
-  line->c2 = rr * q.x - z3 * q.y;
+  line->c2 = rr * q.x - t->Z * q.y;
 }
 
-// Evaluation at P folded into the sparse accumulator multiplication.
-Fp12 MulByEvaluatedLine(const Fp12& f, const LineCoeffs& line, const Fp& xp,
-                        const Fp& yp) {
-  return f.MulByLine(line.c0.MulByFp(yp), line.c1.MulByFp(xp), line.c2);
+// A line with the G1 point multiplied in: a0 + b0*w + b1*w^3.
+struct EvalLine {
+  Fp2 a0, b0, b1;
+};
+
+EvalLine Evaluate(const LineCoeffs& line, const Fp& xp, const Fp& yp) {
+  return EvalLine{line.c0.MulByFp(yp), line.c1.MulByFp(xp), line.c2};
+}
+
+// Product of two evaluated lines: slots w^0..w^4 (w^3 * w^3 = w^6 = xi wraps
+// into slot 0). Six lazy Fp2 products via Karatsuba cross terms.
+void MergeLines(const EvalLine& l, const EvalLine& m, Fp2 s[5]) {
+  Fp2Wide taa = l.a0.MulWideLazy(m.a0);  // every product here is (2, 2) p^2
+  Fp2Wide tbb = l.b0.MulWideLazy(m.b0);
+  Fp2Wide tcc = l.b1.MulWideLazy(m.b1);
+  s[0] = Fp2::Redc(taa) + Fp2::Redc(tcc).MulByXi();
+  s[2] = Fp2::Redc(tbb);
+  // Cross terms x*y' + y*x' = (x+y)(x'+y') - xx' - yy'; offset 4p^2 covers
+  // the two subtrahends, totals stay < 8p^2.
+  s[1] = Fp2::Redc(
+      (l.a0 + l.b0).MulWideLazy(m.a0 + m.b0).Offset(fpw::kP2x4) - taa - tbb);
+  s[3] = Fp2::Redc(
+      (l.a0 + l.b1).MulWideLazy(m.a0 + m.b1).Offset(fpw::kP2x4) - taa - tcc);
+  s[4] = Fp2::Redc(
+      (l.b0 + l.b1).MulWideLazy(m.b0 + m.b1).Offset(fpw::kP2x4) - tbb - tcc);
+}
+
+// Multiplies the round's collected lines into f, pairwise-merged: each merged
+// product costs ~11.5 Fp2 muls per line against 13 for MulByLine, and field
+// associativity makes any grouping produce the same canonical element, so
+// the accumulator stays byte-identical to the line-at-a-time schedule.
+Fp12 FoldLines(Fp12 f, const std::vector<EvalLine>& lines) {
+  size_t i = 0;
+  Fp2 s[5];
+  for (; i + 1 < lines.size(); i += 2) {
+    MergeLines(lines[i], lines[i + 1], s);
+    f = f.MulBySparse5(s[0], s[1], s[2], s[3], s[4]);
+  }
+  if (i < lines.size()) {
+    f = f.MulByLine(lines[i].a0, lines[i].b0, lines[i].b1);
+  }
+  return f;
 }
 
 // NAF digits of 6x+2 (65 bits), most significant first.
@@ -112,37 +223,42 @@ struct PairState {
   Fp xp, yp;      // G1 point (affine)
   G2Affine q;     // G2 point (affine)
   G2Affine negq;  // -Q
-  G2 t;           // running Jacobian point
+  G2Jacobian t;   // running Jacobian point
 };
 
 Fp12 MultiMillerLoopImpl(std::vector<PairState>* states) {
   const std::vector<int8_t>& naf = AteLoopNaf();
   Fp12 f = Fp12::One();
   LineCoeffs line;
+  std::vector<EvalLine> round;
+  round.reserve(states->size() * 2);
   // Skip the leading digit (always 1): f starts at 1 and T at Q.
   for (size_t i = 1; i < naf.size(); ++i) {
     f = f.Square();
+    round.clear();
     for (PairState& s : *states) {
       DoublingStep(&s.t, &line);
-      f = MulByEvaluatedLine(f, line, s.xp, s.yp);
+      round.push_back(Evaluate(line, s.xp, s.yp));
     }
     int8_t d = naf[i];
     if (d != 0) {
       for (PairState& s : *states) {
         AdditionStep(&s.t, d > 0 ? s.q : s.negq, &line);
-        f = MulByEvaluatedLine(f, line, s.xp, s.yp);
+        round.push_back(Evaluate(line, s.xp, s.yp));
       }
     }
+    f = FoldLines(f, round);
   }
   // Optimal ate tail: lines through pi_p(Q) and -pi_{p^2}(Q).
+  round.clear();
   for (PairState& s : *states) {
     auto [q1, q2_neg] = TailPoints(s.q);
     AdditionStep(&s.t, q1, &line);
-    f = MulByEvaluatedLine(f, line, s.xp, s.yp);
+    round.push_back(Evaluate(line, s.xp, s.yp));
     AdditionStep(&s.t, q2_neg, &line);
-    f = MulByEvaluatedLine(f, line, s.xp, s.yp);
+    round.push_back(Evaluate(line, s.xp, s.yp));
   }
-  return f;
+  return FoldLines(f, round);
 }
 
 std::vector<PairState> BuildStates(
@@ -156,7 +272,7 @@ std::vector<PairState> BuildStates(
     s.yp = p.y;
     s.q = q;
     s.negq = q.Negate();
-    s.t = G2::FromAffine(q);
+    s.t = G2Jacobian{q.x, q.y, Fp2::One()};
     states.push_back(s);
   }
   return states;
@@ -175,31 +291,71 @@ Fp12 MultiMillerLoopPreparedImpl(const std::vector<PreparedPairState>& states) {
   const std::vector<int8_t>& naf = AteLoopNaf();
   Fp12 f = Fp12::One();
   size_t idx = 0;
+  std::vector<EvalLine> round;
+  round.reserve(states.size() * 2);
   for (size_t i = 1; i < naf.size(); ++i) {
     f = f.Square();
+    round.clear();
     for (const PreparedPairState& s : states) {
-      f = MulByEvaluatedLine(f, (*s.coeffs)[idx], s.xp, s.yp);
+      round.push_back(Evaluate((*s.coeffs)[idx], s.xp, s.yp));
     }
     ++idx;
     if (naf[i] != 0) {
       for (const PreparedPairState& s : states) {
-        f = MulByEvaluatedLine(f, (*s.coeffs)[idx], s.xp, s.yp);
+        round.push_back(Evaluate((*s.coeffs)[idx], s.xp, s.yp));
       }
       ++idx;
     }
+    f = FoldLines(f, round);
   }
+  round.clear();
   for (const PreparedPairState& s : states) {
-    f = MulByEvaluatedLine(f, (*s.coeffs)[idx], s.xp, s.yp);
-    f = MulByEvaluatedLine(f, (*s.coeffs)[idx + 1], s.xp, s.yp);
+    round.push_back(Evaluate((*s.coeffs)[idx], s.xp, s.yp));
+    round.push_back(Evaluate((*s.coeffs)[idx + 1], s.xp, s.yp));
   }
-  return f;
+  return FoldLines(f, round);
 }
 
-// f^x for the BN parameter (64-bit, plain square-and-multiply; inputs are in
-// the cyclotomic subgroup but correctness does not depend on that).
+// NAF digits of the BN parameter x, most significant first.
+const std::vector<int8_t>& BnXNaf() {
+  static const std::vector<int8_t>* kNaf = [] {
+    uint128_t s = kBnX;
+    std::vector<int8_t> digits;
+    while (s != 0) {
+      int8_t d = 0;
+      if (s & 1) {
+        d = ((s & 3) == 3) ? -1 : 1;
+        if (d > 0) {
+          s -= 1;
+        } else {
+          s += 1;
+        }
+      }
+      digits.push_back(d);
+      s >>= 1;
+    }
+    return new std::vector<int8_t>(digits.rbegin(), digits.rend());
+  }();
+  return *kNaf;
+}
+
+// f^x for the BN parameter, valid only on the cyclotomic subgroup: NAF
+// square-and-multiply with Granger-Scott squarings and the conjugate as the
+// inverse. Computes exactly f^x, so it is byte-identical to the generic
+// f.Pow(x) it replaced (tests/pairing_test.cc pins this).
 Fp12 PowX(const Fp12& f) {
-  U256 x{{kBnX, 0, 0, 0}};
-  return f.Pow(x);
+  const std::vector<int8_t>& naf = BnXNaf();
+  Fp12 finv = f.Conjugate();
+  Fp12 r = f;  // leading digit is always 1
+  for (size_t i = 1; i < naf.size(); ++i) {
+    r = r.CyclotomicSquare();
+    if (naf[i] > 0) {
+      r = r * f;
+    } else if (naf[i] < 0) {
+      r = r * finv;
+    }
+  }
+  return r;
 }
 
 }  // namespace
@@ -224,7 +380,7 @@ G2Prepared G2Prepared::Prepare(const G2Affine& q) {
 
   const std::vector<int8_t>& naf = AteLoopNaf();
   G2Affine negq = q.Negate();
-  G2 t = G2::FromAffine(q);
+  G2Jacobian t = {q.x, q.y, Fp2::One()};
   LineCoeffs line;
   for (size_t i = 1; i < naf.size(); ++i) {
     DoublingStep(&t, &line);
@@ -274,13 +430,22 @@ Fp12 MultiMillerLoopPrepared(
   return MultiMillerLoopPreparedImpl(states);
 }
 
-Fp12 FinalExponentiation(const Fp12& f) {
-  if (f.IsZero()) return f;  // degenerate; never produced by Miller loops
-  // Easy part: f^((p^6 - 1)(p^2 + 1)).
-  Fp12 m = f.Conjugate() * f.Inverse();   // f^(p^6 - 1)
-  m = Frobenius(m, 2) * m;                // ^(p^2 + 1)
-  // Hard part (Beuchat et al., "High-speed software implementation of the
-  // optimal ate pairing over BN curves"): exponent (p^4 - p^2 + 1)/r.
+namespace {
+
+// Easy part f^((p^6 - 1)(p^2 + 1)) with the Fp12 inversion of f passed in,
+// so the batch entry point can amortize inversions across rows. The result
+// lands in the cyclotomic subgroup, where the hard part's Granger-Scott
+// squarings are valid.
+Fp12 FinalExpEasy(const Fp12& f, const Fp12& finv) {
+  Fp12 m = f.Conjugate() * finv;  // f^(p^6 - 1)
+  return Frobenius(m, 2) * m;     // ^(p^2 + 1)
+}
+
+// Hard part (Beuchat et al., "High-speed software implementation of the
+// optimal ate pairing over BN curves"): m^((p^4 - p^2 + 1)/r) for m in the
+// cyclotomic subgroup. All squarings are cyclotomic (the subgroup is closed
+// under products, conjugation and Frobenius).
+Fp12 FinalExpHard(const Fp12& m) {
   Fp12 ft1 = PowX(m);
   Fp12 ft2 = PowX(ft1);
   Fp12 ft3 = PowX(ft2);
@@ -291,14 +456,48 @@ Fp12 FinalExponentiation(const Fp12& f) {
   Fp12 y4 = (ft1 * Frobenius(ft2, 1)).Conjugate();
   Fp12 y5 = ft2.Conjugate();
   Fp12 y6 = (ft3 * Frobenius(ft3, 1)).Conjugate();
-  Fp12 t0 = y6.Square() * y4 * y5;
+  Fp12 t0 = y6.CyclotomicSquare() * y4 * y5;
   Fp12 t1 = y3 * y5 * t0;
   t0 = t0 * y2;
-  t1 = (t1.Square() * t0).Square();
+  t1 = (t1.CyclotomicSquare() * t0).CyclotomicSquare();
   t0 = t1 * y1;
   t1 = t1 * y0;
-  t0 = t0.Square();
+  t0 = t0.CyclotomicSquare();
   return t1 * t0;
+}
+
+}  // namespace
+
+Fp12 FinalExponentiation(const Fp12& f) {
+  if (f.IsZero()) return f;  // degenerate; never produced by Miller loops
+  return FinalExpHard(FinalExpEasy(f, f.Inverse()));
+}
+
+std::vector<Fp12> FinalExponentiationBatch(std::span<const Fp12> fs) {
+  std::vector<Fp12> out(fs.size());
+  // Montgomery-trick batch inversion of the nonzero inputs: one Fp12
+  // inversion total. Inverses are unique, so each recovered inverse is the
+  // exact element f.Inverse() computes and the per-row path stays
+  // byte-identical.
+  std::vector<size_t> live;
+  std::vector<Fp12> prefix;  // prefix[k] = product of the first k live inputs
+  live.reserve(fs.size());
+  prefix.reserve(fs.size());
+  Fp12 acc = Fp12::One();
+  for (size_t i = 0; i < fs.size(); ++i) {
+    if (fs[i].IsZero()) continue;  // degenerate rows pass through as zero
+    live.push_back(i);
+    prefix.push_back(acc);
+    acc = acc * fs[i];
+  }
+  Fp12 inv_acc = acc.Inverse();
+  for (size_t k = live.size(); k-- > 0;) {
+    size_t i = live[k];
+    Fp12 finv = inv_acc * prefix[k];
+    inv_acc = inv_acc * fs[i];
+    out[i] = FinalExpHard(FinalExpEasy(fs[i], finv));
+  }
+  return out;
 }
 
 Fp12 FinalExponentiationReference(const Fp12& f) {

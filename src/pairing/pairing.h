@@ -75,6 +75,13 @@ Fp12 FinalExponentiation(const Fp12& f);
 /// Slow; used by tests to validate the fast chain.
 Fp12 FinalExponentiationReference(const Fp12& f);
 
+/// Final exponentiation of a batch of Miller-loop outputs: one shared Fp12
+/// inversion (Montgomery trick) serves every row's easy part. Entry i of
+/// the result equals FinalExponentiation(fs[i]) byte-for-byte -- inverses
+/// are unique, so the amortization cannot change any output; zero inputs
+/// pass through as zero. A batch of one degrades to the per-row cost.
+std::vector<Fp12> FinalExponentiationBatch(std::span<const Fp12> fs);
+
 /// e(P, Q). Returns GT::One() if either input is the identity.
 GT Pair(const G1& p, const G2& q);
 GT Pair(const G1Affine& p, const G2Affine& q);

@@ -249,6 +249,55 @@ TEST(SecureJoinTest, ParallelDecryptMatchesSequential) {
   EXPECT_EQ(seq, par);
 }
 
+TEST(SecureJoinTest, BatchDecryptMatchesPerRow) {
+  Rng rng(325);
+  auto msk = SecureJoin::Setup({.num_attrs = 1, .max_in_clause = 1}, &rng);
+  Fr sel = HashToFr("attr", std::string("s"));
+  Fr k = rng.NextFrNonZero();
+  SjToken token = SecureJoin::GenToken(msk, {{sel}}, k, &rng);
+  std::vector<SjRowCiphertext> rows;
+  std::vector<SjPreparedRow> prepared;
+  for (int i = 0; i < 9; ++i) {  // deliberately not a multiple of the batch
+    Fr join = HashToFr("join", std::to_string(i % 4));
+    rows.push_back(SecureJoin::EncryptRow(msk, join, {{sel}}, &rng));
+    prepared.push_back(SecureJoin::PrepareRow(rows.back()));
+  }
+  // The per-row paths are the byte-identity oracle for every batch shape:
+  // chunk boundaries, a trailing partial chunk, batch_rows = 0 (clamped to
+  // 1), batch wider than the row count, and chunk-level threading.
+  std::vector<Digest32> expect;
+  for (const auto& ct : rows) {
+    expect.push_back(SecureJoin::DecryptToDigest(token, ct));
+  }
+  for (size_t batch : {size_t{0}, size_t{1}, size_t{4}, size_t{64}}) {
+    EXPECT_EQ(SecureJoin::DecryptRowsBatch(token, rows, 1, batch), expect)
+        << "batch_rows=" << batch;
+  }
+  EXPECT_EQ(SecureJoin::DecryptRowsBatch(token, rows, 3), expect);
+
+  std::vector<Digest32> expect_prep;
+  for (const auto& row : prepared) {
+    expect_prep.push_back(SecureJoin::DecryptToDigestPrepared(token, row));
+  }
+  EXPECT_EQ(expect_prep, expect);  // preparation never changes the bytes
+  for (size_t batch : {size_t{1}, size_t{4}, size_t{64}}) {
+    EXPECT_EQ(SecureJoin::DecryptRowsPreparedBatch(token, prepared, 1, batch),
+              expect)
+        << "batch_rows=" << batch;
+  }
+  EXPECT_EQ(SecureJoin::DecryptRowsPreparedBatch(token, prepared, 3), expect);
+}
+
+TEST(SecureJoinTest, BatchDecryptEmptyInput) {
+  Rng rng(326);
+  auto msk = SecureJoin::Setup({.num_attrs = 1, .max_in_clause = 1}, &rng);
+  Fr sel = HashToFr("attr", std::string("s"));
+  SjToken token =
+      SecureJoin::GenToken(msk, {{sel}}, rng.NextFrNonZero(), &rng);
+  EXPECT_TRUE(SecureJoin::DecryptRowsBatch(token, {}).empty());
+  EXPECT_TRUE(SecureJoin::DecryptRowsPreparedBatch(token, {}).empty());
+}
+
 // --- Join algorithms over digests --------------------------------------------
 
 Digest32 FakeDigest(uint8_t tag) {

@@ -6,6 +6,7 @@
 #include "ec/fixed_base.h"
 #include "ec/g1.h"
 #include "ec/g2.h"
+#include "ec/glv.h"
 
 namespace sjoin {
 namespace {
@@ -149,6 +150,54 @@ TEST(G1Test, FixedBaseMatchesScalarMul) {
     Fr k = rng.NextFr();
     EXPECT_EQ(table.Mul(k), G1Generator().ScalarMul(k));
   }
+}
+
+// --- GLV (G1 only) ----------------------------------------------------------
+// G1::ScalarMul routes through the GLV decomposition; ScalarMulWnaf is the
+// generic reference it must agree with as a group element for every scalar.
+
+TEST(GlvTest, MatchesWnafOnRandomScalars) {
+  TestRandom rng(28);
+  G1 base = G1Generator().ScalarMul(rng.NextFr());  // random base point
+  for (int i = 0; i < 12; ++i) {
+    U256 k = rng.NextFr().ToCanonical();
+    EXPECT_EQ(ScalarMulGlv(base, k), base.ScalarMulWnaf(k));
+  }
+}
+
+TEST(GlvTest, EdgeScalars) {
+  const G1& g = G1Generator();
+  EXPECT_TRUE(ScalarMulGlv(g, U256{}).IsInfinity());  // k = 0
+  U256 one{{1, 0, 0, 0}};
+  EXPECT_EQ(ScalarMulGlv(g, one), g);  // k = 1
+  U256 r_minus_1 = (-Fr::One()).ToCanonical();  // k = r-1: -G
+  EXPECT_EQ(ScalarMulGlv(g, r_minus_1), g.Negate());
+  EXPECT_TRUE(ScalarMulGlv(g, GroupOrder()).IsInfinity());  // k = r
+  // k > r exercises the mod-r reduction; [k]P == [k mod r]P on a prime-
+  // order group, which the wNAF reference realizes without reducing.
+  U256 all_ones{{~0ull, ~0ull, ~0ull, ~0ull}};
+  EXPECT_EQ(g.ScalarMulWnaf(all_ones), NaiveScalarMul(g, all_ones));
+  EXPECT_EQ(ScalarMulGlv(g, all_ones), g.ScalarMulWnaf(all_ones));
+  EXPECT_TRUE(ScalarMulGlv(G1::Infinity(), one).IsInfinity());
+}
+
+TEST(GlvTest, EndomorphismIsLambdaMultiplication) {
+  TestRandom rng(29);
+  U256 lambda = GlvLambda().ToCanonical();
+  for (int i = 0; i < 4; ++i) {
+    G1 p = G1Generator().ScalarMul(rng.NextFr());
+    G1 phi = GlvEndomorphism(p);
+    EXPECT_TRUE(phi.IsOnCurve());
+    EXPECT_EQ(phi, p.ScalarMulWnaf(lambda));
+  }
+  EXPECT_TRUE(GlvEndomorphism(G1::Infinity()).IsInfinity());
+}
+
+TEST(GlvTest, LambdaIsNontrivialCubeRootOfUnityModR) {
+  Fr l = GlvLambda();
+  EXPECT_NE(l, Fr::One());
+  EXPECT_EQ(l * l * l, Fr::One());
+  EXPECT_TRUE((l * l + l + Fr::One()).IsZero());
 }
 
 // --- G2 ---------------------------------------------------------------------

@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <random>
+#include <string>
 
 #include "bigint/bigint.h"
 #include "field/bn254.h"
 #include "field/fp12.h"
+#include "field/mont_accel.h"
 
 namespace sjoin {
 namespace {
@@ -314,6 +317,74 @@ TEST(Fp12Test, SerializationDistinguishesElements) {
   uint8_t ba2[384];
   a.ToBytesBE(ba2);
   EXPECT_EQ(memcmp(ba, ba2, sizeof ba), 0);
+}
+
+// --- Lazy-reduction tower vs schoolbook references ----------------------------
+// Elements are kept canonical, so the lazy (delayed-reduction) products must
+// be byte-identical to the schoolbook MulReference path, not merely equal as
+// field elements; operator== compares the raw Montgomery words.
+
+TEST(Fp2Test, LazyMulMatchesReference) {
+  TestRandom rng(20);
+  for (int i = 0; i < 50; ++i) {
+    Fp2 a = rng.NextFp2(), b = rng.NextFp2();
+    EXPECT_EQ(a * b, a.MulReference(b));
+    EXPECT_EQ(a.Square(), a.SquareReference());
+    EXPECT_EQ(a.Square(), a * a);
+  }
+}
+
+TEST(Fp2Test, LazyMulExtremeValues) {
+  // p-1 in every coordinate produces the widest intermediate sums the
+  // delayed-reduction bound has to absorb.
+  Fp max = -Fp::One();
+  const Fp2 cases[] = {Fp2(max, max), Fp2(max, Fp::Zero()),
+                       Fp2(Fp::Zero(), max), Fp2::Zero(), Fp2::One()};
+  for (const Fp2& a : cases) {
+    for (const Fp2& b : cases) {
+      EXPECT_EQ(a * b, a.MulReference(b));
+    }
+    EXPECT_EQ(a.Square(), a.SquareReference());
+  }
+}
+
+TEST(Fp6Test, LazyMulMatchesReference) {
+  TestRandom rng(21);
+  for (int i = 0; i < 25; ++i) {
+    Fp6 a = rng.NextFp6(), b = rng.NextFp6();
+    EXPECT_EQ(a * b, a.MulReference(b));
+    EXPECT_EQ(a.Square(), a.MulReference(a));
+  }
+  Fp max = -Fp::One();
+  Fp2 m2(max, max);
+  Fp6 m(m2, m2, m2);
+  EXPECT_EQ(m * m, m.MulReference(m));
+}
+
+TEST(Fp12Test, LazyMulMatchesReference) {
+  TestRandom rng(22);
+  for (int i = 0; i < 15; ++i) {
+    Fp12 a = rng.NextFp12(), b = rng.NextFp12();
+    EXPECT_EQ(a * b, a.MulReference(b));
+    EXPECT_EQ(a.Square(), a.MulReference(a));
+  }
+  Fp max = -Fp::One();
+  Fp2 m2(max, max);
+  Fp6 m6(m2, m2, m2);
+  Fp12 m(m6, m6);
+  EXPECT_EQ(m * m, m.MulReference(m));
+}
+
+// The lazy-vs-reference tests above double as the dispatch-identity suite:
+// under the BMI2/ADX arm, operator* runs the accelerated whole-Fp2 kernels
+// while MulReference stays scalar, so equality pins the two backends to the
+// same bytes. Here, additionally pin that the force-scalar escape hatch is
+// honored (CI runs the full suite once with SJOIN_FORCE_SCALAR=1).
+TEST(MontAccelTest, ForceScalarOverrideRespected) {
+  const char* force = std::getenv("SJOIN_FORCE_SCALAR");
+  if (force != nullptr && std::string(force) == "1") {
+    EXPECT_FALSE(mont_accel::kEnabled);
+  }
 }
 
 }  // namespace

@@ -164,6 +164,48 @@ TEST(FinalExpTest, FastChainMatchesReference) {
   EXPECT_EQ(FinalExponentiation(ml), FinalExponentiationReference(ml));
 }
 
+TEST(FinalExpTest, BatchMatchesPerElement) {
+  // Byte-identity, not just equality: the Montgomery-trick batch inversion
+  // recovers the exact inverse each per-element call computes.
+  TestRandom rng(55);
+  std::vector<Fp12> fs;
+  for (int i = 0; i < 9; ++i) fs.push_back(rng.NextFp12());
+  fs[3] = Fp12::Zero();  // degenerate rows pass through as zero
+  fs[7] = Fp12::Zero();
+  std::vector<Fp12> batch = FinalExponentiationBatch(fs);
+  ASSERT_EQ(batch.size(), fs.size());
+  for (size_t i = 0; i < fs.size(); ++i) {
+    EXPECT_EQ(batch[i], FinalExponentiation(fs[i])) << i;
+  }
+}
+
+TEST(FinalExpTest, BatchDegenerateSizes) {
+  TestRandom rng(56);
+  Fp12 f = rng.NextFp12();
+  std::vector<Fp12> one{f};
+  std::vector<Fp12> got = FinalExponentiationBatch(one);
+  ASSERT_EQ(got.size(), 1u);  // a batch of one degrades to the per-row cost
+  EXPECT_EQ(got[0], FinalExponentiation(f));
+  EXPECT_TRUE(FinalExponentiationBatch({}).empty());
+  std::vector<Fp12> zeros(3, Fp12::Zero());
+  for (const Fp12& z : FinalExponentiationBatch(zeros)) {
+    EXPECT_TRUE(z.IsZero());
+  }
+}
+
+TEST(FinalExpTest, CyclotomicSquareMatchesGenericSquare) {
+  // CyclotomicSquare is only valid inside the cyclotomic subgroup, which
+  // is exactly where the hard part uses it (all PowX chains run there).
+  TestRandom rng(57);
+  for (int i = 0; i < 4; ++i) {
+    Fp12 u = FinalExponentiation(rng.NextFp12());
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(u.CyclotomicSquare(), u.Square());
+      u = u.CyclotomicSquare() * u;  // stay in the subgroup, vary the element
+    }
+  }
+}
+
 TEST(FinalExpTest, OutputInCyclotomicSubgroup) {
   // After final exp, conjugate == inverse (unit norm over Fp6).
   TestRandom rng(50);
