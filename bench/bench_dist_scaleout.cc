@@ -7,10 +7,14 @@
 // local engine. The per-series digest cache means every series re-runs
 // the full SJ.Dec pass -- exactly the work the coordinator delegates.
 //
-// Phase 2 (scale-out): for W in {1, 2, 4}, a Coordinator with W
+// Phase 2 (scale-out): for W in {1, 2, 4} at R=1, plus W=2 at R=2 (every
+// shard on both workers: the fault-tolerant layout), a Coordinator with W
 // in-process ShardWorkers behind real loopback TcpServers runs the same
 // series in a loop: planning and merge stay local, the batched decrypt
 // slices travel the framed wire-v7 protocol to the owning workers.
+// Replication costs upload-time copies, not decrypt-time work -- each
+// slice still goes to one (primary) replica, so R=2 throughput should
+// track W=2 R=1 closely.
 //
 // Reported: series/s per configuration and the ratio to the single-node
 // baseline. Acceptance (exit 1 on failure): W=1 -- where delegation buys
@@ -84,7 +88,6 @@ int main() {
   const bool full = benchutil::FullMode();
   const size_t rows = full ? 96 : 16;
   const double seconds = EnvInt("SJOIN_BENCH_DIST_SECONDS", full ? 10 : 2);
-  const std::vector<int> worker_counts = {1, 2, 4};
 
   std::printf("== Distributed scale-out (coordinator + loopback workers) ==\n");
   std::printf("rows/table %zu, %.0fs per configuration%s\n\n", rows, seconds,
@@ -116,11 +119,16 @@ int main() {
     ShardWorker handler;
     std::optional<TcpServer> server;
   };
+  struct Config {
+    int workers;
+    size_t replication;
+  };
+  const std::vector<Config> configs = {{1, 1}, {2, 1}, {4, 1}, {2, 2}};
   double w1_qps = 0;
-  for (int w_count : worker_counts) {
-    Coordinator coord({.num_shards = 8});
+  for (const Config& cfg : configs) {
+    Coordinator coord({.num_shards = 8, .replication = cfg.replication});
     std::deque<WorkerProc> workers;
-    for (int w = 0; w < w_count; ++w) {
+    for (int w = 0; w < cfg.workers; ++w) {
       WorkerProc& proc = workers.emplace_back();
       TcpServerOptions opts;
       opts.shard_handler = &proc.handler;
@@ -136,12 +144,13 @@ int main() {
       SJOIN_CHECK(coord.ExecuteSeries(*series).ok());
     });
     Coordinator::Stats st = coord.stats();
-    SJOIN_CHECK(st.decrypt_rpcs > 0);  // the loop really delegated
-    std::printf("coordinator W=%d        %10.1f series/s   (%3.0f%% of "
+    SJOIN_CHECK(st.decrypt_rpcs > 0);   // the loop really delegated
+    SJOIN_CHECK(st.local_fallback_units == 0);  // and nothing fell back
+    std::printf("coordinator W=%d R=%zu    %10.1f series/s   (%3.0f%% of "
                 "single-node, %llu decrypt rpcs)\n",
-                w_count, qps, 100.0 * qps / baseline_qps,
+                cfg.workers, cfg.replication, qps, 100.0 * qps / baseline_qps,
                 static_cast<unsigned long long>(st.decrypt_rpcs));
-    if (w_count == 1) w1_qps = qps;
+    if (cfg.workers == 1 && cfg.replication == 1) w1_qps = qps;
   }
 
   const double ratio = baseline_qps > 0 ? w1_qps / baseline_qps : 0;

@@ -863,7 +863,8 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesDelegated(
               std::to_string(wu.rows.size()));
         } else {
           local = resp->stats;
-          digests.reserve(wu.rows.size());
+          digests.assign(wu.rows.size(), Digest32{});
+          std::vector<size_t> missing;
           size_t next = 0;
           for (size_t i = 0; i < wu.rows.size() && err.ok(); ++i) {
             if (resp->have[i]) {
@@ -873,22 +874,65 @@ Result<EncryptedSeriesResult> EncryptedServer::ExecuteJoinSeriesDelegated(
                     "' has fewer digests than its presence bitmap claims");
                 break;
               }
-              digests.push_back(resp->digests[next++]);
+              digests[i] = resp->digests[next++];
             } else {
-              // The worker no longer holds this row (a mutation slice
-              // raced the snapshot pin). The pinned snapshot still does,
-              // so decrypt locally -- SJ.Dec sees only (ciphertext,
-              // token), so the digest is identical either way.
-              digests.push_back(SecureJoin::DecryptToDigest(
-                  *wu.unit->token, wu.unit->table->rows[wu.rows[i]].sj));
-              ++local.decrypts_performed;
-              ++local.pairings_computed;
+              missing.push_back(i);
             }
           }
           if (err.ok() && next != resp->digests.size()) {
             err = Status::Internal(
                 "shard decrypt response for table '" + req.table +
                 "' has more digests than its presence bitmap claims");
+          }
+          if (err.ok() && !missing.empty()) {
+            // Rows the worker does not hold (a mutation slice it missed
+            // while down, or every replica of the shard unreachable --
+            // the coordinator then answers an all-zero bitmap). The
+            // pinned snapshot still holds them, so decrypt locally
+            // through the same batched Miller + shared-final-exp kernel
+            // as the resident paths, prepared-line cache included --
+            // SJ.Dec sees only (ciphertext, token), so the digests are
+            // identical to what the worker would have answered.
+            PreparedRowCache* cache =
+                opts.prepared_cache_bytes > 0 ? &prepared_cache_ : nullptr;
+            const size_t batch = std::max<size_t>(1, opts.decrypt_batch_rows);
+            std::vector<Fp12> millers;
+            std::vector<size_t> pending_idx;
+            millers.reserve(std::min(batch, missing.size()));
+            pending_idx.reserve(std::min(batch, missing.size()));
+            auto flush = [&] {
+              std::vector<Digest32> d = SecureJoin::DigestMillerBatch(millers);
+              for (size_t j = 0; j < pending_idx.size(); ++j) {
+                digests[pending_idx[j]] = d[j];
+              }
+              millers.clear();
+              pending_idx.clear();
+            };
+            for (size_t i : missing) {
+              const SjRowCiphertext& ct = wu.unit->table->rows[wu.rows[i]].sj;
+              std::shared_ptr<const SjPreparedRow> prep;
+              bool built = false;
+              if (cache) {
+                prep = cache->Get(wu.unit->table->name,
+                                  (*wu.unit->row_ids)[wu.rows[i]], ct, &built);
+              }
+              if (prep) {
+                millers.push_back(SecureJoin::DecryptRowMillerPrepared(
+                    *wu.unit->token, *prep));
+                ++(built ? local.prepared_rows_built
+                         : local.prepared_cache_hits);
+              } else {
+                millers.push_back(
+                    SecureJoin::DecryptRowMiller(*wu.unit->token, ct));
+                ++local.pairings_computed;
+              }
+              ++local.decrypts_performed;
+              pending_idx.push_back(i);
+              if (millers.size() >= batch) flush();
+            }
+            if (!millers.empty()) flush();
+            local.prepared_pairings =
+                local.prepared_rows_built + local.prepared_cache_hits;
           }
         }
         if (err.ok()) {

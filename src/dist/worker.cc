@@ -1,5 +1,6 @@
 #include "dist/worker.h"
 
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -66,10 +67,15 @@ Result<ShardAck> ShardWorker::ApplyAssignment(const ShardAssignment& assign) {
   std::lock_guard<std::mutex> lock(mu_);
   Holding& h = tables_[assign.table];
   // The holding of (table, shard) becomes exactly the assigned rows: an
-  // empty assignment drops the shard (it moved to another worker).
+  // empty assignment drops the shard (it moved to another worker). Only
+  // ids NOT in the incoming assignment are evicted -- a re-upload after
+  // a coordinator heal keeps the surviving rows' prepared-line cache
+  // entries warm (stable ids never change ciphertext content, so a
+  // cached entry for a re-sent id is still valid).
+  std::set<StableRowId> incoming(assign.row_ids.begin(), assign.row_ids.end());
   std::vector<StableRowId> stale;
   for (const auto& [id, shard] : h.shard_of) {
-    if (shard == assign.shard) stale.push_back(id);
+    if (shard == assign.shard && !incoming.count(id)) stale.push_back(id);
   }
   for (StableRowId id : stale) {
     h.rows.erase(id);
